@@ -1,0 +1,97 @@
+//! Benchmark of the BFT agreement sub-protocol: a full happy-path
+//! decision among n nodes, messages exchanged in memory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partialtor_consensus::{
+    Action, ConsensusConfig, ConsensusInstance, ConsensusMsg, ConsensusValue,
+};
+use partialtor_crypto::{sha256, Digest32, SigningKey};
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+#[derive(Clone)]
+struct Val(Vec<u8>);
+
+impl ConsensusValue for Val {
+    fn digest(&self) -> Digest32 {
+        sha256::digest(&self.0)
+    }
+    fn wire_size(&self) -> u64 {
+        self.0.len() as u64
+    }
+}
+
+/// Runs one synchronous happy-path instance to decision; returns the
+/// number of messages exchanged.
+fn decide_once(n: usize, f: usize, signers: &[SigningKey]) -> usize {
+    let keys: Vec<_> = signers.iter().map(|s| s.verifying_key()).collect();
+    let mut nodes: Vec<ConsensusInstance<Val>> = (0..n)
+        .map(|i| {
+            ConsensusInstance::new(
+                ConsensusConfig {
+                    instance: 5,
+                    n,
+                    f,
+                    node: i,
+                    leader_offset: 0,
+                    base_timeout_ms: 1_000_000,
+                },
+                keys.clone(),
+                signers[i].clone(),
+                Box::new(|_: &Val| true),
+            )
+        })
+        .collect();
+
+    let mut queue: VecDeque<(usize, ConsensusMsg<Val>)> = VecDeque::new();
+    let push = |queue: &mut VecDeque<(usize, ConsensusMsg<Val>)>,
+                    from: usize,
+                    actions: Vec<Action<Val>>| {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => queue.push_back((to, msg)),
+                Action::Broadcast { msg } => {
+                    for to in 0..n {
+                        if to != from {
+                            queue.push_back((to, msg.clone()));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+
+    for i in 0..n {
+        let mut actions = nodes[i].start();
+        actions.extend(nodes[i].set_input(Val(vec![i as u8; 64])));
+        push(&mut queue, i, actions);
+    }
+    let mut delivered = 0;
+    while let Some((to, msg)) = queue.pop_front() {
+        delivered += 1;
+        let actions = nodes[to].on_message(msg);
+        push(&mut queue, to, actions);
+        if nodes.iter().all(|node| node.decided().is_some()) {
+            break;
+        }
+    }
+    delivered
+}
+
+fn bench_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bft_decide");
+    group.sample_size(10);
+    for (n, f) in [(4usize, 1usize), (9, 2)] {
+        let signers: Vec<SigningKey> = (0..n)
+            .map(|i| SigningKey::from_seed([i as u8 + 1; 32]))
+            .collect();
+        group.bench_function(format!("n{n}_f{f}"), |b| {
+            b.iter(|| black_box(decide_once(n, f, &signers)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_agreement);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the from-scratch crypto primitives.
+//!
+//! These bound the per-message costs of the protocol simulations: every
+//! vote/timeout/signature record is one Ed25519 operation, and document
+//! digests are SHA-256 over megabyte inputs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use partialtor_crypto::{sha256, sha512, SigningKey};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [1_024usize, 65_536, 1_048_576] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256::digest(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha512(c: &mut Criterion) {
+    let data = vec![0xcdu8; 65_536];
+    let mut group = c.benchmark_group("sha512");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("64KiB", |b| b.iter(|| sha512::digest(black_box(&data))));
+    group.finish();
+}
+
+fn bench_ed25519(c: &mut Criterion) {
+    let key = SigningKey::from_seed([42u8; 32]);
+    let message = b"consensus document digest ................";
+    let signature = key.sign(message);
+    let public = key.verifying_key();
+
+    c.bench_function("ed25519/sign", |b| {
+        b.iter(|| key.sign(black_box(message)))
+    });
+    c.bench_function("ed25519/verify", |b| {
+        b.iter(|| public.verify(black_box(message), black_box(&signature)))
+    });
+    c.bench_function("ed25519/keygen", |b| {
+        b.iter_batched(
+            || [7u8; 32],
+            |seed| SigningKey::from_seed(black_box(seed)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_sha512, bench_ed25519);
+criterion_main!(benches);

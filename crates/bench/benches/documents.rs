@@ -1,0 +1,55 @@
+//! Benchmarks of the directory-document pipeline: vote encoding/parsing
+//! and the Fig. 2 aggregation algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use partialtor_tordoc::prelude::*;
+use std::hint::black_box;
+
+fn make_votes(relays: usize, authorities: usize) -> Vec<Vote> {
+    let population = generate_population(&PopulationConfig {
+        seed: 7,
+        count: relays,
+    });
+    (0..authorities)
+        .map(|i| {
+            let auth = AuthorityId(i as u8);
+            let view = authority_view(&population, auth, 7, &ViewConfig::default());
+            Vote::new(
+                VoteMeta::standard(auth, &format!("auth{i}"), "AB".repeat(20), 3_600),
+                view,
+            )
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    group.sample_size(20);
+    for relays in [100usize, 1_000] {
+        let votes = make_votes(relays, 9);
+        let refs: Vec<&Vote> = votes.iter().collect();
+        group.throughput(Throughput::Elements(relays as u64));
+        group.bench_function(format!("{relays}_relays"), |b| {
+            b.iter(|| aggregate(black_box(&refs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let votes = make_votes(1_000, 1);
+    let vote = &votes[0];
+    let encoded = vote.encode();
+    let mut group = c.benchmark_group("vote");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_1000_relays", |b| b.iter(|| black_box(vote).encode()));
+    group.bench_function("parse_1000_relays", |b| {
+        b.iter(|| Vote::parse(black_box(&encoded)).expect("parses"))
+    });
+    group.bench_function("digest_1000_relays", |b| b.iter(|| black_box(vote).digest()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation, bench_encoding);
+criterion_main!(benches);

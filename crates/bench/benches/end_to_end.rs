@@ -1,0 +1,53 @@
+//! End-to-end protocol-run benchmarks: one full simulated consensus run
+//! per iteration, for each of the three directory protocols.
+//!
+//! These measure *simulator* wall-clock cost (events + crypto), bounding
+//! how long the figure sweeps take — not simulated network latency, which
+//! the figure binaries report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use partialtor::protocols::ProtocolKind;
+use partialtor::runner::{run, Scenario};
+use std::hint::black_box;
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_run");
+    group.sample_size(10);
+    for (label, protocol) in [
+        ("current", ProtocolKind::Current),
+        ("synchronous", ProtocolKind::Synchronous),
+        ("icps", ProtocolKind::Icps),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let scenario = Scenario {
+                    seed: 5,
+                    relays: 1_000,
+                    ..Scenario::default()
+                };
+                black_box(run(protocol, &scenario))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_attack_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_run");
+    group.sample_size(10);
+    group.bench_function("icps_recovery", |b| {
+        b.iter(|| {
+            let scenario = Scenario {
+                seed: 5,
+                relays: 8_000,
+                attacks: vec![partialtor::DdosAttack::five_of_nine_five_minutes()],
+                ..Scenario::default()
+            };
+            black_box(run(ProtocolKind::Icps, &scenario))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs, bench_attack_run);
+criterion_main!(benches);

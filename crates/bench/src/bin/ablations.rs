@@ -1,0 +1,16 @@
+//! Runs the three design-choice ablations: timeout scaling, pulsed
+//! attacks, and the aggregation fetch policy.
+
+use partialtor::experiments::ablations;
+use partialtor_bench::REPORT_SEED;
+
+fn main() {
+    print!("{}", ablations::render_timeout(&ablations::timeout_scaling(REPORT_SEED)));
+    println!();
+    print!("{}", ablations::render_pulse(&ablations::pulse_sweep(REPORT_SEED)));
+    println!();
+    print!(
+        "{}",
+        ablations::render_fetch(&ablations::fetch_policy_comparison(REPORT_SEED))
+    );
+}

@@ -1,0 +1,12 @@
+//! The headline claim as a timeline: sustained hourly 5-minute DDoS
+//! windows kill the network in 3 hours under the current protocol; the
+//! ICPS protocol keeps it up.
+
+use partialtor::experiments::availability;
+use partialtor_bench::{arg_u64, REPORT_SEED};
+
+fn main() {
+    let hours = arg_u64("--hours", 6);
+    let results = availability::run_experiment(hours, REPORT_SEED);
+    print!("{}", availability::render(&results));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §4.3 attack-cost table ($0.074/run, $53.28/month).
+
+use partialtor::experiments::cost;
+
+fn main() {
+    let result = cost::run_experiment();
+    print!("{}", cost::render(&result));
+}

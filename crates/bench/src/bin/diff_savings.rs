@@ -1,0 +1,8 @@
+//! Consensus-diff bandwidth savings (proposal 140) across churn rates.
+
+use partialtor::experiments::diff_savings;
+use partialtor_bench::REPORT_SEED;
+
+fn main() {
+    print!("{}", diff_savings::render(&diff_savings::run_experiment(REPORT_SEED)));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 10: consensus latency across bandwidths and relay
+//! counts for all three protocols. `--step 1000` (default) gives the
+//! paper's resolution.
+
+use partialtor::experiments::fig10_latency;
+use partialtor_bench::{arg_u64, REPORT_SEED};
+
+fn main() {
+    let step = arg_u64("--step", 1_000);
+    let result = fig10_latency::run_experiment(REPORT_SEED, step);
+    print!("{}", fig10_latency::render(&result));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 11: ICPS recovery time after a complete 5-minute
+//! outage of five authorities.
+
+use partialtor::experiments::fig11_recovery;
+use partialtor_bench::{arg_u64, REPORT_SEED};
+
+fn main() {
+    let step = arg_u64("--step", 1_000);
+    let result = fig11_recovery::run_experiment(REPORT_SEED, step);
+    print!("{}", fig11_recovery::render(&result));
+}

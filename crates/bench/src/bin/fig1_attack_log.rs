@@ -1,0 +1,9 @@
+//! Regenerates Fig. 1: the authority log while 5 authorities are DDoSed.
+
+use partialtor::experiments::fig1_attack_log;
+use partialtor_bench::REPORT_SEED;
+
+fn main() {
+    let result = fig1_attack_log::run_experiment(REPORT_SEED);
+    print!("{}", fig1_attack_log::render(&result));
+}

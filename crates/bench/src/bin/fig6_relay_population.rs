@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6: the Tor relay population series (mean 7141.79).
+
+use partialtor::experiments::fig6_relays;
+
+fn main() {
+    let result = fig6_relays::run_experiment();
+    print!("{}", fig6_relays::render(&result));
+}

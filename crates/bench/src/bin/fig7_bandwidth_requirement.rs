@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7: minimum victim bandwidth for the current protocol
+//! to survive, vs. relay count.
+
+use partialtor::experiments::fig7_bandwidth;
+use partialtor_bench::REPORT_SEED;
+
+fn main() {
+    let result = fig7_bandwidth::run_experiment(REPORT_SEED);
+    print!("{}", fig7_bandwidth::render(&result));
+}

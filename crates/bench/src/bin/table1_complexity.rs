@@ -1,0 +1,10 @@
+//! Regenerates Table 1: measured communication complexity with fitted
+//! growth exponents.
+
+use partialtor::experiments::table1_complexity;
+use partialtor_bench::REPORT_SEED;
+
+fn main() {
+    let result = table1_complexity::run_experiment(REPORT_SEED);
+    print!("{}", table1_complexity::render(&result));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 2: round complexity of each ICPS sub-protocol.
+
+use partialtor::experiments::table2_rounds;
+use partialtor_bench::REPORT_SEED;
+
+fn main() {
+    let result = table2_rounds::run_experiment(REPORT_SEED);
+    print!("{}", table2_rounds::render(&result));
+}

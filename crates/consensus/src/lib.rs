@@ -1,0 +1,57 @@
+//! `partialtor-consensus` — single-shot view-based BFT agreement.
+//!
+//! The agreement sub-protocol of the paper's design (§5.2.2): "any
+//! view-based Byzantine Agreement protocol that works under partial
+//! synchrony". This crate implements a Jolteon-style two-chain HotStuff
+//! variant, generic over the agreed value, with:
+//!
+//! * rotating leaders, quorum certificates, timeout certificates with
+//!   high-QC re-proposal (the standard partial-synchrony safety argument);
+//! * an external-validity hook (the paper's proof `π` verification);
+//! * a sans-IO interface ([`ConsensusInstance`]) driven by messages and
+//!   timeouts, emitting [`Action`]s — hostable on any transport;
+//! * 5 message rounds to decide with a correct leader and no GST, the
+//!   constant the paper's Table 2 round-complexity analysis uses.
+//!
+//! Fault tolerance is `n ≥ 3f + 1` — the partial-synchrony optimum the
+//! paper accepts in exchange for DDoS resilience (§5.1).
+//!
+//! # Examples
+//!
+//! Driving a 4-node committee in-process (see `tests/network.rs` for the
+//! full adversarial harness):
+//!
+//! ```
+//! use partialtor_consensus::*;
+//! use partialtor_crypto::{sha256, Digest32, SigningKey};
+//!
+//! #[derive(Clone)]
+//! struct Val(u8);
+//! impl ConsensusValue for Val {
+//!     fn digest(&self) -> Digest32 { sha256::digest(&[self.0]) }
+//!     fn wire_size(&self) -> u64 { 1 }
+//! }
+//!
+//! let signers: Vec<SigningKey> =
+//!     (0..4).map(|i| SigningKey::from_seed([i as u8; 32])).collect();
+//! let keys: Vec<_> = signers.iter().map(|s| s.verifying_key()).collect();
+//! let config = ConsensusConfig {
+//!     instance: 1, n: 4, f: 1, node: 0, leader_offset: 0, base_timeout_ms: 1000,
+//! };
+//! let mut node0 = ConsensusInstance::new(
+//!     config, keys, signers[0].clone(), Box::new(|_: &Val| true),
+//! );
+//! let actions = node0.set_input(Val(7));
+//! // Node 0 leads round 0, but proposing waits for `start`.
+//! assert!(actions.is_empty());
+//! let actions = node0.start();
+//! assert!(actions.iter().any(|a| matches!(a, Action::Broadcast { .. })));
+//! ```
+
+pub mod instance;
+pub mod types;
+
+pub use instance::{ConsensusConfig, ConsensusInstance, Validator};
+pub use types::{
+    Action, Block, ConsensusMsg, ConsensusValue, DecideMsg, Qc, Tc, TcEntry, TimeoutMsg, VoteMsg,
+};

@@ -1,0 +1,157 @@
+//! The DDoS attack model and its cost (§4 of the paper).
+//!
+//! The attack is modelled the way the paper models it in Shadow: a victim
+//! authority's available bandwidth drops to the residual value for the
+//! attack window and recovers afterwards. The cost model reproduces the
+//! §4.3 arithmetic: stressor services amortize to $0.00074 per Mbit/s of
+//! attack traffic per hour.
+
+use partialtor_simnet::{NodeId, SimDuration, SimTime};
+
+/// A bandwidth-exhaustion DDoS against a set of authorities.
+#[derive(Clone, Debug)]
+pub struct DdosAttack {
+    /// Victim authority indices.
+    pub targets: Vec<usize>,
+    /// Attack start.
+    pub start: SimTime,
+    /// Attack duration.
+    pub duration: SimDuration,
+    /// Victim bandwidth during the attack, bits/s (0 = knocked offline;
+    /// 0.5 Mbit/s = the Jansen et al. residual estimate).
+    pub residual_bps: f64,
+}
+
+impl DdosAttack {
+    /// The paper's headline attack: five authorities for five minutes
+    /// starting at protocol start, with the Jansen et al. residual.
+    pub fn five_of_nine_five_minutes() -> Self {
+        DdosAttack {
+            targets: vec![0, 1, 2, 3, 4],
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(300),
+            residual_bps: crate::calibration::ATTACK_RESIDUAL_BPS,
+        }
+    }
+
+    /// End of the attack window.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// Applies the attack to a simulation by scheduling bandwidth drops
+    /// and restorations on every victim. `restore_bps(target)` gives the
+    /// bandwidth each victim returns to when the attack ends.
+    pub fn schedule<N: partialtor_simnet::Node>(
+        &self,
+        sim: &mut partialtor_simnet::Simulation<N>,
+        restore_bps: impl Fn(usize) -> f64,
+    ) {
+        for &target in &self.targets {
+            sim.schedule_bandwidth_change(
+                self.start,
+                NodeId(target),
+                Some(self.residual_bps),
+                Some(self.residual_bps),
+            );
+            let restored = restore_bps(target);
+            sim.schedule_bandwidth_change(
+                self.end(),
+                NodeId(target),
+                Some(restored),
+                Some(restored),
+            );
+        }
+    }
+}
+
+/// Stressor-service pricing (§4.3, from Jansen et al. [22]).
+#[derive(Clone, Copy, Debug)]
+pub struct StressorPricing {
+    /// Dollars per Mbit/s of attack traffic per hour, amortized.
+    pub usd_per_mbit_hour: f64,
+}
+
+impl Default for StressorPricing {
+    fn default() -> Self {
+        StressorPricing {
+            usd_per_mbit_hour: 0.00074,
+        }
+    }
+}
+
+/// Parameters of one §4.3 attack-cost estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct AttackCostModel {
+    /// Number of targeted authorities.
+    pub targets: usize,
+    /// Attack traffic per target, Mbit/s.
+    pub flood_mbps: f64,
+    /// Attack duration per consensus run, minutes.
+    pub minutes_per_run: f64,
+    /// Consensus runs per hour (the protocol runs hourly).
+    pub runs_per_hour: f64,
+    /// Pricing.
+    pub pricing: StressorPricing,
+}
+
+impl AttackCostModel {
+    /// The paper's concrete numbers: 5 targets, 240 Mbit/s floods (250
+    /// Mbit/s links minus the 10 Mbit/s the protocol needs), 5 minutes per
+    /// hourly run.
+    pub fn paper() -> Self {
+        AttackCostModel {
+            targets: 5,
+            flood_mbps: 240.0,
+            minutes_per_run: 5.0,
+            runs_per_hour: 1.0,
+            pricing: StressorPricing::default(),
+        }
+    }
+
+    /// Cost of disrupting a single consensus run, dollars.
+    pub fn cost_per_run(&self) -> f64 {
+        self.pricing.usd_per_mbit_hour
+            * self.flood_mbps
+            * self.targets as f64
+            * (self.minutes_per_run / 60.0)
+    }
+
+    /// Cost of keeping Tor down for a whole month (every hourly run
+    /// breached, 30 days), dollars.
+    pub fn cost_per_month(&self) -> f64 {
+        self.cost_per_run() * self.runs_per_hour * 24.0 * 30.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cost_figures() {
+        let model = AttackCostModel::paper();
+        // §4.3: "approximately $0.074" per run …
+        assert!((model.cost_per_run() - 0.074).abs() < 1e-9);
+        // … and "$53.28/month".
+        assert!((model.cost_per_month() - 53.28).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_targets_and_rate() {
+        let base = AttackCostModel::paper();
+        let mut double = base;
+        double.targets = 10;
+        assert!((double.cost_per_run() - 2.0 * base.cost_per_run()).abs() < 1e-12);
+        let mut half = base;
+        half.flood_mbps = 120.0;
+        assert!((half.cost_per_run() - base.cost_per_run() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_attack_window() {
+        let attack = DdosAttack::five_of_nine_five_minutes();
+        assert_eq!(attack.targets.len(), 5);
+        assert_eq!(attack.end(), SimTime::from_secs(300));
+    }
+}

@@ -1,0 +1,63 @@
+//! Tor-style log formatting (the Fig. 1 transcript).
+//!
+//! The simulator captures structured [`LogEntry`] records; this module
+//! renders them the way `tor` renders its daemon log — `Jan 01
+//! 01:24:30.011 [notice] …` — so the Fig. 1 experiment produces a
+//! recognizably identical transcript.
+
+use partialtor_simnet::{LogEntry, NodeId};
+
+/// Seconds between simulation start and the fake wall-clock epoch used in
+/// rendered logs (Fig. 1's transcript sits around 01:24, i.e. the run that
+/// started at 01:20).
+const LOG_EPOCH_SECS: u64 = 3600 + 20 * 60;
+
+/// Renders one entry as a Tor daemon log line.
+pub fn render_line(entry: &LogEntry) -> String {
+    let total_ms = (entry.time.as_secs_f64() * 1000.0).round() as u64;
+    let secs = LOG_EPOCH_SECS + total_ms / 1000;
+    let ms = total_ms % 1000;
+    let (h, m, s) = (secs / 3600 % 24, secs / 60 % 60, secs % 60);
+    format!(
+        "Jan 01 {h:02}:{m:02}:{s:02}.{ms:03} [{}] {}",
+        entry.level, entry.text
+    )
+}
+
+/// Renders the transcript of a single authority.
+pub fn render_authority(entries: &[LogEntry], node: NodeId) -> String {
+    entries
+        .iter()
+        .filter(|e| e.node == node)
+        .map(render_line)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partialtor_simnet::{LogLevel, SimTime};
+
+    fn entry(time_s: u64, node: usize, text: &str) -> LogEntry {
+        LogEntry {
+            time: SimTime::from_secs(time_s),
+            node: NodeId(node),
+            level: LogLevel::Notice,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn renders_tor_style_timestamps() {
+        let line = render_line(&entry(150, 0, "Time to fetch any votes that we're missing."));
+        assert!(line.starts_with("Jan 01 01:22:30.000 [notice]"), "{line}");
+    }
+
+    #[test]
+    fn filters_by_authority() {
+        let entries = vec![entry(1, 0, "a"), entry(2, 1, "b"), entry(3, 0, "c")];
+        let log = render_authority(&entries, NodeId(0));
+        assert!(log.contains("a") && log.contains("c") && !log.contains("b"));
+    }
+}

@@ -1,0 +1,189 @@
+//! `dirsim` — command-line front end for the directory-protocol simulator.
+//!
+//! ```text
+//! dirsim run     [--protocol current|synchronous|icps] [--relays N]
+//!                [--bandwidth MBPS] [--seed N] [--real-docs]
+//! dirsim attack  [--protocol ...] [--targets K] [--duration SECS]
+//!                [--residual MBPS] [--relays N] [--seed N]
+//! dirsim sweep   [--protocol ...] [--relays N] [--seed N]
+//! dirsim cost    [--targets K] [--flood MBPS] [--minutes M]
+//! dirsim monitor [--relays N] [--seed N]
+//! ```
+
+use partialtor::attack::{AttackCostModel, DdosAttack};
+use partialtor::monitor;
+use partialtor::protocols::ProtocolKind;
+use partialtor::runner::{run, RunReport, Scenario};
+use partialtor_simnet::{SimDuration, SimTime};
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_f64(args: &[String], name: &str, default: f64) -> f64 {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_protocol(args: &[String]) -> ProtocolKind {
+    match arg_value(args, "--protocol").as_deref() {
+        Some("current") => ProtocolKind::Current,
+        Some("synchronous") | Some("sync") => ProtocolKind::Synchronous,
+        Some("icps") | Some("ours") | None => ProtocolKind::Icps,
+        Some(other) => {
+            eprintln!("unknown protocol {other:?}; using icps");
+            ProtocolKind::Icps
+        }
+    }
+}
+
+fn base_scenario(args: &[String]) -> Scenario {
+    Scenario {
+        seed: arg_u64(args, "--seed", 1),
+        relays: arg_u64(args, "--relays", 8_000),
+        bandwidth_bps: arg_f64(args, "--bandwidth", 250.0) * 1e6,
+        real_docs: args.iter().any(|a| a == "--real-docs"),
+        ..Scenario::default()
+    }
+}
+
+fn print_report(report: &RunReport) {
+    println!("protocol      : {}", report.protocol);
+    println!("success       : {}", report.success);
+    match report.network_time_secs {
+        Some(t) => println!("latency       : {t:.2} s"),
+        None => println!("latency       : (failed)"),
+    }
+    if let (Some(first), Some(last)) = (report.first_valid_secs, report.last_valid_secs) {
+        println!("valid between : {first:.2} s and {last:.2} s");
+    }
+    println!(
+        "traffic       : {} messages, {:.2} MB",
+        report.total_tx_msgs,
+        report.total_tx_bytes as f64 / 1e6
+    );
+    println!("per authority :");
+    for authority in &report.authorities {
+        println!(
+            "  auth{} success={} digest={}",
+            authority.index,
+            authority.success,
+            authority
+                .digest
+                .map(|d| d.short_hex(8))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let scenario = base_scenario(args);
+    let report = run(arg_protocol(args), &scenario);
+    print_report(&report);
+}
+
+fn cmd_attack(args: &[String]) {
+    let mut scenario = base_scenario(args);
+    let targets = arg_u64(args, "--targets", 5) as usize;
+    scenario.attacks = vec![DdosAttack {
+        targets: (0..targets.min(scenario.n)).collect(),
+        start: SimTime::ZERO,
+        duration: SimDuration::from_secs(arg_u64(args, "--duration", 300)),
+        residual_bps: arg_f64(args, "--residual", 0.5) * 1e6,
+    }];
+    let report = run(arg_protocol(args), &scenario);
+    print_report(&report);
+    println!("\nmonitor alerts:");
+    let alerts = monitor::analyze(&report);
+    if alerts.is_empty() {
+        println!("  (none)");
+    }
+    for alert in alerts {
+        println!("  {alert}");
+    }
+}
+
+fn cmd_sweep(args: &[String]) {
+    let protocol = arg_protocol(args);
+    let base = base_scenario(args);
+    println!("{:>10} {:>12}", "Mbit/s", "latency (s)");
+    for mbps in [250.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.5] {
+        let scenario = Scenario {
+            bandwidth_bps: mbps * 1e6,
+            ..base.clone()
+        };
+        let report = run(protocol, &scenario);
+        let cell = report
+            .success
+            .then_some(report.network_time_secs)
+            .flatten()
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "FAIL".into());
+        println!("{mbps:>10} {cell:>12}");
+    }
+}
+
+fn cmd_cost(args: &[String]) {
+    let model = AttackCostModel {
+        targets: arg_u64(args, "--targets", 5) as usize,
+        flood_mbps: arg_f64(args, "--flood", 240.0),
+        minutes_per_run: arg_f64(args, "--minutes", 5.0),
+        runs_per_hour: 1.0,
+        pricing: Default::default(),
+    };
+    println!("cost per breached run : ${:.4}", model.cost_per_run());
+    println!("cost per month        : ${:.2}", model.cost_per_month());
+}
+
+fn cmd_monitor(args: &[String]) {
+    let scenario = base_scenario(args);
+    for protocol in [
+        ProtocolKind::Current,
+        ProtocolKind::Synchronous,
+        ProtocolKind::Icps,
+    ] {
+        let report = run(protocol, &scenario);
+        let alerts = monitor::analyze(&report);
+        println!(
+            "{:<12} success={} alerts={}",
+            protocol.to_string(),
+            report.success,
+            alerts.len()
+        );
+        for alert in alerts {
+            println!("  {alert}");
+        }
+    }
+}
+
+const USAGE: &str = "usage: dirsim <run|attack|sweep|cost|monitor> [options]
+  run     --protocol current|synchronous|icps --relays N --bandwidth MBPS --seed N [--real-docs]
+  attack  …run options… --targets K --duration SECS --residual MBPS
+  sweep   --protocol P --relays N
+  cost    --targets K --flood MBPS --minutes M
+  monitor --relays N --seed N";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args),
+        Some("attack") => cmd_attack(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("cost") => cmd_cost(&args),
+        Some("monitor") => cmd_monitor(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

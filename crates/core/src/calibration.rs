@@ -1,0 +1,147 @@
+//! Calibration constants anchoring the simulation to the paper's setting.
+//!
+//! The paper's absolute numbers come from Shadow running the real Tor
+//! stack on a tornettools-generated network; ours come from a fluid-flow
+//! simulator. These constants (documented in `DESIGN.md`) fix the shared
+//! quantities; `EXPERIMENTS.md` records where the resulting absolute
+//! numbers land relative to the paper's.
+
+use partialtor_simnet::SimDuration;
+
+/// The lock-step round length Δ of the deployed directory protocol
+/// (§3.2: "the currently deployed parameter of 150 s").
+pub const ROUND_SECS: u64 = 150;
+
+/// Lock-step round length as a duration.
+pub const fn round_duration() -> SimDuration {
+    SimDuration::from_secs(ROUND_SECS)
+}
+
+/// Number of lock-step rounds per protocol run (Fig. 4).
+pub const LOCKSTEP_ROUNDS: u64 = 4;
+
+/// The paper's authority link capacity estimate (§4.3): 250 Mbit/s.
+pub const AUTHORITY_LINK_BPS: f64 = 250e6;
+
+/// Residual bandwidth available to a DDoS victim (§4.3, after Jansen et
+/// al.): 0.5 Mbit/s.
+pub const ATTACK_RESIDUAL_BPS: f64 = 0.5e6;
+
+/// Fixed overhead of a vote document (header, authority certs), bytes.
+pub const VOTE_BASE_BYTES: u64 = 20 * 1024;
+
+/// Marginal vote size per listed relay, bytes (status lines, descriptor
+/// digests, measurement metadata).
+pub const VOTE_PER_RELAY_BYTES: u64 = 640;
+
+/// Background directory-service load per listed relay, bits/s, at each
+/// authority: descriptor uploads, consensus and descriptor fetches from
+/// caches and clients. The January 2021 outage report (paper §2.1) shows
+/// this load reaching hundreds of Mbit/s under fetch storms; the nominal
+/// value here (≈ 6.6 Mbit/s at 8 000 relays) anchors the Fig. 7 bandwidth
+/// requirement.
+pub const BG_PER_RELAY_BPS: f64 = 830.0;
+
+/// Fraction of the link the voting path retains under background
+/// contention (Tor's scheduler keeps serving the dirauth protocol even
+/// when client traffic would otherwise saturate the link).
+pub const PROTOCOL_SHARE_FLOOR: f64 = 0.2;
+
+/// Bandwidth effectively available to the directory protocol on a link of
+/// `link_bps` at an authority serving `relays` relays' background
+/// directory traffic.
+///
+/// # Examples
+///
+/// ```
+/// use partialtor::calibration::effective_bandwidth;
+/// // A 250 Mbit/s authority loses ~6.6 Mbit/s to background traffic.
+/// let eff = effective_bandwidth(250e6, 8_000);
+/// assert!(eff > 240e6 && eff < 250e6);
+/// // A starved victim keeps the floor share.
+/// assert_eq!(effective_bandwidth(1e6, 8_000), 0.2e6);
+/// ```
+pub fn effective_bandwidth(link_bps: f64, relays: u64) -> f64 {
+    let background = BG_PER_RELAY_BPS * relays as f64;
+    (link_bps - background).max(PROTOCOL_SHARE_FLOOR * link_bps)
+}
+
+/// Synthetic vote-document size for a network with `relays` relays.
+///
+/// # Examples
+///
+/// ```
+/// use partialtor::calibration::vote_size_bytes;
+/// assert!(vote_size_bytes(8_000) > 5 * 1000 * 1000);
+/// ```
+pub const fn vote_size_bytes(relays: u64) -> u64 {
+    VOTE_BASE_BYTES + relays * VOTE_PER_RELAY_BYTES
+}
+
+/// Number of directory authorities (n).
+pub const N_AUTHORITIES: usize = 9;
+
+/// Majority threshold for consensus validity: > n/2 signatures.
+pub const fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// Fault tolerance of the partial-synchrony protocol: largest f with
+/// n ≥ 3f + 1.
+pub const fn partial_synchrony_f(n: usize) -> usize {
+    (n - 1) / 3
+}
+
+/// Wire-encoding overhead factor of Luo et al.'s synchronous prototype's
+/// vote packs: per-list signature envelopes and text re-encoding roughly
+/// double the transmitted pack bytes. The paper observes that the
+/// prototype "fares worse" than the current protocol and attributes this
+/// to "the increased complexity in their implementation" (§6.2).
+pub const SYNC_PACK_OVERHEAD_FACTOR: u64 = 2;
+
+/// Base timeout of the BFT agreement rounds, milliseconds. Generous enough
+/// for WAN latencies, small against the 150 s lock-step rounds.
+pub const BFT_BASE_TIMEOUT_MS: u64 = 5_000;
+
+/// Dissemination timeout Δ of the ICPS protocol (the paper reuses the
+/// deployed 150 s bound as its post-GST Δ).
+pub const fn dissemination_timeout() -> SimDuration {
+    SimDuration::from_secs(ROUND_SECS)
+}
+
+/// How long after a failed run the lock-step protocols retry (§6.2:
+/// "the fallback mechanism that reruns the protocol after 30 minutes").
+pub const FALLBACK_RETRY_SECS: u64 = 30 * 60;
+
+/// Consensus documents become invalid three hours after generation;
+/// sustained failure for this long halts the Tor network (§2.1).
+pub const CONSENSUS_VALID_SECS: u64 = 3 * 3600;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vote_size_is_affine_in_relays() {
+        let d1 = vote_size_bytes(1_000);
+        let d2 = vote_size_bytes(2_000);
+        let d3 = vote_size_bytes(3_000);
+        assert_eq!(d3 - d2, d2 - d1);
+        assert_eq!(d2 - d1, 1_000 * VOTE_PER_RELAY_BYTES);
+    }
+
+    #[test]
+    fn thresholds_for_nine_authorities() {
+        assert_eq!(majority(9), 5, "5 of 9 signatures make a consensus valid");
+        assert_eq!(partial_synchrony_f(9), 2, "ICPS tolerates 2 of 9 faulty");
+        // Bounded-synchrony tolerance (n−1)/2 = 4, per the paper's §2.2
+        // comparison.
+        assert_eq!((N_AUTHORITIES - 1) / 2, 4);
+    }
+
+    #[test]
+    fn paper_figures() {
+        assert_eq!(ROUND_SECS * LOCKSTEP_ROUNDS, 600, "10-minute protocol");
+        assert_eq!(CONSENSUS_VALID_SECS, 10_800);
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's headline claim as a timeline: sustained five-minute hourly
+//! DDoS windows bring the whole Tor network down three hours after the
+//! last valid consensus (§2.1), at $53.28/month.
+//!
+//! Simulates a day of hourly consensus runs. Under attack, the current
+//! protocol fails every run; clients keep using the last document until
+//! its three-hour validity expires — then the network is dead. The ICPS
+//! protocol regenerates a document a few seconds after every attack
+//! window, so the network never goes down.
+
+use crate::attack::DdosAttack;
+use crate::calibration::CONSENSUS_VALID_SECS;
+use crate::protocols::ProtocolKind;
+use crate::runner::{run, Scenario};
+use serde::Serialize;
+
+/// One hourly run in the timeline.
+#[derive(Clone, Debug, Serialize)]
+pub struct HourRow {
+    /// Hour index (run starts at `hour * 3600` s).
+    pub hour: u64,
+    /// Whether the run produced a valid consensus.
+    pub produced: bool,
+    /// Offset within the hour at which it became valid, seconds.
+    pub valid_at_offset_secs: Option<f64>,
+    /// Whether the network still has any unexpired consensus at the end
+    /// of this hour.
+    pub network_alive: bool,
+}
+
+/// The availability timeline of one protocol under sustained attack.
+#[derive(Clone, Debug, Serialize)]
+pub struct AvailabilityResult {
+    /// Protocol label.
+    pub protocol: String,
+    /// Hourly rows.
+    pub rows: Vec<HourRow>,
+    /// First simulated second at which the network was dead, if ever.
+    pub death_at_secs: Option<u64>,
+}
+
+/// Simulates `hours` hourly runs with a five-minute attack window at the
+/// start of each, and tracks document validity.
+pub fn timeline(protocol: ProtocolKind, hours: u64, seed: u64) -> AvailabilityResult {
+    // The last pre-attack consensus was generated at t = 0 (the attack
+    // begins with the run of hour 1).
+    let mut last_valid_consensus_at: i64 = 0;
+    let mut rows = Vec::new();
+    let mut death_at_secs = None;
+
+    for hour in 1..=hours {
+        let scenario = Scenario {
+            seed: seed.wrapping_add(hour),
+            relays: 8_000,
+            attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+            ..Scenario::default()
+        };
+        let report = run(protocol, &scenario);
+        let produced = report.success;
+        let valid_at_offset_secs = report.last_valid_secs;
+        if produced {
+            let offset = valid_at_offset_secs.unwrap_or(0.0) as i64;
+            last_valid_consensus_at = (hour * 3600) as i64 + offset;
+        }
+        // Network is alive at the end of this hour iff some consensus is
+        // still within its three-hour validity.
+        let end_of_hour = ((hour + 1) * 3600) as i64;
+        let network_alive =
+            end_of_hour - last_valid_consensus_at <= CONSENSUS_VALID_SECS as i64;
+        if !network_alive && death_at_secs.is_none() {
+            death_at_secs = Some((last_valid_consensus_at + CONSENSUS_VALID_SECS as i64) as u64);
+        }
+        rows.push(HourRow {
+            hour,
+            produced,
+            valid_at_offset_secs,
+            network_alive,
+        });
+    }
+
+    AvailabilityResult {
+        protocol: protocol.to_string(),
+        rows,
+        death_at_secs,
+    }
+}
+
+/// Runs the timeline for the current and ICPS protocols.
+pub fn run_experiment(hours: u64, seed: u64) -> Vec<AvailabilityResult> {
+    vec![
+        timeline(ProtocolKind::Current, hours, seed),
+        timeline(ProtocolKind::Icps, hours, seed),
+    ]
+}
+
+/// Renders the timelines.
+pub fn render(results: &[AvailabilityResult]) -> String {
+    let mut out = String::new();
+    out.push_str("=== Network availability under sustained hourly DDoS ===\n");
+    out.push_str("(5 victims × 5 minutes at the start of every hourly run; $53.28/month)\n");
+    for result in results {
+        out.push_str(&format!("\n--- {} ---\n", result.protocol));
+        out.push_str(&format!(
+            "{:>5} {:>10} {:>16} {:>14}\n",
+            "hour", "consensus", "valid at (+s)", "network alive"
+        ));
+        for row in &result.rows {
+            out.push_str(&format!(
+                "{:>5} {:>10} {:>16} {:>14}\n",
+                row.hour,
+                if row.produced { "ok" } else { "FAILED" },
+                row.valid_at_offset_secs
+                    .map(|t| format!("{t:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+                if row.network_alive { "yes" } else { "DOWN" },
+            ));
+        }
+        match result.death_at_secs {
+            Some(t) => out.push_str(&format!(
+                "network down from t = {t} s ({:.1} h) onwards\n",
+                t as f64 / 3600.0
+            )),
+            None => out.push_str("network stayed up for the whole period\n"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_attack_kills_current_in_three_hours() {
+        let result = timeline(ProtocolKind::Current, 5, 31);
+        assert!(result.rows.iter().all(|r| !r.produced), "every run fails");
+        // Last valid document from t = 0 expires at t = 3 h.
+        assert_eq!(result.death_at_secs, Some(CONSENSUS_VALID_SECS));
+        assert!(!result.rows.last().unwrap().network_alive);
+    }
+
+    #[test]
+    fn icps_stays_up_indefinitely() {
+        let result = timeline(ProtocolKind::Icps, 5, 31);
+        assert!(result.rows.iter().all(|r| r.produced), "every run succeeds");
+        assert!(result.rows.iter().all(|r| r.network_alive));
+        assert_eq!(result.death_at_secs, None);
+        // Each document appears shortly after the five-minute window.
+        for row in &result.rows {
+            let t = row.valid_at_offset_secs.unwrap();
+            assert!((300.0..400.0).contains(&t), "hour {}: {t}", row.hour);
+        }
+    }
+}

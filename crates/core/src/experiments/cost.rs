@@ -1,0 +1,90 @@
+//! §4.3: the attack-cost table.
+//!
+//! $0.00074 per Mbit/s per hour of stressor traffic; 5 authorities at 240
+//! Mbit/s for 5 minutes per hourly run → $0.074 per breached run, $53.28
+//! per month of sustained outage.
+
+use crate::attack::AttackCostModel;
+use serde::Serialize;
+
+/// One cost-model row.
+#[derive(Clone, Debug, Serialize)]
+pub struct CostRow {
+    /// Scenario description.
+    pub scenario: String,
+    /// Targets attacked.
+    pub targets: usize,
+    /// Flood rate per target, Mbit/s.
+    pub flood_mbps: f64,
+    /// Cost per breached consensus run, dollars.
+    pub per_run_usd: f64,
+    /// Cost per month of sustained outage, dollars.
+    pub per_month_usd: f64,
+}
+
+/// The cost table.
+#[derive(Clone, Debug, Serialize)]
+pub struct CostResult {
+    /// Rows, headline first.
+    pub rows: Vec<CostRow>,
+}
+
+fn row(scenario: &str, model: AttackCostModel) -> CostRow {
+    CostRow {
+        scenario: scenario.to_string(),
+        targets: model.targets,
+        flood_mbps: model.flood_mbps,
+        per_run_usd: model.cost_per_run(),
+        per_month_usd: model.cost_per_month(),
+    }
+}
+
+/// Builds the headline cost plus sensitivity rows.
+pub fn run_experiment() -> CostResult {
+    let paper = AttackCostModel::paper();
+    let mut all_nine = paper;
+    all_nine.targets = 9;
+    let mut gigabit = paper;
+    gigabit.flood_mbps = 990.0; // 1 Gbit/s links instead of 250 Mbit/s
+    let mut longer = paper;
+    longer.minutes_per_run = 10.0; // doubled protocol window
+
+    CostResult {
+        rows: vec![
+            row("paper headline (5 × 240 Mbit/s, 5 min hourly)", paper),
+            row("all nine authorities", all_nine),
+            row("1 Gbit/s authority links", gigabit),
+            row("10-minute attack window", longer),
+        ],
+    }
+}
+
+/// Renders the table.
+pub fn render(result: &CostResult) -> String {
+    let mut out = String::new();
+    out.push_str("=== §4.3: DDoS-for-hire attack cost ===\n\n");
+    out.push_str(&format!(
+        "{:<48} {:>7} {:>10} {:>10} {:>12}\n",
+        "scenario", "targets", "Mbit/s", "$/run", "$/month"
+    ));
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:<48} {:>7} {:>10.0} {:>10.3} {:>12.2}\n",
+            row.scenario, row.targets, row.flood_mbps, row.per_run_usd, row.per_month_usd
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_row_matches_paper() {
+        let result = run_experiment();
+        let headline = &result.rows[0];
+        assert!((headline.per_run_usd - 0.074).abs() < 1e-9);
+        assert!((headline.per_month_usd - 53.28).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment drivers: one module per table/figure of the paper's
+//! evaluation.
+//!
+//! Each driver returns structured rows (serde-serializable) and offers a
+//! `render` helper that prints the same rows/series the paper reports.
+//! The `partialtor-bench` crate wraps each driver in a binary.
+
+pub mod ablations;
+pub mod availability;
+pub mod cost;
+pub mod diff_savings;
+pub mod fig10_latency;
+pub mod fig11_recovery;
+pub mod fig1_attack_log;
+pub mod fig6_relays;
+pub mod fig7_bandwidth;
+pub mod table1_complexity;
+pub mod table2_rounds;

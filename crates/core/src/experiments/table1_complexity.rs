@@ -1,0 +1,187 @@
+//! Table 1: communication-complexity comparison of the three protocols.
+//!
+//! The paper states the asymptotics analytically; we *measure* bytes on
+//! the wire while scaling (a) the committee size n at fixed document size
+//! and (b) the document size d at fixed n, then fit the growth exponents
+//! by least squares on the log–log series. The document-size exponent is
+//! 1 for all three designs; the committee-size exponent separates the
+//! n²d (Current, Ours) from the n³d (Synchronous) designs.
+
+use crate::protocols::ProtocolKind;
+use crate::runner::{run, Scenario};
+use serde::Serialize;
+
+/// One measured cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Cell {
+    /// Protocol label.
+    pub protocol: String,
+    /// Committee size.
+    pub n: usize,
+    /// Relay count (proxy for document size d).
+    pub relays: u64,
+    /// Total bytes enqueued on all uplinks.
+    pub total_bytes: u64,
+}
+
+/// The measured table plus fitted exponents.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Result {
+    /// Raw measurements.
+    pub cells: Vec<Table1Cell>,
+    /// Fitted exponent of n (document-dominated regime) per protocol.
+    pub n_exponent: Vec<(String, f64)>,
+    /// Fitted exponent of d per protocol.
+    pub d_exponent: Vec<(String, f64)>,
+    /// The paper's analytic claims for reference.
+    pub paper_claims: Vec<(String, String)>,
+}
+
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Current,
+    ProtocolKind::Synchronous,
+    ProtocolKind::Icps,
+];
+
+fn measure(protocol: ProtocolKind, n: usize, relays: u64, seed: u64) -> u64 {
+    let scenario = Scenario {
+        seed,
+        n,
+        relays,
+        ..Scenario::default()
+    };
+    run(protocol, &scenario).total_tx_bytes
+}
+
+/// Least-squares slope of ln(y) on ln(x).
+fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Runs the measurements and fits.
+pub fn run_experiment(seed: u64) -> Table1Result {
+    let ns = [4usize, 7, 10, 13];
+    let relay_counts = [500u64, 1_000, 2_000, 4_000];
+    let mut cells = Vec::new();
+    let mut n_exponent = Vec::new();
+    let mut d_exponent = Vec::new();
+
+    for protocol in PROTOCOLS {
+        // Scale n at fixed d.
+        let mut n_points = Vec::new();
+        for &n in &ns {
+            let bytes = measure(protocol, n, 1_000, seed);
+            cells.push(Table1Cell {
+                protocol: protocol.to_string(),
+                n,
+                relays: 1_000,
+                total_bytes: bytes,
+            });
+            n_points.push((n as f64, bytes as f64));
+        }
+        n_exponent.push((protocol.to_string(), loglog_slope(&n_points)));
+
+        // Scale d at fixed n.
+        let mut d_points = Vec::new();
+        for &relays in &relay_counts {
+            let bytes = measure(protocol, 9, relays, seed);
+            cells.push(Table1Cell {
+                protocol: protocol.to_string(),
+                n: 9,
+                relays,
+                total_bytes: bytes,
+            });
+            d_points.push((crate::calibration::vote_size_bytes(relays) as f64, bytes as f64));
+        }
+        d_exponent.push((protocol.to_string(), loglog_slope(&d_points)));
+    }
+
+    Table1Result {
+        cells,
+        n_exponent,
+        d_exponent,
+        paper_claims: vec![
+            (
+                "Current".into(),
+                "Bounded synchrony, insecure [23], O(n²d + n²κ)".into(),
+            ),
+            (
+                "Synchronous".into(),
+                "Bounded synchrony, interactive consistency, O(n³d + n⁴κ)".into(),
+            ),
+            (
+                "Ours".into(),
+                "Partial synchrony, IC under partial synchrony, O(n²d + n⁴κ)".into(),
+            ),
+        ],
+    }
+}
+
+/// Renders the table.
+pub fn render(result: &Table1Result) -> String {
+    let mut out = String::new();
+    out.push_str("=== Table 1: communication complexity (measured) ===\n\n");
+    out.push_str(&format!(
+        "{:<12} {:>4} {:>7} {:>14}\n",
+        "protocol", "n", "relays", "bytes on wire"
+    ));
+    for cell in &result.cells {
+        out.push_str(&format!(
+            "{:<12} {:>4} {:>7} {:>14}\n",
+            cell.protocol, cell.n, cell.relays, cell.total_bytes
+        ));
+    }
+    out.push_str("\nfitted growth exponents (document-dominated regime):\n");
+    for ((p, ne), (_, de)) in result.n_exponent.iter().zip(&result.d_exponent) {
+        out.push_str(&format!("  {p:<12} bytes ~ n^{ne:.2} · d^{de:.2}\n"));
+    }
+    out.push_str("\npaper claims:\n");
+    for (p, claim) in &result.paper_claims {
+        out.push_str(&format!("  {p:<12} {claim}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loglog_slope_recovers_powers() {
+        let quadratic: Vec<(f64, f64)> = (2..10).map(|x| (x as f64, (x * x) as f64)).collect();
+        assert!((loglog_slope(&quadratic) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synchronous_scales_one_power_worse_in_n() {
+        // Compare bytes at n = 4 vs n = 13 with documents dominating.
+        let cur4 = measure(ProtocolKind::Current, 4, 1_000, 3) as f64;
+        let cur13 = measure(ProtocolKind::Current, 13, 1_000, 3) as f64;
+        let syn4 = measure(ProtocolKind::Synchronous, 4, 1_000, 3) as f64;
+        let syn13 = measure(ProtocolKind::Synchronous, 13, 1_000, 3) as f64;
+        let current_growth = cur13 / cur4;
+        let sync_growth = syn13 / syn4;
+        assert!(
+            sync_growth > current_growth * 2.0,
+            "sync should grow ≈ n× faster: {current_growth:.1} vs {sync_growth:.1}"
+        );
+    }
+
+    #[test]
+    fn document_scaling_is_linear() {
+        let a = measure(ProtocolKind::Icps, 9, 1_000, 3) as f64;
+        let b = measure(ProtocolKind::Icps, 9, 4_000, 3) as f64;
+        // d(4000)/d(1000) ≈ 3.9; bytes should scale by roughly that.
+        let ratio = b / a;
+        assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+}

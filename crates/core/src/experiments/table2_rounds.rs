@@ -1,0 +1,95 @@
+//! Table 2: round complexity of each ICPS sub-protocol.
+//!
+//! Dissemination takes 2 rounds (DOCUMENT, PROPOSAL), aggregation 2
+//! (fetch request/response — skipped entirely when the dissemination
+//! broadcast already delivered every document), and agreement is
+//! protocol-specific: 5 message rounds for the two-chain HotStuff variant
+//! with a good leader and no GST, giving the paper's 9-round total.
+
+use crate::protocols::ProtocolKind;
+use crate::runner::{run, Scenario};
+use serde::Serialize;
+
+/// The table plus the measured agreement behaviour.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Result {
+    /// (sub-protocol, rounds) rows as the paper states them.
+    pub rows: Vec<(String, String)>,
+    /// Measured: the BFT round whose two-chain committed (0 = first view,
+    /// i.e. the happy path).
+    pub measured_decided_round: u64,
+    /// Measured: fetch messages sent during aggregation (0 when the
+    /// broadcast already delivered everything).
+    pub measured_fetch_messages: u64,
+    /// Total overhead rounds vs. the bare agreement protocol.
+    pub overhead_rounds: u64,
+}
+
+/// Runs a healthy scenario and extracts the round accounting.
+pub fn run_experiment(seed: u64) -> Table2Result {
+    let scenario = Scenario {
+        seed,
+        relays: 2_000,
+        ..Scenario::default()
+    };
+    let report = run(ProtocolKind::Icps, &scenario);
+    assert!(report.success, "healthy run must succeed");
+    let fetches = report
+        .by_kind
+        .get("FETCH-REQ")
+        .map(|(_, count)| *count)
+        .unwrap_or(0);
+    // Measured directly: the view in which the two-chain committed,
+    // maximized across authorities (they can only differ before GST).
+    let decided_round = report
+        .authorities
+        .iter()
+        .filter_map(|a| a.decided_round)
+        .max()
+        .expect("successful run decides");
+    Table2Result {
+        rows: vec![
+            ("Dissemination".into(), "2".into()),
+            ("Agreement".into(), "protocol-specific (5 for two-chain HotStuff)".into()),
+            ("Aggregation".into(), "2".into()),
+        ],
+        measured_decided_round: decided_round,
+        measured_fetch_messages: fetches,
+        overhead_rounds: 4,
+    }
+}
+
+/// Renders the table.
+pub fn render(result: &Table2Result) -> String {
+    let mut out = String::new();
+    out.push_str("=== Table 2: rounds of each sub-protocol (no GST) ===\n\n");
+    out.push_str(&format!("{:<16} {}\n", "Sub-Protocol", "Rounds"));
+    for (name, rounds) in &result.rows {
+        out.push_str(&format!("{name:<16} {rounds}\n"));
+    }
+    out.push_str(&format!(
+        "\nmeasured: two-chain committed in view {} (0 = happy path), \
+         {} fetch messages during aggregation\n",
+        result.measured_decided_round, result.measured_fetch_messages
+    ));
+    out.push_str(&format!(
+        "overhead vs. bare agreement: {} rounds (9 total with 5-round HotStuff)\n",
+        result.overhead_rounds
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_measured() {
+        let result = run_experiment(17);
+        assert_eq!(result.measured_decided_round, 0, "expected happy path");
+        assert_eq!(result.overhead_rounds, 4);
+        // Documents were broadcast during dissemination, so aggregation
+        // needs no fetches on the healthy network.
+        assert_eq!(result.measured_fetch_messages, 0);
+    }
+}

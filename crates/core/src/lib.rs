@@ -1,0 +1,54 @@
+//! `partialtor` — interactive consistency under partial synchrony for the
+//! Tor directory protocol.
+//!
+//! This crate is the reproduction's core: it implements the paper's
+//! contribution (the ICPS directory protocol of §5) together with both
+//! baselines (the deployed v3 protocol and Luo et al.'s synchronous
+//! protocol), the §4 DDoS attack and cost model, and the experiment
+//! drivers that regenerate every table and figure of the evaluation.
+//!
+//! # Layout
+//!
+//! * [`calibration`] — the constants anchoring simulation to the paper;
+//! * [`document`] — vote documents in transit (real or synthetic);
+//! * [`signing`] — signature domains shared by the protocols;
+//! * [`protocols`] — the three directory protocols as simulation nodes;
+//! * [`attack`] — the bandwidth-DDoS model and the §4.3 cost arithmetic;
+//! * [`monitor`] — the consensus-health monitor of Table 1's footnote;
+//! * [`runner`] — scenario orchestration returning uniform reports;
+//! * [`experiments`] — one driver per paper table/figure (plus ablations).
+//!
+//! # Examples
+//!
+//! Reproducing the headline result — five minutes of DDoS breaks the
+//! deployed protocol, while the ICPS protocol recovers within seconds of
+//! the attack ending:
+//!
+//! ```
+//! use partialtor::attack::DdosAttack;
+//! use partialtor::protocols::ProtocolKind;
+//! use partialtor::runner::{run, Scenario};
+//!
+//! let scenario = Scenario {
+//!     relays: 8_000,
+//!     attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+//!     ..Scenario::default()
+//! };
+//! assert!(!run(ProtocolKind::Current, &scenario).success);
+//! assert!(run(ProtocolKind::Icps, &scenario).success);
+//! ```
+
+pub mod attack;
+pub mod authority_log;
+pub mod calibration;
+pub mod document;
+pub mod experiments;
+pub mod monitor;
+pub mod protocols;
+pub mod runner;
+pub mod signing;
+
+pub use attack::{AttackCostModel, DdosAttack, StressorPricing};
+pub use document::DirDocument;
+pub use protocols::ProtocolKind;
+pub use runner::{run, AuthorityReport, RunReport, Scenario};

@@ -1,0 +1,236 @@
+//! The consensus-health monitor.
+//!
+//! Table 1 of the paper notes: "An emergency fix by Luo et al. that uses a
+//! monitor to detect the attack on the current protocol has been applied
+//! to the current Tor consensus health monitor [35]." This module
+//! implements that monitor: it watches the outcome of a directory-protocol
+//! run and raises alerts for the failure signatures the paper discusses —
+//! consensus failure (the DDoS symptom), digest divergence, and the
+//! equivocation fingerprint of two *conflicting valid* consensuses.
+//!
+//! Detection is not prevention: the monitor pages the operators (as the
+//! deployed one does), it does not make the protocol safe — that is the
+//! point of the paper's redesign.
+
+use crate::calibration;
+use crate::runner::RunReport;
+use partialtor_crypto::Digest32;
+use std::collections::BTreeMap;
+
+/// An anomaly raised by the monitor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HealthAlert {
+    /// No authority obtained a valid consensus — the network will go
+    /// stale in one hour and invalid in three (§2.1).
+    ConsensusFailure {
+        /// Authorities that produced any digest at all.
+        digests_seen: usize,
+    },
+    /// Authorities computed different consensus digests (fragmented vote
+    /// sets: the precondition of both the DDoS and equivocation attacks).
+    DigestDivergence {
+        /// Distinct digests and how many authorities back each.
+        camps: Vec<(Digest32, usize)>,
+    },
+    /// Two or more *conflicting* digests each reached a signature
+    /// majority — the Luo et al. equivocation attack succeeded.
+    ConflictingValidConsensuses {
+        /// The valid digests.
+        digests: Vec<Digest32>,
+    },
+    /// An authority failed to finish while the rest succeeded (possible
+    /// targeted attack on that authority).
+    LaggingAuthority {
+        /// The authority index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for HealthAlert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthAlert::ConsensusFailure { digests_seen } => write!(
+                f,
+                "CRITICAL: no valid consensus produced ({digests_seen} authorities computed a digest)"
+            ),
+            HealthAlert::DigestDivergence { camps } => {
+                write!(f, "WARNING: authorities split over {} digests", camps.len())
+            }
+            HealthAlert::ConflictingValidConsensuses { digests } => write!(
+                f,
+                "CRITICAL: {} conflicting consensuses each hold a signature majority (equivocation)",
+                digests.len()
+            ),
+            HealthAlert::LaggingAuthority { index } => {
+                write!(f, "NOTICE: authority {index} did not finish the run")
+            }
+        }
+    }
+}
+
+/// One authority's observable outcome, as the public monitor would see it
+/// (published digest, whether it serves a majority-signed document).
+#[derive(Clone, Copy, Debug)]
+pub struct ObservedOutcome {
+    /// The digest this authority serves, if any.
+    pub digest: Option<Digest32>,
+    /// Whether it holds a majority of matching signatures.
+    pub valid: bool,
+}
+
+/// Analyzes per-authority observations and returns alerts, most severe
+/// first.
+pub fn analyze_outcomes(outcomes: &[ObservedOutcome]) -> Vec<HealthAlert> {
+    let n = outcomes.len();
+    let mut alerts = Vec::new();
+
+    let mut camps: BTreeMap<Digest32, usize> = BTreeMap::new();
+    let mut valid_digests: BTreeMap<Digest32, usize> = BTreeMap::new();
+    for outcome in outcomes {
+        if let Some(digest) = outcome.digest {
+            *camps.entry(digest).or_default() += 1;
+            if outcome.valid {
+                *valid_digests.entry(digest).or_default() += 1;
+            }
+        }
+    }
+
+    let valid: Vec<Digest32> = valid_digests.keys().copied().collect();
+    if valid.len() >= 2 {
+        alerts.push(HealthAlert::ConflictingValidConsensuses {
+            digests: valid.clone(),
+        });
+    } else if valid.is_empty() {
+        alerts.push(HealthAlert::ConsensusFailure {
+            digests_seen: camps.values().sum(),
+        });
+    }
+
+    if camps.len() >= 2 {
+        alerts.push(HealthAlert::DigestDivergence {
+            camps: camps.into_iter().collect(),
+        });
+    }
+
+    // Lagging authorities only matter when the run otherwise succeeded.
+    if valid.len() == 1 {
+        let majority = calibration::majority(n);
+        let successes = outcomes.iter().filter(|o| o.valid).count();
+        if successes >= majority {
+            for (index, outcome) in outcomes.iter().enumerate() {
+                if !outcome.valid {
+                    alerts.push(HealthAlert::LaggingAuthority { index });
+                }
+            }
+        }
+    }
+
+    alerts
+}
+
+/// Analyzes a full run report.
+pub fn analyze(report: &RunReport) -> Vec<HealthAlert> {
+    let outcomes: Vec<ObservedOutcome> = report
+        .authorities
+        .iter()
+        .map(|a| ObservedOutcome {
+            digest: a.digest,
+            valid: a.success,
+        })
+        .collect();
+    analyze_outcomes(&outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::DdosAttack;
+    use crate::protocols::ProtocolKind;
+    use crate::runner::{run, Scenario};
+    use partialtor_crypto::sha256;
+
+    fn digest(tag: u8) -> Digest32 {
+        sha256::digest(&[tag])
+    }
+
+    #[test]
+    fn healthy_run_is_quiet() {
+        let scenario = Scenario {
+            relays: 1_000,
+            ..Scenario::default()
+        };
+        let report = run(ProtocolKind::Icps, &scenario);
+        assert!(analyze(&report).is_empty(), "{:?}", analyze(&report));
+    }
+
+    #[test]
+    fn ddos_run_raises_consensus_failure() {
+        let scenario = Scenario {
+            relays: 8_000,
+            attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+            ..Scenario::default()
+        };
+        let report = run(ProtocolKind::Current, &scenario);
+        let alerts = analyze(&report);
+        assert!(
+            matches!(alerts.first(), Some(HealthAlert::ConsensusFailure { .. })),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn equivocation_fingerprint_detected() {
+        // Four authorities valid on digest A, four on digest B, one on
+        // neither: the Luo et al. attack outcome.
+        let mut outcomes = Vec::new();
+        for _ in 0..4 {
+            outcomes.push(ObservedOutcome { digest: Some(digest(1)), valid: true });
+        }
+        for _ in 0..4 {
+            outcomes.push(ObservedOutcome { digest: Some(digest(2)), valid: true });
+        }
+        outcomes.push(ObservedOutcome { digest: None, valid: false });
+        let alerts = analyze_outcomes(&outcomes);
+        assert!(matches!(
+            alerts.first(),
+            Some(HealthAlert::ConflictingValidConsensuses { digests }) if digests.len() == 2
+        ));
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, HealthAlert::DigestDivergence { .. })));
+    }
+
+    #[test]
+    fn lagging_authority_noticed() {
+        let mut outcomes = vec![
+            ObservedOutcome {
+                digest: Some(digest(1)),
+                valid: true
+            };
+            8
+        ];
+        outcomes.push(ObservedOutcome { digest: None, valid: false });
+        let alerts = analyze_outcomes(&outcomes);
+        assert_eq!(alerts, vec![HealthAlert::LaggingAuthority { index: 8 }]);
+    }
+
+    #[test]
+    fn divergence_without_majority_is_failure_plus_divergence() {
+        // 3/3/3 split, nobody valid.
+        let mut outcomes = Vec::new();
+        for tag in 1..=3u8 {
+            for _ in 0..3 {
+                outcomes.push(ObservedOutcome { digest: Some(digest(tag)), valid: false });
+            }
+        }
+        let alerts = analyze_outcomes(&outcomes);
+        assert!(matches!(alerts[0], HealthAlert::ConsensusFailure { digests_seen: 9 }));
+        assert!(matches!(&alerts[1], HealthAlert::DigestDivergence { camps } if camps.len() == 3));
+    }
+
+    #[test]
+    fn alerts_render_human_readable() {
+        let alert = HealthAlert::ConsensusFailure { digests_seen: 4 };
+        assert!(alert.to_string().contains("CRITICAL"));
+    }
+}

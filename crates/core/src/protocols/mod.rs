@@ -1,0 +1,41 @@
+//! The three Tor directory protocols under evaluation.
+//!
+//! | Module | Paper name | Network model | Communication |
+//! |---|---|---|---|
+//! | [`current`] | Current [37] | bounded synchrony | O(n²d + n²κ) |
+//! | [`synchronous`] | Synchronous (Luo et al.) [23] | bounded synchrony | O(n³d + n⁴κ) |
+//! | [`icps`] | Our Work | partial synchrony | O(n²d + n⁴κ) |
+
+pub mod current;
+pub mod icps;
+pub mod synchronous;
+
+pub use current::{
+    AuthorityOutcome, CurrentAuthority, CurrentByzantineMode, CurrentConfig, CurrentMsg,
+};
+pub use icps::{
+    DigestVector, FetchPolicy, IcpsAuthority, IcpsByzantineMode, IcpsConfig, IcpsMsg, IcpsOutcome,
+    VectorEntry,
+};
+pub use synchronous::{Pack, SyncAuthority, SyncByzantineMode, SyncConfig, SyncMsg, SyncOutcome};
+
+/// Which protocol a scenario runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// The deployed v3 directory protocol.
+    Current,
+    /// Luo et al.'s synchronous protocol.
+    Synchronous,
+    /// Interactive consistency under partial synchrony (this paper).
+    Icps,
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolKind::Current => write!(f, "Current"),
+            ProtocolKind::Synchronous => write!(f, "Synchronous"),
+            ProtocolKind::Icps => write!(f, "Ours"),
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Byzantine-authority scenarios: the executable version of Table 1's
+//! security column.
+//!
+//! * The **current** protocol is insecure under equivocation (Luo et al.
+//!   [23]): one equivocating authority splits the honest vote sets and no
+//!   digest reaches a signature majority.
+//! * The **synchronous** protocol neutralizes the same behaviour: the
+//!   Dolev–Strong agreement on the designated pack gives every correct
+//!   authority the same vote set.
+//! * The **ICPS** protocol excludes the equivocator with an
+//!   `AbsentEquivocation` proof and still reaches agreement; silent and
+//!   selective-disclosure authorities exercise the ⊥-endorsement and
+//!   fetch paths.
+
+use partialtor::calibration::{self, vote_size_bytes};
+use partialtor::document::DirDocument;
+use partialtor::protocols::{
+    CurrentAuthority, CurrentByzantineMode, CurrentConfig, FetchPolicy, IcpsAuthority,
+    IcpsByzantineMode, IcpsConfig, SyncAuthority, SyncByzantineMode, SyncConfig, VectorEntry,
+};
+use partialtor_crypto::SigningKey;
+use partialtor_simnet::prelude::*;
+
+const N: usize = 9;
+const RELAYS: u64 = 1_000;
+
+fn committee(seed: u64) -> (Vec<SigningKey>, Vec<partialtor_crypto::VerifyingKey>) {
+    let signers: Vec<SigningKey> = (0..N)
+        .map(|i| SigningKey::from_seed([i as u8 + seed as u8 + 1; 32]))
+        .collect();
+    let keys = signers.iter().map(|k| k.verifying_key()).collect();
+    (signers, keys)
+}
+
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        default_up_bps: calibration::AUTHORITY_LINK_BPS,
+        default_down_bps: calibration::AUTHORITY_LINK_BPS,
+        wire_overhead_bytes: 64,
+        collect_logs: false,
+        latency_jitter: 0.0,
+    }
+}
+
+fn run_current_with(byz: CurrentByzantineMode) -> Simulation<CurrentAuthority> {
+    let (signers, keys) = committee(5);
+    let nodes: Vec<CurrentAuthority> = (0..N)
+        .map(|i| {
+            CurrentAuthority::new(CurrentConfig {
+                run_id: 60,
+                index: i as u8,
+                n: N,
+                round: calibration::round_duration(),
+                my_doc: DirDocument::synthetic(60, i as u8, vote_size_bytes(RELAYS)),
+                signing: signers[i].clone(),
+                keys: keys.clone(),
+                byzantine: if i == 0 { byz } else { CurrentByzantineMode::Honest },
+            })
+        })
+        .collect();
+    let mut sim = Simulation::new(authority_topology(5), nodes, sim_config(5));
+    sim.run_until(SimTime::from_secs(700));
+    sim
+}
+
+#[test]
+fn equivocation_breaks_the_current_protocol() {
+    let sim = run_current_with(CurrentByzantineMode::EquivocateVotes);
+    // The honest authorities split into two digest camps, and the
+    // equivocator countersigns both — so *two conflicting consensus
+    // documents* both collect a signature majority. This is exactly the
+    // safety violation of Luo et al. [23] that motivates the synchronous
+    // fix, and the reason the "Current" row of Table 1 reads "insecure".
+    let mut camps: std::collections::BTreeMap<_, usize> = std::collections::BTreeMap::new();
+    for i in 1..N {
+        let outcome = sim.node(NodeId(i)).outcome().expect("finished");
+        assert!(
+            outcome.success,
+            "each camp should reach a (conflicting) majority: {outcome:?}"
+        );
+        *camps.entry(outcome.digest.expect("digest")).or_default() += 1;
+    }
+    assert_eq!(
+        camps.len(),
+        2,
+        "two conflicting valid consensus documents must coexist: {camps:?}"
+    );
+    for (&digest, &count) in &camps {
+        assert_eq!(count, 4, "camp of {digest:?} should hold 4 honest members");
+    }
+}
+
+#[test]
+fn honest_baseline_for_comparison() {
+    let sim = run_current_with(CurrentByzantineMode::Honest);
+    let successes = (0..N)
+        .filter(|&i| sim.node(NodeId(i)).outcome().map(|o| o.success) == Some(true))
+        .count();
+    assert_eq!(successes, N);
+}
+
+#[test]
+fn synchronous_protocol_neutralizes_equivocation() {
+    let (signers, keys) = committee(6);
+    // Authority 3 equivocates; the designated sender (0) is honest.
+    let nodes: Vec<SyncAuthority> = (0..N)
+        .map(|i| {
+            SyncAuthority::new(SyncConfig {
+                run_id: 61,
+                index: i as u8,
+                n: N,
+                designated: 0,
+                round: calibration::round_duration(),
+                my_doc: DirDocument::synthetic(61, i as u8, vote_size_bytes(RELAYS)),
+                signing: signers[i].clone(),
+                keys: keys.clone(),
+                byzantine: if i == 3 {
+                    SyncByzantineMode::EquivocateProposal
+                } else {
+                    SyncByzantineMode::Honest
+                },
+            })
+        })
+        .collect();
+    let mut sim = Simulation::new(authority_topology(6), nodes, sim_config(6));
+    sim.run_until(SimTime::from_secs(700));
+
+    let digests: std::collections::BTreeSet<_> = (0..N)
+        .filter(|&i| i != 3)
+        .filter_map(|i| sim.node(NodeId(i)).outcome().and_then(|o| o.digest))
+        .collect();
+    assert_eq!(
+        digests.len(),
+        1,
+        "all correct authorities must aggregate the agreed pack identically"
+    );
+    let successes = (0..N)
+        .filter(|&i| i != 3)
+        .filter(|&i| sim.node(NodeId(i)).outcome().map(|o| o.success) == Some(true))
+        .count();
+    assert!(successes >= 5, "{successes} correct authorities succeeded");
+}
+
+fn build_icps(seed: u64, run_id: u64, byz: impl Fn(usize) -> IcpsByzantineMode) -> Simulation<IcpsAuthority> {
+    let (signers, keys) = committee(seed);
+    let nodes: Vec<IcpsAuthority> = (0..N)
+        .map(|i| {
+            IcpsAuthority::new(IcpsConfig {
+                run_id,
+                index: i as u8,
+                n: N,
+                f: calibration::partial_synchrony_f(N),
+                dissemination_timeout: calibration::dissemination_timeout(),
+                bft_timeout_ms: calibration::BFT_BASE_TIMEOUT_MS,
+                my_doc: DirDocument::synthetic(run_id, i as u8, vote_size_bytes(RELAYS)),
+                signing: signers[i].clone(),
+                keys: keys.clone(),
+                byzantine: byz(i),
+                fetch_policy: FetchPolicy::default(),
+            })
+        })
+        .collect();
+    let mut sim = Simulation::new(authority_topology(seed), nodes, sim_config(seed));
+    sim.run_until(SimTime::from_secs(3_600));
+    sim
+}
+
+fn assert_icps_agreement(sim: &Simulation<IcpsAuthority>, byzantine: &[usize]) {
+    let mut digests = std::collections::BTreeSet::new();
+    for i in 0..N {
+        if byzantine.contains(&i) {
+            continue;
+        }
+        let o = sim.node(NodeId(i)).outcome();
+        assert!(o.success, "honest authority {i} failed: {o:?}");
+        digests.insert(o.digest.expect("digest"));
+    }
+    assert_eq!(digests.len(), 1, "honest authorities diverged");
+}
+
+#[test]
+fn icps_excludes_an_equivocating_authority_with_proof() {
+    let sim = build_icps(7, 62, |i| {
+        if i == 2 {
+            IcpsByzantineMode::EquivocateDocuments
+        } else {
+            IcpsByzantineMode::Honest
+        }
+    });
+    assert_icps_agreement(&sim, &[2]);
+    // Every honest authority's decided vector carries an explicit
+    // equivocation (or at least a ⊥) entry for authority 2 — its document
+    // must never be part of the consensus.
+    let mut saw_equivocation_proof = false;
+    for i in [0usize, 1, 3, 4, 5, 6, 7, 8] {
+        let vector = sim
+            .node(NodeId(i))
+            .decided_vector()
+            .expect("honest node decided");
+        let entry = &vector.entries[2];
+        assert!(
+            entry.digest().is_none(),
+            "equivocator's document must be excluded at node {i}"
+        );
+        if matches!(entry, VectorEntry::AbsentEquivocation { .. }) {
+            saw_equivocation_proof = true;
+        }
+    }
+    assert!(
+        saw_equivocation_proof,
+        "at least one decided vector should carry the equivocation proof"
+    );
+}
+
+#[test]
+fn icps_handles_silent_authorities_with_bottom_endorsements() {
+    let silent = [4usize, 8];
+    let sim = build_icps(8, 63, |i| {
+        if silent.contains(&i) {
+            IcpsByzantineMode::Silent
+        } else {
+            IcpsByzantineMode::Honest
+        }
+    });
+    assert_icps_agreement(&sim, &silent);
+    let vector = sim.node(NodeId(0)).decided_vector().expect("decided");
+    for &s in &silent {
+        assert!(
+            matches!(&vector.entries[s], VectorEntry::AbsentTimeout { .. }),
+            "silent authority {s} must be ⊥ with timeout endorsements"
+        );
+    }
+    // Common set validity: at least n − f = 7 documents present.
+    assert!(vector.present().count() >= N - 2);
+}
+
+#[test]
+fn icps_selective_disclosure_forces_fetches_and_still_agrees() {
+    let f = calibration::partial_synchrony_f(N);
+    let sim = build_icps(9, 64, |i| {
+        if i == 1 {
+            // Disclose to exactly f + 1 peers: enough endorsements for a
+            // Present entry, but most nodes must fetch the bytes later.
+            IcpsByzantineMode::SelectiveSend(f + 1)
+        } else {
+            IcpsByzantineMode::Honest
+        }
+    });
+    assert_icps_agreement(&sim, &[1]);
+    let vector = sim.node(NodeId(0)).decided_vector().expect("decided");
+    if vector.entries[1].digest().is_some() {
+        // The selectively-disclosed document made it into the vector, so
+        // the aggregation sub-protocol must have fetched it somewhere.
+        let fetches = sim.metrics().by_kind().get("FETCH-REQ").map(|k| k.count);
+        assert!(
+            fetches.unwrap_or(0) > 0,
+            "fetch path must have been exercised: {:?}",
+            sim.metrics().by_kind()
+        );
+    } else {
+        // Otherwise it was excluded as ⊥ — also a valid outcome; the
+        // honest documents still form a valid common set.
+        assert!(vector.present().count() >= N - f);
+    }
+}
+
+#[test]
+fn icps_tolerates_equivocator_plus_silent_node() {
+    // f = 2 total faults of mixed kind.
+    let sim = build_icps(10, 65, |i| match i {
+        3 => IcpsByzantineMode::EquivocateDocuments,
+        6 => IcpsByzantineMode::Silent,
+        _ => IcpsByzantineMode::Honest,
+    });
+    assert_icps_agreement(&sim, &[3, 6]);
+}
+
+#[test]
+fn icps_is_robust_to_latency_jitter() {
+    // 40% propagation jitter on every message: agreement and validity
+    // must be unaffected (timing noise is not a fault).
+    let (signers, keys) = committee(12);
+    let nodes: Vec<IcpsAuthority> = (0..N)
+        .map(|i| {
+            IcpsAuthority::new(IcpsConfig {
+                run_id: 66,
+                index: i as u8,
+                n: N,
+                f: calibration::partial_synchrony_f(N),
+                dissemination_timeout: calibration::dissemination_timeout(),
+                bft_timeout_ms: calibration::BFT_BASE_TIMEOUT_MS,
+                my_doc: DirDocument::synthetic(66, i as u8, vote_size_bytes(RELAYS)),
+                signing: signers[i].clone(),
+                keys: keys.clone(),
+                byzantine: IcpsByzantineMode::Honest,
+                fetch_policy: FetchPolicy::default(),
+            })
+        })
+        .collect();
+    let config = SimConfig {
+        latency_jitter: 0.4,
+        ..sim_config(12)
+    };
+    let mut sim = Simulation::new(authority_topology(12), nodes, config);
+    sim.run_until(SimTime::from_secs(3_600));
+    assert_icps_agreement(&sim, &[]);
+}

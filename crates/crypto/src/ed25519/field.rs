@@ -1,0 +1,365 @@
+//! Arithmetic in GF(2^255 − 19), the Ed25519 base field.
+//!
+//! Elements are stored as four little-endian 64-bit limbs, kept fully
+//! reduced (< p) after every operation. Multiplication produces a 512-bit
+//! intermediate that is folded with the identity 2^255 ≡ 19 (mod p).
+
+/// The field prime p = 2^255 − 19, as little-endian limbs.
+pub const P: [u64; 4] = [
+    0xffffffffffffffed,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0x7fffffffffffffff,
+];
+
+/// The curve constant d = −121665/121666 (mod p).
+pub const D: [u64; 4] = [
+    0x75eb4dca135978a3,
+    0x00700a4d4141d8ab,
+    0x8cc740797779e898,
+    0x52036cee2b6ffe73,
+];
+
+/// sqrt(−1) = 2^((p−1)/4) (mod p), used during point decompression.
+pub const SQRT_M1: [u64; 4] = [
+    0xc4ee1b274a0ea0b0,
+    0x2f431806ad2fe478,
+    0x2b4d00993dfbd7a7,
+    0x2b8324804fc1df0b,
+];
+
+/// Exponent p − 2, used for inversion via Fermat's little theorem.
+const P_MINUS_2: [u64; 4] = [
+    0xffffffffffffffeb,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0x7fffffffffffffff,
+];
+
+/// Exponent (p − 5)/8 = 2^252 − 3, used for the square-root candidate.
+const P58: [u64; 4] = [
+    0xfffffffffffffffd,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0x0fffffffffffffff,
+];
+
+/// Compares two little-endian 4-limb values, `true` if `a >= b`.
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// Subtracts `b` from `a` in place; caller guarantees `a >= b`.
+fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflow");
+}
+
+/// Schoolbook 4×4-limb multiplication into an 8-limb product.
+pub(crate) fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let cur = out[i + j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        out[i + 4] = carry as u64;
+    }
+    out
+}
+
+/// One fold of the reduction: splits at bit 255 and adds 19 × the high part.
+fn fold(x: &[u64; 8]) -> [u64; 8] {
+    let lo = [x[0], x[1], x[2], x[3] & 0x7fffffffffffffff];
+    let mut hi = [0u64; 5];
+    for i in 0..5 {
+        let low_bit = x[3 + i] >> 63;
+        let high_bits = if 4 + i < 8 { x[4 + i] << 1 } else { 0 };
+        hi[i] = low_bit | high_bits;
+    }
+    let mut out = [0u64; 8];
+    let mut carry: u128 = 0;
+    for i in 0..5 {
+        let lo_limb = if i < 4 { lo[i] as u128 } else { 0 };
+        let cur = (hi[i] as u128) * 19 + lo_limb + carry;
+        out[i] = cur as u64;
+        carry = cur >> 64;
+    }
+    out[5] = carry as u64;
+    out
+}
+
+/// Reduces a 512-bit value modulo p.
+fn reduce_wide(x: &[u64; 8]) -> [u64; 4] {
+    // Three folds bring any 512-bit value below 2^255; see the bound
+    // analysis in the module docs of the fold sizes.
+    let x = fold(&fold(&fold(x)));
+    debug_assert!(x[4..].iter().all(|&l| l == 0), "fold did not converge");
+    let mut r = [x[0], x[1], x[2], x[3]];
+    if geq(&r, &P) {
+        sub_in_place(&mut r, &P);
+    }
+    debug_assert!(!geq(&r, &P));
+    r
+}
+
+/// An element of GF(2^255 − 19), always fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FieldElement(pub(crate) [u64; 4]);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0]);
+
+    /// Constructs an element from little-endian limbs known to be < p.
+    ///
+    /// Only used for vetted curve constants; debug builds assert reduction.
+    pub(crate) const fn from_limbs_unchecked(limbs: [u64; 4]) -> Self {
+        FieldElement(limbs)
+    }
+
+    /// The curve constant d.
+    pub fn d() -> Self {
+        FieldElement(D)
+    }
+
+    /// sqrt(−1) mod p.
+    pub fn sqrt_m1() -> Self {
+        FieldElement(SQRT_M1)
+    }
+
+    /// Decodes 32 little-endian bytes; the top bit is ignored (it carries
+    /// the sign of x in compressed points). Returns `None` if the value is
+    /// not canonical (≥ p).
+    pub fn from_bytes_checked(bytes: &[u8; 32]) -> Option<Self> {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        limbs[3] &= 0x7fffffffffffffff;
+        if geq(&limbs, &P) {
+            return None;
+        }
+        Some(FieldElement(limbs))
+    }
+
+    /// Decodes 32 little-endian bytes, reducing modulo p.
+    pub fn from_bytes_reduced(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        let wide = [limbs[0], limbs[1], limbs[2], limbs[3], 0, 0, 0, 0];
+        FieldElement(reduce_wide(&wide))
+    }
+
+    /// Encodes the element as 32 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Field addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut r = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            r[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // Both inputs are < p < 2^255, so the sum is < 2^256 and fits.
+        debug_assert_eq!(carry, 0);
+        if geq(&r, &P) {
+            sub_in_place(&mut r, &P);
+        }
+        FieldElement(r)
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        // a − b = a + (p − b); p − b never underflows since b < p.
+        let mut p_minus_b = P;
+        sub_in_place(&mut p_minus_b, &rhs.0);
+        self.add(&FieldElement(p_minus_b))
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Self {
+        FieldElement::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        FieldElement(reduce_wide(&mul_wide(&self.0, &rhs.0)))
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Self {
+        self.mul(self)
+    }
+
+    /// Multiplies by a small constant.
+    pub fn mul_small(&self, k: u64) -> Self {
+        self.mul(&FieldElement([k, 0, 0, 0]))
+    }
+
+    /// Raises the element to the given 256-bit exponent (square-and-multiply).
+    pub fn pow(&self, exponent: &[u64; 4]) -> Self {
+        let mut acc = FieldElement::ONE;
+        for i in (0..256).rev() {
+            acc = acc.square();
+            if (exponent[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse; `0` maps to `0`.
+    pub fn invert(&self) -> Self {
+        self.pow(&P_MINUS_2)
+    }
+
+    /// Whether the element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// The low bit of the canonical encoding (the "sign" of x in RFC 8032).
+    pub fn is_odd(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Computes r = sqrt(u/v) if it exists.
+    ///
+    /// Returns `(true, r)` when u/v is a square (r chosen with unspecified
+    /// sign), `(true, 0)` when u = 0, and `(false, _)` when u/v is not a
+    /// square. This is the standard RFC 8032 decompression subroutine.
+    pub fn sqrt_ratio(u: &Self, v: &Self) -> (bool, Self) {
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut r = u.mul(&v3).mul(&u.mul(&v7).pow(&P58));
+        let check = v.mul(&r.square());
+        if check == *u {
+            return (true, r);
+        }
+        if check == u.neg() {
+            r = r.mul(&FieldElement::sqrt_m1());
+            return (true, r);
+        }
+        (false, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> FieldElement {
+        FieldElement([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(12345);
+        let b = fe(67890);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        // 0 − 1 = p − 1.
+        let got = FieldElement::ZERO.sub(&FieldElement::ONE);
+        let mut expect = P;
+        expect[0] -= 1;
+        assert_eq!(got.0, expect);
+    }
+
+    #[test]
+    fn mul_matches_small_values() {
+        assert_eq!(fe(7).mul(&fe(6)), fe(42));
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&P[i].to_le_bytes());
+        }
+        assert!(FieldElement::from_bytes_checked(&bytes).is_none());
+        assert_eq!(FieldElement::from_bytes_reduced(&bytes), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn nineteen_identity() {
+        // 2^255 ≡ 19: check (2^255 mod p) via repeated doubling.
+        let mut x = FieldElement::ONE;
+        for _ in 0..255 {
+            x = x.add(&x);
+        }
+        assert_eq!(x, fe(19));
+    }
+
+    #[test]
+    fn inversion() {
+        let a = fe(987654321);
+        assert_eq!(a.mul(&a.invert()), FieldElement::ONE);
+        assert_eq!(FieldElement::ZERO.invert(), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = FieldElement::sqrt_m1();
+        assert_eq!(i.square(), FieldElement::ONE.neg());
+    }
+
+    #[test]
+    fn sqrt_ratio_square() {
+        let u = fe(4);
+        let v = fe(1);
+        let (ok, r) = FieldElement::sqrt_ratio(&u, &v);
+        assert!(ok);
+        assert_eq!(r.square(), u);
+    }
+
+    #[test]
+    fn sqrt_ratio_nonsquare() {
+        // 2 is a non-square mod p (p ≡ 5 mod 8 ⇒ 2 is a QNR).
+        let (ok, _) = FieldElement::sqrt_ratio(&fe(2), &FieldElement::ONE);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = fe(0xdead_beef_cafe_f00d);
+        let b = FieldElement::from_bytes_checked(&a.to_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn d_constant_matches_definition() {
+        // d = −121665/121666 mod p.
+        let d = fe(121665).neg().mul(&fe(121666).invert());
+        assert_eq!(d, FieldElement::d());
+    }
+}

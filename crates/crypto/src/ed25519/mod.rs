@@ -1,0 +1,336 @@
+//! Ed25519 signatures (RFC 8032).
+//!
+//! Keys are derived from a 32-byte seed exactly as specified: the seed is
+//! expanded with SHA-512, the lower half is clamped into the secret scalar
+//! and the upper half seeds the deterministic nonce. Verification uses the
+//! strict equation `[S]B = R + [k]A` with canonical-encoding checks on both
+//! `S` and `R`.
+
+pub mod field;
+pub mod point;
+pub mod scalar;
+
+use crate::sha512;
+use point::EdwardsPoint;
+use scalar::Scalar;
+
+/// Errors returned by signature verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The signature's `S` component is not a canonical scalar.
+    NonCanonicalScalar,
+    /// The signer's public key does not decode to a curve point.
+    InvalidPublicKey,
+    /// The verification equation failed.
+    BadSignature,
+}
+
+impl std::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignatureError::NonCanonicalScalar => write!(f, "non-canonical signature scalar"),
+            SignatureError::InvalidPublicKey => write!(f, "invalid public key encoding"),
+            SignatureError::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A detached Ed25519 signature (R ‖ S, 64 bytes on the wire).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Signature {
+    r: [u8; 32],
+    s: [u8; 32],
+}
+
+impl Signature {
+    /// Wire size in bytes (the `κ` of the paper's complexity analysis).
+    pub const BYTES: usize = 64;
+
+    /// Serializes as R ‖ S.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r);
+        out[32..].copy_from_slice(&self.s);
+        out
+    }
+
+    /// Parses an R ‖ S encoding. Canonicality is checked at verify time.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Signature { r, s }
+    }
+}
+
+/// An Ed25519 verifying (public) key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct VerifyingKey {
+    compressed: [u8; 32],
+}
+
+impl VerifyingKey {
+    /// Wire size in bytes.
+    pub const BYTES: usize = 32;
+
+    /// Parses a compressed public key, rejecting undecodable encodings.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, SignatureError> {
+        EdwardsPoint::decompress(bytes).ok_or(SignatureError::InvalidPublicKey)?;
+        Ok(VerifyingKey {
+            compressed: *bytes,
+        })
+    }
+
+    /// The compressed encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.compressed
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// Implements the strict check: rejects non-canonical `S`, undecodable
+    /// `R`/`A`, and failures of `[S]B = R + [k]A` (compared in compressed
+    /// form, i.e. cofactorless verification like Tor's ed25519 use).
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let s = Scalar::from_canonical_bytes(&signature.s)
+            .ok_or(SignatureError::NonCanonicalScalar)?;
+        let a = EdwardsPoint::decompress(&self.compressed)
+            .ok_or(SignatureError::InvalidPublicKey)?;
+        let k_bytes = sha512::digest_parts(&[&signature.r, &self.compressed, message]);
+        let k = Scalar::from_bytes_mod_order_wide(&k_bytes);
+
+        // R' = [S]B − [k]A must re-encode exactly to the signature's R.
+        let r_prime = EdwardsPoint::basepoint_mul(&s).add(&a.scalar_mul(&k).neg());
+        if r_prime.compress() == signature.r {
+            Ok(())
+        } else {
+            Err(SignatureError::BadSignature)
+        }
+    }
+}
+
+/// An Ed25519 signing (secret) key.
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    secret_scalar: Scalar,
+    prefix: [u8; 32],
+    public: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Derives a signing key from a 32-byte seed (RFC 8032 key generation).
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let h = sha512::digest(&seed);
+        let mut scalar_bytes = [0u8; 32];
+        scalar_bytes.copy_from_slice(&h[..32]);
+        scalar_bytes[0] &= 248;
+        scalar_bytes[31] &= 127;
+        scalar_bytes[31] |= 64;
+        // Reducing mod l is sound: B has order l, so [s]B = [s mod l]B.
+        let secret_scalar = Scalar::from_bytes_mod_order(&scalar_bytes);
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public_point = EdwardsPoint::basepoint_mul(&secret_scalar);
+        let public = VerifyingKey {
+            compressed: public_point.compress(),
+        };
+        SigningKey {
+            seed,
+            secret_scalar,
+            prefix,
+            public,
+        }
+    }
+
+    /// Generates a key from an RNG.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(seed)
+    }
+
+    /// Returns the seed this key was derived from.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Returns the corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `message` (deterministic per RFC 8032).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let r_bytes = sha512::digest_parts(&[&self.prefix, message]);
+        let r = Scalar::from_bytes_mod_order_wide(&r_bytes);
+        let r_point = EdwardsPoint::basepoint_mul(&r).compress();
+        let k_bytes = sha512::digest_parts(&[&r_point, &self.public.compressed, message]);
+        let k = Scalar::from_bytes_mod_order_wide(&k_bytes);
+        let s = r.add(&k.mul(&self.secret_scalar));
+        Signature {
+            r: r_point,
+            s: s.to_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the seed.
+        write!(
+            f,
+            "SigningKey(pub={})",
+            crate::hex::encode(&self.public.compressed[..8])
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    struct Vector {
+        seed: &'static str,
+        public: &'static str,
+        message: &'static str,
+        signature: &'static str,
+    }
+
+    /// RFC 8032 §7.1 test vectors 1–3.
+    const VECTORS: [Vector; 3] = [
+        Vector {
+            seed: "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            public: "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            message: "",
+            signature: "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                        5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+        },
+        Vector {
+            seed: "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            public: "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            message: "72",
+            signature: "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                        085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+        },
+        Vector {
+            seed: "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            public: "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            message: "af82",
+            signature: "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                        18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+        },
+    ];
+
+    fn clean(s: &str) -> String {
+        s.replace(char::is_whitespace, "")
+    }
+
+    #[test]
+    fn rfc8032_vectors() {
+        for (i, v) in VECTORS.iter().enumerate() {
+            let seed: [u8; 32] = hex::decode_array(&clean(v.seed)).unwrap();
+            let key = SigningKey::from_seed(seed);
+            assert_eq!(
+                hex::encode(&key.verifying_key().to_bytes()),
+                clean(v.public),
+                "public key, vector {i}"
+            );
+            let message = hex::decode(&clean(v.message)).unwrap();
+            let sig = key.sign(&message);
+            assert_eq!(
+                hex::encode(&sig.to_bytes()),
+                clean(v.signature),
+                "signature, vector {i}"
+            );
+            key.verifying_key()
+                .verify(&message, &sig)
+                .expect("vector verifies");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let key = SigningKey::from_seed([1u8; 32]);
+        let sig = key.sign(b"hello");
+        assert_eq!(
+            key.verifying_key().verify(b"hellp", &sig),
+            Err(SignatureError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let key1 = SigningKey::from_seed([1u8; 32]);
+        let key2 = SigningKey::from_seed([2u8; 32]);
+        let sig = key1.sign(b"msg");
+        assert!(key2.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let key = SigningKey::from_seed([3u8; 32]);
+        let sig = key.sign(b"msg");
+        let mut bytes = sig.to_bytes();
+        bytes[0] ^= 1;
+        let bad = Signature::from_bytes(&bytes);
+        assert!(key.verifying_key().verify(b"msg", &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_non_canonical_s() {
+        let key = SigningKey::from_seed([4u8; 32]);
+        let sig = key.sign(b"msg");
+        let mut bytes = sig.to_bytes();
+        // Set S to l (non-canonical but > l test: all 0xff with top bits).
+        for b in bytes[32..].iter_mut() {
+            *b = 0xff;
+        }
+        bytes[63] = 0x1f;
+        let bad = Signature::from_bytes(&bytes);
+        assert_eq!(
+            key.verifying_key().verify(b"msg", &bad),
+            Err(SignatureError::NonCanonicalScalar)
+        );
+    }
+
+    #[test]
+    fn signature_roundtrip() {
+        let key = SigningKey::from_seed([5u8; 32]);
+        let sig = key.sign(b"roundtrip");
+        let sig2 = Signature::from_bytes(&sig.to_bytes());
+        assert_eq!(sig, sig2);
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let key = SigningKey::from_seed([6u8; 32]);
+        assert_eq!(key.sign(b"x"), key.sign(b"x"));
+        assert_ne!(key.sign(b"x"), key.sign(b"y"));
+    }
+
+    #[test]
+    fn generate_produces_valid_keys() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..4 {
+            let key = SigningKey::generate(&mut rng);
+            let sig = key.sign(b"generated");
+            key.verifying_key().verify(b"generated", &sig).unwrap();
+        }
+    }
+
+    #[test]
+    fn public_key_from_bytes_validates() {
+        let key = SigningKey::from_seed([7u8; 32]);
+        let pk = VerifyingKey::from_bytes(&key.verifying_key().to_bytes()).unwrap();
+        assert_eq!(pk, key.verifying_key());
+        // An all-0xff encoding has y ≥ p and must be rejected.
+        let bad = [0xffu8; 32];
+        assert!(VerifyingKey::from_bytes(&bad).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Edwards-curve point arithmetic for Ed25519.
+//!
+//! Points are kept in projective coordinates (X : Y : Z) on the twisted
+//! Edwards curve −x² + y² = 1 + d·x²·y². Because a = −1 is a square and d is
+//! a non-square modulo p, the unified addition law used here is *complete*:
+//! the same formula handles addition, doubling and the identity, which
+//! removes all special-case branches (and the bugs that come with them).
+
+use super::field::FieldElement;
+use super::scalar::Scalar;
+
+/// Affine x-coordinate of the standard base point B.
+const BASE_X: [u64; 4] = [
+    0xc9562d608f25d51a,
+    0x692cc7609525a7b2,
+    0xc0a4e231fdd6dc5c,
+    0x216936d3cd6e53fe,
+];
+
+/// Affine y-coordinate of the standard base point B (= 4/5 mod p).
+const BASE_Y: [u64; 4] = [
+    0x6666666666666658,
+    0x6666666666666666,
+    0x6666666666666666,
+    0x6666666666666666,
+];
+
+/// A point on the Ed25519 curve, in projective coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1, Y1/Z1) == (X2/Z2, Y2/Z2) without divisions.
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+impl EdwardsPoint {
+    /// The identity element (0, 1).
+    pub fn identity() -> Self {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+        }
+    }
+
+    /// The standard base point B.
+    pub fn basepoint() -> Self {
+        EdwardsPoint {
+            x: FieldElement::from_limbs_unchecked(BASE_X),
+            y: FieldElement::from_limbs_unchecked(BASE_Y),
+            z: FieldElement::ONE,
+        }
+    }
+
+    /// Whether this is the identity element.
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.y == self.z
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Self {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+        }
+    }
+
+    /// Complete unified point addition (add-2008-bbjlp with a = −1).
+    pub fn add(&self, other: &Self) -> Self {
+        let a = self.z.mul(&other.z);
+        let b = a.square();
+        let c = self.x.mul(&other.x);
+        let d = self.y.mul(&other.y);
+        let e = FieldElement::d().mul(&c).mul(&d);
+        let f = b.sub(&e);
+        let g = b.add(&e);
+        let x1py1 = self.x.add(&self.y);
+        let x2py2 = other.x.add(&other.y);
+        let x3 = a.mul(&f).mul(&x1py1.mul(&x2py2).sub(&c).sub(&d));
+        // For a = −1: Y3 = A·G·(D − a·C) = A·G·(D + C).
+        let y3 = a.mul(&g).mul(&d.add(&c));
+        let z3 = f.mul(&g);
+        EdwardsPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Point doubling via the unified addition law.
+    pub fn double(&self) -> Self {
+        self.add(self)
+    }
+
+    /// Scalar multiplication [k]P by left-to-right double-and-add.
+    ///
+    /// Not constant time; see the crate-level scope note.
+    pub fn scalar_mul(&self, k: &Scalar) -> Self {
+        let limbs = k.limbs();
+        let mut acc = EdwardsPoint::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if (limbs[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// [k]B for the standard base point.
+    pub fn basepoint_mul(k: &Scalar) -> Self {
+        EdwardsPoint::basepoint().scalar_mul(k)
+    }
+
+    /// Compresses to the 32-byte RFC 8032 wire format: the y-coordinate with
+    /// the sign of x in the top bit.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut bytes = y.to_bytes();
+        bytes[31] |= (x.is_odd() as u8) << 7;
+        bytes
+    }
+
+    /// Decompresses an RFC 8032 encoded point.
+    ///
+    /// Returns `None` for non-canonical y, off-curve values, or the invalid
+    /// encoding x = 0 with sign bit 1.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<Self> {
+        let sign = bytes[31] >> 7;
+        let mut y_bytes = *bytes;
+        y_bytes[31] &= 0x7f;
+        let y = FieldElement::from_bytes_checked(&y_bytes)?;
+
+        // x² = (y² − 1) / (d·y² + 1).
+        let yy = y.square();
+        let u = yy.sub(&FieldElement::ONE);
+        let v = FieldElement::d().mul(&yy).add(&FieldElement::ONE);
+        let (is_square, mut x) = FieldElement::sqrt_ratio(&u, &v);
+        if !is_square {
+            return None;
+        }
+        if x.is_zero() && sign == 1 {
+            return None;
+        }
+        if x.is_odd() != (sign == 1) {
+            x = x.neg();
+        }
+        Some(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+        })
+    }
+
+    /// Verifies the curve equation −x² + y² = 1 + d·x²·y² (affine check).
+    pub fn is_on_curve(&self) -> bool {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let xx = x.square();
+        let yy = y.square();
+        let lhs = yy.sub(&xx);
+        let rhs = FieldElement::ONE.add(&FieldElement::d().mul(&xx).mul(&yy));
+        lhs == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basepoint_on_curve() {
+        assert!(EdwardsPoint::basepoint().is_on_curve());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = EdwardsPoint::basepoint();
+        let id = EdwardsPoint::identity();
+        assert_eq!(b.add(&id), b);
+        assert_eq!(id.add(&b), b);
+        assert!(id.is_identity());
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let b = EdwardsPoint::basepoint();
+        let b2 = b.double();
+        let b3a = b2.add(&b);
+        let b3b = b.add(&b2);
+        assert_eq!(b3a, b3b);
+        let lhs = b.add(&b2).add(&b3a);
+        let rhs = b.add(&b2.add(&b3a));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn neg_cancels() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.add(&b.neg()).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let b = EdwardsPoint::basepoint();
+        let two = Scalar::from_bytes_mod_order(&{
+            let mut s = [0u8; 32];
+            s[0] = 2;
+            s
+        });
+        assert_eq!(b.scalar_mul(&two), b.double());
+
+        let five = Scalar::from_bytes_mod_order(&{
+            let mut s = [0u8; 32];
+            s[0] = 5;
+            s
+        });
+        let by_add = b.double().double().add(&b);
+        assert_eq!(b.scalar_mul(&five), by_add);
+    }
+
+    #[test]
+    fn order_annihilates_basepoint() {
+        // [l]B = identity: l ≡ 0 mod l, and scalar_mul uses reduced scalars,
+        // so instead check [l−1]B + B = identity via the negation identity.
+        let mut l_minus_1 = super::super::scalar::L;
+        l_minus_1[0] -= 1;
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&l_minus_1[i].to_le_bytes());
+        }
+        let s = Scalar::from_canonical_bytes(&bytes).unwrap();
+        let p = EdwardsPoint::basepoint_mul(&s);
+        assert!(p.add(&EdwardsPoint::basepoint()).is_identity());
+        // [l−1]B should equal −B.
+        assert_eq!(p, EdwardsPoint::basepoint().neg());
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let b = EdwardsPoint::basepoint();
+        let mut p = b;
+        for i in 0..16 {
+            let c = p.compress();
+            let d = EdwardsPoint::decompress(&c).expect("valid point");
+            assert_eq!(d, p, "iteration {i}");
+            assert!(d.is_on_curve());
+            p = p.add(&b);
+        }
+    }
+
+    #[test]
+    fn basepoint_compressed_encoding() {
+        // RFC 8032: B compresses to 0x58 followed by 31 bytes of 0x66.
+        let c = EdwardsPoint::basepoint().compress();
+        assert_eq!(c[0], 0x58);
+        assert!(c[1..].iter().all(|&b| b == 0x66));
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        // y = p (non-canonical).
+        let mut bad = [0xffu8; 32];
+        bad[31] = 0x7f;
+        assert!(EdwardsPoint::decompress(&bad).is_none());
+    }
+
+    #[test]
+    fn decompress_rejects_off_curve() {
+        // Find some y with no valid x: y = 2 gives u/v non-square for this
+        // curve (checked empirically and stable because the curve is fixed).
+        let mut bytes = [0u8; 32];
+        bytes[0] = 2;
+        if let Some(p) = EdwardsPoint::decompress(&bytes) {
+            // If it decompresses, it must be on the curve.
+            assert!(p.is_on_curve());
+        }
+    }
+}

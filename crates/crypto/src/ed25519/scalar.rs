@@ -1,0 +1,191 @@
+//! Arithmetic modulo the Ed25519 group order
+//! l = 2^252 + 27742317777372353535851937790883648493.
+
+use super::field::mul_wide;
+
+/// The group order l, as little-endian limbs.
+pub const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflow");
+}
+
+/// Reduces a 512-bit little-endian value modulo l by binary long division.
+///
+/// l is only used during signing/verification (a handful of reductions per
+/// operation), so the simple O(bits) algorithm is fast enough and trivially
+/// correct.
+fn reduce_wide(x: &[u64; 8]) -> [u64; 4] {
+    let mut r = [0u64; 4];
+    for bit in (0..512).rev() {
+        // r = 2r + bit(x, bit); r stays < 2l < 2^254, so no overflow.
+        let mut carry = (x[bit / 64] >> (bit % 64)) & 1;
+        for limb in r.iter_mut() {
+            let top = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = top;
+        }
+        debug_assert_eq!(carry, 0);
+        if geq(&r, &L) {
+            sub_in_place(&mut r, &L);
+        }
+    }
+    r
+}
+
+/// An integer modulo the Ed25519 group order, always fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+impl Scalar {
+    /// The scalar 0.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The scalar 1.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Interprets 32 little-endian bytes, reducing modulo l.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Self {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(bytes);
+        Self::from_bytes_mod_order_wide(&wide)
+    }
+
+    /// Interprets 64 little-endian bytes (e.g. a SHA-512 output), reducing
+    /// modulo l.
+    pub fn from_bytes_mod_order_wide(bytes: &[u8; 64]) -> Self {
+        let mut limbs = [0u64; 8];
+        for i in 0..8 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        Scalar(reduce_wide(&limbs))
+    }
+
+    /// Decodes a canonical scalar (< l), as required for strict signature
+    /// verification. Returns `None` for non-canonical encodings.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[i] = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        if geq(&limbs, &L) {
+            return None;
+        }
+        Some(Scalar(limbs))
+    }
+
+    /// Encodes the scalar as 32 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Addition modulo l.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut r = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            r[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // Inputs are < l < 2^253, so the sum fits in 4 limbs.
+        debug_assert_eq!(carry, 0);
+        if geq(&r, &L) {
+            sub_in_place(&mut r, &L);
+        }
+        Scalar(r)
+    }
+
+    /// Multiplication modulo l.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Scalar(reduce_wide(&mul_wide(&self.0, &rhs.0)))
+    }
+
+    /// Returns the raw limbs, used to drive scalar multiplication bit scans.
+    pub(crate) fn limbs(&self) -> &[u64; 4] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(n: u64) -> Scalar {
+        Scalar([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&L[i].to_le_bytes());
+        }
+        assert_eq!(Scalar::from_bytes_mod_order(&bytes), Scalar::ZERO);
+        assert!(Scalar::from_canonical_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical() {
+        let mut limbs = L;
+        limbs[0] -= 1;
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&limbs[i].to_le_bytes());
+        }
+        let s = Scalar::from_canonical_bytes(&bytes).expect("canonical");
+        // (l − 1) + 1 = 0 (mod l).
+        assert_eq!(s.add(&Scalar::ONE), Scalar::ZERO);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(sc(6).mul(&sc(7)), sc(42));
+        assert_eq!(sc(40).add(&sc(2)), sc(42));
+    }
+
+    #[test]
+    fn wide_reduction_matches_composed() {
+        // (2^256) mod l computed two ways.
+        let mut wide = [0u8; 64];
+        wide[32] = 1; // 2^256
+        let direct = Scalar::from_bytes_mod_order_wide(&wide);
+
+        // 2^256 = (2^128)^2.
+        let mut b = [0u8; 32];
+        b[16] = 1; // 2^128
+        let half = Scalar::from_bytes_mod_order(&b);
+        assert_eq!(half.mul(&half), direct);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let s = Scalar::from_bytes_mod_order(&[0x42; 32]);
+        assert_eq!(Scalar::from_canonical_bytes(&s.to_bytes()), Some(s));
+    }
+}

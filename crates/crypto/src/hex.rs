@@ -1,0 +1,81 @@
+//! Minimal hexadecimal encoding/decoding used for fingerprints and logs.
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(partialtor_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Encodes `bytes` as an uppercase hexadecimal string (Tor fingerprint style).
+pub fn encode_upper(bytes: &[u8]) -> String {
+    encode(bytes).to_ascii_uppercase()
+}
+
+/// Decodes a hexadecimal string into bytes.
+///
+/// Returns `None` if the input has odd length or contains a non-hex digit.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(partialtor_crypto::hex::decode("dead"), Some(vec![0xde, 0xad]));
+/// assert_eq!(partialtor_crypto::hex::decode("xyz"), None);
+/// ```
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let digits: Vec<u8> = s
+        .chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect::<Option<_>>()?;
+    Some(digits.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+/// Decodes a hex string into a fixed-size array, or `None` on size mismatch.
+pub fn decode_array<const N: usize>(s: &str) -> Option<[u8; N]> {
+    let v = decode(s)?;
+    v.try_into().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0u8, 1, 2, 0xff, 0x80, 0x7f];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), None);
+    }
+
+    #[test]
+    fn rejects_bad_digit() {
+        assert_eq!(decode("zz"), None);
+    }
+
+    #[test]
+    fn upper_matches_lower() {
+        assert_eq!(encode_upper(&[0xab]), "AB");
+    }
+
+    #[test]
+    fn decode_array_size_check() {
+        assert_eq!(decode_array::<2>("dead"), Some([0xde, 0xad]));
+        assert_eq!(decode_array::<3>("dead"), None);
+    }
+}

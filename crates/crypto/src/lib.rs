@@ -1,0 +1,41 @@
+//! From-scratch cryptographic primitives for the `partialtor-rs` reproduction.
+//!
+//! The paper's protocols rely on collision-resistant digests (32 bytes) and
+//! unforgeable signatures (64 bytes). This crate implements the exact
+//! primitives the Tor directory protocol would deploy — SHA-256 / SHA-512 and
+//! Ed25519 (RFC 8032) — without any external cryptography dependencies, so
+//! that the simulated message sizes (`κ` = 64 B signatures, 32 B digests in
+//! the paper's complexity analysis) are faithful.
+//!
+//! # Scope
+//!
+//! The implementation is *functionally* complete and validated against the
+//! RFC 8032 and FIPS 180-4 test vectors, but it is written for a research
+//! simulator: scalar multiplication is not constant-time and no zeroization
+//! is performed. Do not lift it into an adversarial production environment
+//! as-is.
+//!
+//! # Examples
+//!
+//! ```
+//! use partialtor_crypto::{sha256, SigningKey};
+//!
+//! let key = SigningKey::from_seed([7u8; 32]);
+//! let msg = b"consensus document";
+//! let sig = key.sign(msg);
+//! key.verifying_key().verify(msg, &sig).expect("valid signature");
+//!
+//! let digest = sha256::digest(msg);
+//! assert_eq!(digest.as_bytes().len(), 32);
+//! ```
+
+pub mod ed25519;
+pub mod hex;
+pub mod sha256;
+pub mod sha512;
+
+pub use ed25519::{Signature, SignatureError, SigningKey, VerifyingKey};
+pub use sha256::Digest32;
+
+/// Convenience alias used by the directory protocols for document digests.
+pub type DocDigest = Digest32;

@@ -1,0 +1,124 @@
+//! Property-based tests of the cryptographic primitives.
+
+use partialtor_crypto::ed25519::point::EdwardsPoint;
+use partialtor_crypto::ed25519::scalar::Scalar;
+use partialtor_crypto::{hex, sha256, sha512, Digest32, Signature, SigningKey};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Signing then verifying succeeds for arbitrary seeds and messages.
+    #[test]
+    fn sign_verify_roundtrip(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    /// Any single-bit flip in the message invalidates the signature.
+    #[test]
+    fn tampered_message_rejected(
+        seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        let mut tampered = msg.clone();
+        let index = flip_byte.index(tampered.len());
+        tampered[index] ^= 1 << flip_bit;
+        prop_assert!(key.verifying_key().verify(&tampered, &sig).is_err());
+    }
+
+    /// Signature byte serialization round-trips.
+    #[test]
+    fn signature_bytes_roundtrip(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let key = SigningKey::from_seed(seed);
+        let sig = key.sign(&msg);
+        prop_assert_eq!(Signature::from_bytes(&sig.to_bytes()), sig);
+    }
+
+    /// SHA-256 streaming equals one-shot for arbitrary chunk boundaries.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..6),
+    ) {
+        let mut boundaries: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(data.len());
+        boundaries.sort_unstable();
+        let mut hasher = sha256::Hasher::new();
+        for pair in boundaries.windows(2) {
+            hasher.update(&data[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(hasher.finalize(), sha256::digest(&data));
+    }
+
+    /// SHA-512 streaming equals one-shot likewise.
+    #[test]
+    fn sha512_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let split = cut.index(data.len() + 1);
+        let mut hasher = sha512::Hasher::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha512::digest(&data));
+    }
+
+    /// Hex encode/decode round-trips for arbitrary byte strings.
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)), Some(data));
+    }
+
+    /// `Digest32` hex parsing round-trips.
+    #[test]
+    fn digest_hex_roundtrip(bytes in any::<[u8; 32]>()) {
+        let d = Digest32::from_bytes(bytes);
+        prop_assert_eq!(Digest32::from_hex(&d.to_hex()), Some(d));
+    }
+
+    /// Scalar addition is commutative and multiplication distributes.
+    #[test]
+    fn scalar_ring_laws(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), c in any::<[u8; 32]>()) {
+        let (a, b, c) = (
+            Scalar::from_bytes_mod_order(&a),
+            Scalar::from_bytes_mod_order(&b),
+            Scalar::from_bytes_mod_order(&c),
+        );
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        // a·(b + c) = a·b + a·c.
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+}
+
+proptest! {
+    // Point operations are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Scalar multiplication is a homomorphism: [a]B + [b]B = [a+b]B.
+    #[test]
+    fn scalar_mul_homomorphism(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let a = Scalar::from_bytes_mod_order(&a);
+        let b = Scalar::from_bytes_mod_order(&b);
+        let lhs = EdwardsPoint::basepoint_mul(&a).add(&EdwardsPoint::basepoint_mul(&b));
+        let rhs = EdwardsPoint::basepoint_mul(&a.add(&b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Compression round-trips for arbitrary multiples of the base point.
+    #[test]
+    fn point_compression_roundtrip(k in any::<[u8; 32]>()) {
+        let k = Scalar::from_bytes_mod_order(&k);
+        let p = EdwardsPoint::basepoint_mul(&k);
+        let decompressed = EdwardsPoint::decompress(&p.compress()).expect("valid point");
+        prop_assert_eq!(decompressed, p);
+        prop_assert!(decompressed.is_on_curve());
+    }
+}

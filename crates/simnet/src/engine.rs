@@ -1,0 +1,808 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a set of nodes (protocol state machines), their
+//! link pipes, and a single time-ordered event heap. Execution is strictly
+//! deterministic: ties in event time are broken by insertion sequence, and
+//! all randomness flows from the seeded RNG in [`SimConfig`].
+
+use crate::link::{Pipe, PipeAction, Transfer};
+use crate::message::{NodeId, Payload};
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::LatencyMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a pending timer so it can be cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+/// Log severity, mirroring Tor's notice/info/warn levels for the Fig. 1
+/// transcript.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LogLevel {
+    /// Routine protocol progress.
+    Notice,
+    /// Detailed diagnostics.
+    Info,
+    /// Protocol failures.
+    Warn,
+}
+
+impl std::fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogLevel::Notice => write!(f, "notice"),
+            LogLevel::Info => write!(f, "info"),
+            LogLevel::Warn => write!(f, "warn"),
+        }
+    }
+}
+
+/// One captured log line.
+#[derive(Clone, Debug)]
+pub struct LogEntry {
+    /// When the line was emitted.
+    pub time: SimTime,
+    /// Which node emitted it.
+    pub node: NodeId,
+    /// Severity.
+    pub level: LogLevel,
+    /// Message text.
+    pub text: String,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for all simulation randomness.
+    pub seed: u64,
+    /// Default uplink rate per node, bits per second.
+    pub default_up_bps: f64,
+    /// Default downlink rate per node, bits per second.
+    pub default_down_bps: f64,
+    /// Framing overhead added to every message's wire size, in bytes
+    /// (models TCP/TLS/HTTP headers of the directory connections).
+    pub wire_overhead_bytes: u64,
+    /// Whether to retain log lines (Fig. 1 needs them; sweeps do not).
+    pub collect_logs: bool,
+    /// Multiplicative propagation-latency jitter: each message's latency
+    /// is scaled by a factor drawn uniformly from `[1 − j, 1 + j]`.
+    /// Zero (the default) keeps latencies exact and runs bit-reproducible
+    /// across configurations that only differ in jitter.
+    pub latency_jitter: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            default_up_bps: 250e6, // the paper's 250 Mbit/s authority links
+            default_down_bps: 250e6,
+            wire_overhead_bytes: 64,
+            collect_logs: false,
+            latency_jitter: 0.0,
+        }
+    }
+}
+
+/// A protocol state machine living on one simulated host.
+pub trait Node {
+    /// The message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Called when a message is fully delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set by this node fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg>, _timer: TimerId, _tag: u64) {}
+}
+
+enum EventKind<M> {
+    TimerFire {
+        node: NodeId,
+        timer: TimerId,
+        tag: u64,
+    },
+    UplinkComplete {
+        node: NodeId,
+        generation: u64,
+    },
+    DownlinkArrive {
+        transfer: Transfer<M>,
+    },
+    DownlinkComplete {
+        node: NodeId,
+        generation: u64,
+    },
+    BandwidthChange {
+        node: NodeId,
+        up_bps: Option<f64>,
+        down_bps: Option<f64>,
+    },
+    LocalDeliver {
+        node: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Engine internals shared with nodes through [`Context`].
+pub struct EngineCore<M> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Event<M>>,
+    uplinks: Vec<Pipe<M>>,
+    downlinks: Vec<Pipe<M>>,
+    latency: LatencyMatrix,
+    metrics: Metrics,
+    logs: Vec<LogEntry>,
+    collect_logs: bool,
+    wire_overhead: u64,
+    latency_jitter: f64,
+    stopped: bool,
+    timer_seq: u64,
+    cancelled: HashSet<TimerId>,
+    rng: StdRng,
+    events_processed: u64,
+}
+
+impl<M: Payload> EngineCore<M> {
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    fn apply_uplink_action(&mut self, node: NodeId, action: PipeAction) {
+        if let PipeAction::Schedule { at, generation } = action {
+            self.push(at, EventKind::UplinkComplete { node, generation });
+        }
+    }
+
+    fn apply_downlink_action(&mut self, node: NodeId, action: PipeAction) {
+        if let PipeAction::Schedule { at, generation } = action {
+            self.push(at, EventKind::DownlinkComplete { node, generation });
+        }
+    }
+
+    fn send_from(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if from == to {
+            // Local delivery bypasses the network entirely: no wire
+            // bytes, no byte accounting.
+            self.push(self.now, EventKind::LocalDeliver { node: to, from, msg });
+            return;
+        }
+        let kind = msg.kind();
+        let total_bytes = msg.wire_size() + self.wire_overhead;
+        self.metrics.record_tx(from, kind, total_bytes);
+        let transfer = Transfer {
+            from,
+            to,
+            msg,
+            total_bytes,
+            bytes_left: total_bytes as f64,
+            last_update: self.now,
+        };
+        let action = self.uplinks[from.index()].enqueue(self.now, transfer);
+        self.apply_uplink_action(from, action);
+    }
+}
+
+/// The per-callback handle nodes use to interact with the simulated world.
+pub struct Context<'a, M: Payload> {
+    core: &'a mut EngineCore<M>,
+    node: NodeId,
+    n: usize,
+}
+
+impl<'a, M: Payload> Context<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the node being called.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes in the simulation.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sends `msg` to `to` through the network (or locally if `to == self`).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let from = self.node;
+        self.core.send_from(from, to, msg);
+    }
+
+    /// Sends `msg` to every other node.
+    pub fn broadcast(&mut self, msg: M) {
+        let from = self.node;
+        for i in 0..self.n {
+            if i != from.index() {
+                self.core.send_from(from, NodeId(i), msg.clone());
+            }
+        }
+    }
+
+    /// Arms a timer that fires after `delay`, carrying `tag`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let timer = TimerId(self.core.timer_seq);
+        self.core.timer_seq += 1;
+        let node = self.node;
+        let at = self.core.now + delay;
+        self.core.push(at, EventKind::TimerFire { node, timer, tag });
+        timer
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.core.cancelled.insert(timer);
+    }
+
+    /// Emits a log line (retained only when `collect_logs` is set).
+    pub fn log(&mut self, level: LogLevel, text: impl Into<String>) {
+        if self.core.collect_logs {
+            let entry = LogEntry {
+                time: self.core.now,
+                node: self.node,
+                level,
+                text: text.into(),
+            };
+            self.core.logs.push(entry);
+        }
+    }
+
+    /// Requests that the simulation stop after the current event.
+    pub fn stop(&mut self) {
+        self.core.stopped = true;
+    }
+
+    /// Deterministic simulation RNG (shared across nodes).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+}
+
+/// Summary of a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Number of events processed.
+    pub events: u64,
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// Whether a node requested the stop (vs. queue exhaustion/deadline).
+    pub stopped_by_node: bool,
+}
+
+/// A deterministic discrete-event simulation over a set of homogeneous
+/// nodes.
+///
+/// # Examples
+///
+/// ```
+/// use partialtor_simnet::prelude::*;
+///
+/// struct Echo;
+/// impl Node for Echo {
+///     type Msg = SizedPayload;
+///     fn on_start(&mut self, ctx: &mut Context<'_, SizedPayload>) {
+///         if ctx.id().index() == 0 {
+///             ctx.send(NodeId(1), SizedPayload { tag: 1, size: 100 });
+///         }
+///     }
+///     fn on_message(&mut self, ctx: &mut Context<'_, SizedPayload>, _from: NodeId, _msg: SizedPayload) {
+///         ctx.stop();
+///     }
+/// }
+///
+/// let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(10));
+/// let mut sim = Simulation::new(topo, vec![Echo, Echo], SimConfig::default());
+/// let stats = sim.run();
+/// assert!(stats.stopped_by_node);
+/// ```
+pub struct Simulation<N: Node> {
+    core: EngineCore<N::Msg>,
+    nodes: Vec<N>,
+    started: bool,
+}
+
+impl<N: Node> Simulation<N> {
+    /// Creates a simulation; `latency.len()` must equal `nodes.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology size does not match the node count.
+    pub fn new(latency: LatencyMatrix, nodes: Vec<N>, config: SimConfig) -> Self {
+        assert_eq!(
+            latency.len(),
+            nodes.len(),
+            "topology size must match node count"
+        );
+        let n = nodes.len();
+        let core = EngineCore {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            uplinks: (0..n).map(|_| Pipe::new(config.default_up_bps)).collect(),
+            downlinks: (0..n)
+                .map(|_| Pipe::new(config.default_down_bps))
+                .collect(),
+            latency,
+            metrics: Metrics::new(n),
+            logs: Vec::new(),
+            collect_logs: config.collect_logs,
+            wire_overhead: config.wire_overhead_bytes,
+            latency_jitter: config.latency_jitter.clamp(0.0, 0.99),
+            stopped: false,
+            timer_seq: 0,
+            cancelled: HashSet::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            events_processed: 0,
+        };
+        Simulation {
+            core,
+            nodes,
+            started: false,
+        }
+    }
+
+    /// Schedules a bandwidth change at an absolute simulated time.
+    ///
+    /// `None` leaves that direction unchanged. This is the attack injection
+    /// point: a DDoS window is two scheduled changes (down then back up).
+    pub fn schedule_bandwidth_change(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        up_bps: Option<f64>,
+        down_bps: Option<f64>,
+    ) {
+        self.core.push(
+            at,
+            EventKind::BandwidthChange {
+                node,
+                up_bps,
+                down_bps,
+            },
+        );
+    }
+
+    /// Runs until the event queue drains, a node calls `stop()`, or
+    /// simulated time would exceed `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunStats {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    node: NodeId(i),
+                    n: self.nodes.len(),
+                };
+                self.nodes[i].on_start(&mut ctx);
+            }
+        }
+
+        while !self.core.stopped {
+            let Some(head) = self.core.heap.peek() else {
+                break;
+            };
+            if head.at > deadline {
+                break;
+            }
+            let event = self.core.heap.pop().expect("peeked event");
+            debug_assert!(event.at >= self.core.now, "time went backwards");
+            self.core.now = event.at;
+            self.core.events_processed += 1;
+            self.dispatch(event.kind);
+        }
+
+        RunStats {
+            events: self.core.events_processed,
+            end_time: self.core.now,
+            stopped_by_node: self.core.stopped,
+        }
+    }
+
+    /// Runs until the queue drains or a node stops the simulation.
+    pub fn run(&mut self) -> RunStats {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn dispatch(&mut self, kind: EventKind<N::Msg>) {
+        match kind {
+            EventKind::TimerFire { node, timer, tag } => {
+                if self.core.cancelled.remove(&timer) {
+                    return;
+                }
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    node,
+                    n: self.nodes.len(),
+                };
+                self.nodes[node.index()].on_timer(&mut ctx, timer, tag);
+            }
+            EventKind::UplinkComplete { node, generation } => {
+                let now = self.core.now;
+                let (finished, action) = self.core.uplinks[node.index()].complete(now, generation);
+                self.core.apply_uplink_action(node, action);
+                if let Some(mut transfer) = finished {
+                    let base = self.core.latency.get(transfer.from, transfer.to);
+                    let latency = if self.core.latency_jitter > 0.0 {
+                        use rand::Rng;
+                        let j = self.core.latency_jitter;
+                        let factor = self.core.rng.gen_range(1.0 - j..=1.0 + j);
+                        SimDuration::from_secs_f64(base.as_secs_f64() * factor)
+                    } else {
+                        base
+                    };
+                    let arrive = now + latency;
+                    transfer.bytes_left = transfer.total_bytes as f64;
+                    self.core.push(arrive, EventKind::DownlinkArrive { transfer });
+                }
+            }
+            EventKind::DownlinkArrive { mut transfer } => {
+                let now = self.core.now;
+                let to = transfer.to;
+                transfer.last_update = now;
+                let action = self.core.downlinks[to.index()].enqueue(now, transfer);
+                self.core.apply_downlink_action(to, action);
+            }
+            EventKind::DownlinkComplete { node, generation } => {
+                let now = self.core.now;
+                let (finished, action) =
+                    self.core.downlinks[node.index()].complete(now, generation);
+                self.core.apply_downlink_action(node, action);
+                if let Some(transfer) = finished {
+                    self.core.metrics.record_rx(node, transfer.total_bytes);
+                    let mut ctx = Context {
+                        core: &mut self.core,
+                        node,
+                        n: self.nodes.len(),
+                    };
+                    self.nodes[node.index()].on_message(&mut ctx, transfer.from, transfer.msg);
+                }
+            }
+            EventKind::BandwidthChange {
+                node,
+                up_bps,
+                down_bps,
+            } => {
+                let now = self.core.now;
+                if let Some(up) = up_bps {
+                    let action = self.core.uplinks[node.index()].set_rate(now, up);
+                    self.core.apply_uplink_action(node, action);
+                }
+                if let Some(down) = down_bps {
+                    let action = self.core.downlinks[node.index()].set_rate(now, down);
+                    self.core.apply_downlink_action(node, action);
+                }
+            }
+            EventKind::LocalDeliver { node, from, msg } => {
+                let mut ctx = Context {
+                    core: &mut self.core,
+                    node,
+                    n: self.nodes.len(),
+                };
+                self.nodes[node.index()].on_message(&mut ctx, from, msg);
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (between runs).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Traffic statistics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Snapshot of a node's link state: `(rate_bits_per_sec, queued_msgs,
+    /// backlog_bytes)` for the uplink.
+    pub fn uplink_state(&self, node: NodeId) -> (f64, usize, f64) {
+        let p = &self.core.uplinks[node.index()];
+        (p.rate_bits_per_sec(), p.queued(), p.backlog_bytes())
+    }
+
+    /// Snapshot of a node's link state for the downlink.
+    pub fn downlink_state(&self, node: NodeId) -> (f64, usize, f64) {
+        let p = &self.core.downlinks[node.index()];
+        (p.rate_bits_per_sec(), p.queued(), p.backlog_bytes())
+    }
+
+    /// Captured log lines (empty unless `collect_logs` was set).
+    pub fn logs(&self) -> &[LogEntry] {
+        &self.core.logs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::SizedPayload;
+
+    /// Node that records the arrival times of everything it receives.
+    struct Recorder {
+        received: Vec<(SimTime, NodeId, u64)>,
+        send_plan: Vec<(NodeId, SizedPayload)>,
+    }
+
+    impl Recorder {
+        fn new(send_plan: Vec<(NodeId, SizedPayload)>) -> Self {
+            Recorder {
+                received: Vec::new(),
+                send_plan,
+            }
+        }
+    }
+
+    impl Node for Recorder {
+        type Msg = SizedPayload;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, SizedPayload>) {
+            for (to, msg) in self.send_plan.drain(..) {
+                ctx.send(to, msg);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, SizedPayload>, from: NodeId, msg: SizedPayload) {
+            self.received.push((ctx.now(), from, msg.tag));
+        }
+    }
+
+    fn config_1mbps() -> SimConfig {
+        SimConfig {
+            seed: 1,
+            default_up_bps: 1e6,
+            default_down_bps: 1e6,
+            wire_overhead_bytes: 0,
+            collect_logs: false,
+            latency_jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_serialization_plus_latency() {
+        // 1 Mbit/s, 100 ms latency, 125 000-byte message (= 1 s on the wire).
+        // The downlink also serializes at 1 Mbit/s, so delivery is at
+        // 1 s (uplink) + 0.1 s (latency) + 1 s (downlink) = 2.1 s.
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
+        let nodes = vec![
+            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 7, size: 125_000 })]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.run();
+        let received = &sim.node(NodeId(1)).received;
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].0, SimTime::from_micros(2_100_000));
+        assert_eq!(received[0].1, NodeId(0));
+    }
+
+    #[test]
+    fn fifo_ordering_preserved() {
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(10));
+        let nodes = vec![
+            Recorder::new(vec![
+                (NodeId(1), SizedPayload { tag: 1, size: 50_000 }),
+                (NodeId(1), SizedPayload { tag: 2, size: 1_000 }),
+                (NodeId(1), SizedPayload { tag: 3, size: 1_000 }),
+            ]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.run();
+        let tags: Vec<u64> = sim.node(NodeId(1)).received.iter().map(|r| r.2).collect();
+        assert_eq!(tags, vec![1, 2, 3], "uplink FIFO must hold");
+    }
+
+    #[test]
+    fn bandwidth_change_slows_transfer() {
+        // Same as transfer_time test, but uplink drops to 0.1 Mbit/s at
+        // t = 0.5 s: 0.5 s sent 62 500 B, the rest takes 62 500 B / 12.5 kB/s
+        // = 5 s, so uplink completes at 5.5 s; delivery 5.5 + 0.1 + 1 = 6.6 s.
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
+        let nodes = vec![
+            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 7, size: 125_000 })]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.schedule_bandwidth_change(
+            SimTime::from_micros(500_000),
+            NodeId(0),
+            Some(0.1e6),
+            None,
+        );
+        sim.run();
+        let received = &sim.node(NodeId(1)).received;
+        assert_eq!(received[0].0, SimTime::from_micros(6_600_000));
+    }
+
+    #[test]
+    fn zero_bandwidth_outage_and_recovery() {
+        // Complete outage from t=0; restored at t = 10 s. Delivery at
+        // 10 + 1 + 0.1 + 1 = 12.1 s.
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
+        let nodes = vec![
+            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 9, size: 125_000 })]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.schedule_bandwidth_change(SimTime::ZERO, NodeId(0), Some(0.0), None);
+        sim.schedule_bandwidth_change(SimTime::from_secs(10), NodeId(0), Some(1e6), None);
+        sim.run();
+        let received = &sim.node(NodeId(1)).received;
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].0, SimTime::from_micros(12_100_000));
+    }
+
+    #[test]
+    fn self_send_delivers_immediately() {
+        let topo = LatencyMatrix::uniform(1, SimDuration::ZERO);
+        let nodes = vec![Recorder::new(vec![(
+            NodeId(0),
+            SizedPayload { tag: 5, size: 1_000_000 },
+        )])];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.run();
+        let received = &sim.node(NodeId(0)).received;
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].0, SimTime::ZERO, "local delivery has no cost");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let topo = crate::topology::authority_topology(3);
+            let nodes: Vec<Recorder> = (0..9)
+                .map(|i| {
+                    let plan = (0..9)
+                        .filter(|&j| j != i)
+                        .map(|j| (NodeId(j), SizedPayload { tag: i as u64, size: 10_000 }))
+                        .collect();
+                    Recorder::new(plan)
+                })
+                .collect();
+            Simulation::new(topo, nodes, config_1mbps())
+        };
+        let mut s1 = build();
+        let mut s2 = build();
+        s1.run();
+        s2.run();
+        for i in 0..9 {
+            assert_eq!(
+                s1.node(NodeId(i)).received,
+                s2.node(NodeId(i)).received,
+                "node {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_track_bytes() {
+        let topo = LatencyMatrix::uniform(2, SimDuration::ZERO);
+        let nodes = vec![
+            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 1, size: 1_000 })]),
+            Recorder::new(vec![]),
+        ];
+        let mut config = config_1mbps();
+        config.wire_overhead_bytes = 64;
+        let mut sim = Simulation::new(topo, nodes, config);
+        sim.run();
+        assert_eq!(sim.metrics().node(NodeId(0)).tx_bytes, 1_064);
+        assert_eq!(sim.metrics().node(NodeId(1)).rx_bytes, 1_064);
+        assert_eq!(sim.metrics().by_kind()["msg"].count, 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_secs(5));
+        let nodes = vec![
+            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 1, size: 10 })]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        let stats = sim.run_until(SimTime::from_secs(1));
+        assert!(stats.end_time <= SimTime::from_secs(1));
+        assert!(sim.node(NodeId(1)).received.is_empty());
+        // Resume to completion.
+        sim.run();
+        assert_eq!(sim.node(NodeId(1)).received.len(), 1);
+    }
+
+    /// Node that exercises timers.
+    struct TimerNode {
+        fired: Vec<(SimTime, u64)>,
+        cancel_second: bool,
+    }
+
+    impl Node for TimerNode {
+        type Msg = SizedPayload;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, SizedPayload>) {
+            ctx.set_timer(SimDuration::from_secs(1), 1);
+            let t2 = ctx.set_timer(SimDuration::from_secs(2), 2);
+            ctx.set_timer(SimDuration::from_secs(3), 3);
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+        }
+
+        fn on_message(&mut self, _: &mut Context<'_, SizedPayload>, _: NodeId, _: SizedPayload) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, SizedPayload>, _timer: TimerId, tag: u64) {
+            self.fired.push((ctx.now(), tag));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let topo = LatencyMatrix::uniform(1, SimDuration::ZERO);
+        let mut sim = Simulation::new(
+            topo,
+            vec![TimerNode {
+                fired: vec![],
+                cancel_second: true,
+            }],
+            SimConfig::default(),
+        );
+        sim.run();
+        let fired = &sim.node(NodeId(0)).fired;
+        assert_eq!(
+            fired,
+            &vec![
+                (SimTime::from_secs(1), 1),
+                (SimTime::from_secs(3), 3),
+            ]
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Byte and message accounting.
+//!
+//! The Table 1 experiment needs bytes-on-the-wire broken down by message
+//! kind and by node; the engine records every enqueue (tx) and delivery
+//! (rx) here.
+
+use crate::message::NodeId;
+use std::collections::BTreeMap;
+
+/// Counters for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Bytes enqueued on the uplink (including framing overhead).
+    pub tx_bytes: u64,
+    /// Bytes fully delivered to the node.
+    pub rx_bytes: u64,
+    /// Messages enqueued on the uplink.
+    pub tx_msgs: u64,
+    /// Messages fully delivered.
+    pub rx_msgs: u64,
+}
+
+/// Counters for one message kind across all nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindMetrics {
+    /// Bytes enqueued (tx side).
+    pub bytes: u64,
+    /// Messages enqueued (tx side).
+    pub count: u64,
+}
+
+/// Aggregated traffic statistics for a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    per_node: Vec<NodeMetrics>,
+    by_kind: BTreeMap<&'static str, KindMetrics>,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Self {
+        Metrics {
+            per_node: vec![NodeMetrics::default(); n],
+            by_kind: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn record_tx(&mut self, node: NodeId, kind: &'static str, bytes: u64) {
+        let m = &mut self.per_node[node.index()];
+        m.tx_bytes += bytes;
+        m.tx_msgs += 1;
+        let k = self.by_kind.entry(kind).or_default();
+        k.bytes += bytes;
+        k.count += 1;
+    }
+
+    pub(crate) fn record_rx(&mut self, node: NodeId, bytes: u64) {
+        let m = &mut self.per_node[node.index()];
+        m.rx_bytes += bytes;
+        m.rx_msgs += 1;
+    }
+
+    /// Counters for a single node.
+    pub fn node(&self, node: NodeId) -> NodeMetrics {
+        self.per_node[node.index()]
+    }
+
+    /// Counters per message kind (tx side), ordered by kind name.
+    pub fn by_kind(&self) -> &BTreeMap<&'static str, KindMetrics> {
+        &self.by_kind
+    }
+
+    /// Total bytes enqueued across all nodes.
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.per_node.iter().map(|m| m.tx_bytes).sum()
+    }
+
+    /// Total messages enqueued across all nodes.
+    pub fn total_tx_msgs(&self) -> u64 {
+        self.per_node.iter().map(|m| m.tx_msgs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut m = Metrics::new(2);
+        m.record_tx(NodeId(0), "VOTE", 100);
+        m.record_tx(NodeId(0), "VOTE", 50);
+        m.record_tx(NodeId(1), "SIG", 10);
+        m.record_rx(NodeId(1), 100);
+
+        assert_eq!(m.node(NodeId(0)).tx_bytes, 150);
+        assert_eq!(m.node(NodeId(0)).tx_msgs, 2);
+        assert_eq!(m.node(NodeId(1)).rx_bytes, 100);
+        assert_eq!(m.by_kind()["VOTE"].bytes, 150);
+        assert_eq!(m.by_kind()["VOTE"].count, 2);
+        assert_eq!(m.total_tx_bytes(), 160);
+        assert_eq!(m.total_tx_msgs(), 3);
+    }
+}

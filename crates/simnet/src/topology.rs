@@ -1,0 +1,197 @@
+//! Latency topologies.
+//!
+//! The paper derives authority-to-authority latencies from a
+//! tornettools-generated private Tor network. We reproduce the relevant
+//! structure directly: the nine directory authorities sit in three
+//! geographic clusters (US-East, US-West, Central Europe), and one-way
+//! latencies are drawn per cluster pair with deterministic seeded jitter.
+
+use crate::message::NodeId;
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A symmetric matrix of one-way propagation latencies.
+#[derive(Clone, Debug)]
+pub struct LatencyMatrix {
+    n: usize,
+    latency: Vec<SimDuration>,
+}
+
+impl LatencyMatrix {
+    /// A uniform all-pairs latency.
+    pub fn uniform(n: usize, latency: SimDuration) -> Self {
+        LatencyMatrix {
+            n,
+            latency: vec![latency; n * n],
+        }
+    }
+
+    /// Builds a matrix from a function of (from, to). The function is
+    /// mirrored: `f(a, b)` is used for both directions with `a < b`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> SimDuration) -> Self {
+        let mut m = LatencyMatrix::uniform(n, SimDuration::ZERO);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let l = f(a, b);
+                m.latency[a * n + b] = l;
+                m.latency[b * n + a] = l;
+            }
+        }
+        m
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// One-way latency between two nodes (zero to self).
+    pub fn get(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self.latency[from.index() * self.n + to.index()]
+    }
+}
+
+/// Geographic cluster of a directory authority.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// US East Coast (moria1, bastet, longclaw).
+    UsEast,
+    /// US West Coast (faravahar).
+    UsWest,
+    /// Central/Northern Europe (tor26, dizum, gabelmoo, dannenberg, maatuska).
+    Europe,
+}
+
+/// The region layout of the nine live directory authorities.
+pub const AUTHORITY_REGIONS: [Region; 9] = [
+    Region::UsEast, // moria1
+    Region::Europe, // tor26
+    Region::Europe, // dizum
+    Region::Europe, // gabelmoo
+    Region::Europe, // dannenberg
+    Region::Europe, // maatuska
+    Region::UsEast, // longclaw
+    Region::UsEast, // bastet
+    Region::UsWest, // faravahar
+];
+
+/// Human-readable names of the nine live authorities, index-aligned with
+/// [`AUTHORITY_REGIONS`].
+pub const AUTHORITY_NAMES: [&str; 9] = [
+    "moria1",
+    "tor26",
+    "dizum",
+    "gabelmoo",
+    "dannenberg",
+    "maatuska",
+    "longclaw",
+    "bastet",
+    "faravahar",
+];
+
+/// Base one-way latency between two regions, in milliseconds.
+fn region_latency_ms(a: Region, b: Region) -> (u64, u64) {
+    use Region::*;
+    // (min, max) ranges reflecting typical internet RTT/2 between the sites.
+    match (a, b) {
+        (UsEast, UsEast) => (8, 25),
+        (Europe, Europe) => (6, 22),
+        (UsWest, UsWest) => (5, 12),
+        (UsEast, UsWest) | (UsWest, UsEast) => (30, 45),
+        (UsEast, Europe) | (Europe, UsEast) => (40, 60),
+        (UsWest, Europe) | (Europe, UsWest) => (65, 90),
+    }
+}
+
+/// Builds the nine-authority topology with seeded jitter.
+///
+/// # Examples
+///
+/// ```
+/// use partialtor_simnet::topology::authority_topology;
+/// let m = authority_topology(7);
+/// assert_eq!(m.len(), 9);
+/// ```
+pub fn authority_topology(seed: u64) -> LatencyMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7064_6972_746f_7221);
+    LatencyMatrix::from_fn(9, |a, b| {
+        let (lo, hi) = region_latency_ms(AUTHORITY_REGIONS[a], AUTHORITY_REGIONS[b]);
+        let ms = rng.gen_range(lo..=hi);
+        SimDuration::from_millis(ms)
+    })
+}
+
+/// Builds an `n`-node topology by cycling the authority regions, for
+/// experiments that scale the committee size (Table 1).
+pub fn scaled_topology(n: usize, seed: u64) -> LatencyMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7363_616c_6564_21);
+    LatencyMatrix::from_fn(n, |a, b| {
+        let ra = AUTHORITY_REGIONS[a % 9];
+        let rb = AUTHORITY_REGIONS[b % 9];
+        let (lo, hi) = region_latency_ms(ra, rb);
+        let ms = rng.gen_range(lo..=hi);
+        SimDuration::from_millis(ms)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_zero_diagonal() {
+        let m = authority_topology(3);
+        for a in 0..9 {
+            assert_eq!(m.get(NodeId(a), NodeId(a)), SimDuration::ZERO);
+            for b in 0..9 {
+                assert_eq!(m.get(NodeId(a), NodeId(b)), m.get(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m1 = authority_topology(11);
+        let m2 = authority_topology(11);
+        let m3 = authority_topology(12);
+        let mut same = true;
+        let mut diff = false;
+        for a in 0..9 {
+            for b in 0..9 {
+                same &= m1.get(NodeId(a), NodeId(b)) == m2.get(NodeId(a), NodeId(b));
+                diff |= m1.get(NodeId(a), NodeId(b)) != m3.get(NodeId(a), NodeId(b));
+            }
+        }
+        assert!(same, "same seed must give same topology");
+        assert!(diff, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn transatlantic_slower_than_intra_eu() {
+        let m = authority_topology(5);
+        // tor26 (EU) ↔ dizum (EU) vs moria1 (US-E) ↔ maatuska (EU).
+        let intra = m.get(NodeId(1), NodeId(2));
+        let trans = m.get(NodeId(0), NodeId(5));
+        assert!(trans > intra);
+    }
+
+    #[test]
+    fn scaled_topology_sizes() {
+        for n in [4, 9, 13, 31] {
+            assert_eq!(scaled_topology(n, 1).len(), n);
+        }
+    }
+
+    #[test]
+    fn uniform_matrix() {
+        let m = LatencyMatrix::uniform(3, SimDuration::from_millis(10));
+        assert_eq!(m.get(NodeId(0), NodeId(2)), SimDuration::from_millis(10));
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Directory authority identities.
+//!
+//! Nine named authorities run the directory protocol. Each holds an
+//! Ed25519 signing key; its fingerprint is the SHA-256 of the public key,
+//! mirroring how Tor authorities are identified by key digests.
+
+use partialtor_crypto::{sha256, Digest32, SigningKey, VerifyingKey};
+
+/// Index of an authority within the committee (0-based, dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AuthorityId(pub u8);
+
+impl AuthorityId {
+    /// The index backing this id.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AuthorityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "auth{}", self.0)
+    }
+}
+
+/// A directory authority's long-term identity.
+pub struct Authority {
+    /// Committee index.
+    pub id: AuthorityId,
+    /// Human-readable name (e.g. `moria1`).
+    pub name: String,
+    /// Signing key.
+    pub signing_key: SigningKey,
+}
+
+impl Authority {
+    /// Deterministically derives authority `id` of a committee from a seed.
+    pub fn derive(seed: u64, id: u8, name: &str) -> Self {
+        let d = sha256::digest_parts(&[b"authority-key", &seed.to_le_bytes(), &[id]]);
+        Authority {
+            id: AuthorityId(id),
+            name: name.to_string(),
+            signing_key: SigningKey::from_seed(*d.as_bytes()),
+        }
+    }
+
+    /// The public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.signing_key.verifying_key()
+    }
+
+    /// SHA-256 fingerprint of the public key.
+    pub fn fingerprint(&self) -> Digest32 {
+        sha256::digest(&self.verifying_key().to_bytes())
+    }
+
+    /// Tor-style 40-hex-character fingerprint (first 20 bytes).
+    pub fn fingerprint_hex(&self) -> String {
+        self.fingerprint().short_hex(20)
+    }
+}
+
+impl std::fmt::Debug for Authority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Authority({}, {})", self.name, &self.fingerprint_hex()[..8])
+    }
+}
+
+/// The full committee for one directory protocol instance.
+pub struct AuthoritySet {
+    authorities: Vec<Authority>,
+}
+
+impl AuthoritySet {
+    /// The nine live directory authority names.
+    pub const LIVE_NAMES: [&'static str; 9] = [
+        "moria1",
+        "tor26",
+        "dizum",
+        "gabelmoo",
+        "dannenberg",
+        "maatuska",
+        "longclaw",
+        "bastet",
+        "faravahar",
+    ];
+
+    /// Builds the standard nine-authority committee.
+    pub fn live(seed: u64) -> Self {
+        Self::with_size(seed, 9)
+    }
+
+    /// Builds a committee of arbitrary size (names cycle for n > 9).
+    pub fn with_size(seed: u64, n: usize) -> Self {
+        let authorities = (0..n)
+            .map(|i| {
+                let base = Self::LIVE_NAMES[i % 9];
+                let name = if i < 9 {
+                    base.to_string()
+                } else {
+                    format!("{base}-{}", i / 9)
+                };
+                Authority::derive(seed, i as u8, &name)
+            })
+            .collect();
+        AuthoritySet { authorities }
+    }
+
+    /// Number of authorities.
+    pub fn len(&self) -> usize {
+        self.authorities.len()
+    }
+
+    /// Whether the committee is empty.
+    pub fn is_empty(&self) -> bool {
+        self.authorities.is_empty()
+    }
+
+    /// Access by id.
+    pub fn get(&self, id: AuthorityId) -> &Authority {
+        &self.authorities[id.index()]
+    }
+
+    /// Iterates over the committee.
+    pub fn iter(&self) -> impl Iterator<Item = &Authority> {
+        self.authorities.iter()
+    }
+
+    /// All public keys, indexed by authority id.
+    pub fn verifying_keys(&self) -> Vec<VerifyingKey> {
+        self.authorities.iter().map(|a| a.verifying_key()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_committee_has_nine_named_authorities() {
+        let set = AuthoritySet::live(1);
+        assert_eq!(set.len(), 9);
+        assert_eq!(set.get(AuthorityId(0)).name, "moria1");
+        assert_eq!(set.get(AuthorityId(8)).name, "faravahar");
+    }
+
+    #[test]
+    fn keys_are_distinct_and_deterministic() {
+        let a = AuthoritySet::live(7);
+        let b = AuthoritySet::live(7);
+        let c = AuthoritySet::live(8);
+        for i in 0..9 {
+            let id = AuthorityId(i);
+            assert_eq!(
+                a.get(id).verifying_key(),
+                b.get(id).verifying_key(),
+                "same seed, same keys"
+            );
+            assert_ne!(
+                a.get(id).verifying_key(),
+                c.get(id).verifying_key(),
+                "different seed, different keys"
+            );
+            for j in 0..i {
+                assert_ne!(
+                    a.get(id).verifying_key(),
+                    a.get(AuthorityId(j)).verifying_key(),
+                    "distinct keys within committee"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_verify_across_the_set() {
+        let set = AuthoritySet::live(3);
+        let msg = b"consensus";
+        for auth in set.iter() {
+            let sig = auth.signing_key.sign(msg);
+            auth.verifying_key().verify(msg, &sig).expect("verifies");
+        }
+    }
+
+    #[test]
+    fn scaled_committee_names() {
+        let set = AuthoritySet::with_size(1, 13);
+        assert_eq!(set.len(), 13);
+        assert_eq!(set.get(AuthorityId(9)).name, "moria1-1");
+    }
+
+    #[test]
+    fn fingerprint_hex_length() {
+        let set = AuthoritySet::live(2);
+        assert_eq!(set.get(AuthorityId(0)).fingerprint_hex().len(), 40);
+    }
+}

@@ -1,0 +1,67 @@
+//! `partialtor-tordoc` — Tor directory documents and aggregation.
+//!
+//! This crate models the *data plane* of the Tor directory protocol:
+//!
+//! * relay status entries ([`relay`]) — identities, flags, versions,
+//!   exit-policy summaries, measured bandwidth;
+//! * per-authority **votes** ([`vote`]) with a dir-spec-shaped text
+//!   encoding that round-trips through [`Vote::parse`];
+//! * **consensus documents** ([`consensus`]) produced by the Fig. 2
+//!   aggregation algorithm of the paper, carrying Ed25519 authority
+//!   signatures, valid only with a majority of them;
+//! * deterministic **population generation** ([`generator`]) standing in
+//!   for the tornettools-derived network of the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use partialtor_tordoc::prelude::*;
+//!
+//! // Ground truth network, viewed noisily by 9 authorities.
+//! let population = generate_population(&PopulationConfig { seed: 1, count: 100 });
+//! let committee = AuthoritySet::live(1);
+//! let votes: Vec<Vote> = committee
+//!     .iter()
+//!     .map(|auth| {
+//!         let view = authority_view(&population, auth.id, 1, &ViewConfig::default());
+//!         Vote::new(
+//!             VoteMeta::standard(auth.id, &auth.name, auth.fingerprint_hex(), 3600),
+//!             view,
+//!         )
+//!     })
+//!     .collect();
+//!
+//! // Aggregate and sign.
+//! let refs: Vec<&Vote> = votes.iter().collect();
+//! let mut consensus = aggregate(&refs);
+//! for auth in committee.iter().take(5) {
+//!     consensus.sign(auth.id, &auth.signing_key);
+//! }
+//! assert!(consensus.is_valid(&committee.verifying_keys(), committee.len()));
+//! ```
+
+pub mod authority;
+pub mod consensus;
+pub mod diff;
+pub mod generator;
+pub mod relay;
+pub mod vote;
+
+pub use authority::{Authority, AuthorityId, AuthoritySet};
+pub use consensus::{aggregate, Consensus, ConsensusEntry, ConsensusMeta};
+pub use diff::ConsensusDiff;
+pub use generator::{authority_view, generate_population, PopulationConfig, ViewConfig};
+pub use relay::{ExitPolicySummary, RelayFlags, RelayId, RelayInfo, TorVersion};
+pub use vote::{DocError, Vote, VoteMeta};
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::authority::{Authority, AuthorityId, AuthoritySet};
+    pub use crate::consensus::{aggregate, Consensus, ConsensusEntry, ConsensusMeta};
+    pub use crate::diff::ConsensusDiff;
+    pub use crate::generator::{
+        authority_view, generate_population, PopulationConfig, ViewConfig,
+    };
+    pub use crate::relay::{ExitPolicySummary, RelayFlags, RelayId, RelayInfo, TorVersion};
+    pub use crate::vote::{DocError, Vote, VoteMeta};
+}

@@ -1,0 +1,427 @@
+//! Relay identities, status flags, versions and exit policies.
+//!
+//! These are the per-relay properties the directory protocol votes on; the
+//! aggregation rules of Fig. 2 of the paper operate field-by-field on this
+//! data.
+
+use partialtor_crypto::{hex, sha256};
+
+/// A relay identity fingerprint (20 bytes, displayed as uppercase hex, like
+/// Tor's RSA identity digests).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelayId([u8; 20]);
+
+impl RelayId {
+    /// Builds an id from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 20]) -> Self {
+        RelayId(bytes)
+    }
+
+    /// Derives an id deterministically from a seed (test populations).
+    pub fn derive(seed: u64, index: u64) -> Self {
+        let d = sha256::digest_parts(&[b"relay-id", &seed.to_le_bytes(), &index.to_le_bytes()]);
+        let mut bytes = [0u8; 20];
+        bytes.copy_from_slice(&d.as_bytes()[..20]);
+        RelayId(bytes)
+    }
+
+    /// Raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Uppercase-hex fingerprint (40 characters).
+    pub fn fingerprint(&self) -> String {
+        hex::encode_upper(&self.0)
+    }
+
+    /// Parses a 40-character hex fingerprint.
+    pub fn from_fingerprint(s: &str) -> Option<Self> {
+        hex::decode_array::<20>(&s.to_ascii_lowercase()).map(RelayId)
+    }
+}
+
+impl std::fmt::Debug for RelayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RelayId({})", &self.fingerprint()[..8])
+    }
+}
+
+impl std::fmt::Display for RelayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.fingerprint())
+    }
+}
+
+/// The status flags a directory authority may assign to a relay.
+///
+/// Stored as a bit set; the variants match the v3 directory specification's
+/// known flags.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RelayFlags(u16);
+
+/// All known flags in canonical (alphabetical) order, as (bit, name).
+pub const FLAG_TABLE: [(u16, &str); 12] = [
+    (1 << 0, "Authority"),
+    (1 << 1, "BadExit"),
+    (1 << 2, "Exit"),
+    (1 << 3, "Fast"),
+    (1 << 4, "Guard"),
+    (1 << 5, "HSDir"),
+    (1 << 6, "MiddleOnly"),
+    (1 << 7, "Running"),
+    (1 << 8, "Stable"),
+    (1 << 9, "StaleDesc"),
+    (1 << 10, "V2Dir"),
+    (1 << 11, "Valid"),
+];
+
+impl RelayFlags {
+    /// The empty flag set.
+    pub const NONE: RelayFlags = RelayFlags(0);
+    /// `Authority` flag.
+    pub const AUTHORITY: RelayFlags = RelayFlags(1 << 0);
+    /// `BadExit` flag.
+    pub const BAD_EXIT: RelayFlags = RelayFlags(1 << 1);
+    /// `Exit` flag.
+    pub const EXIT: RelayFlags = RelayFlags(1 << 2);
+    /// `Fast` flag.
+    pub const FAST: RelayFlags = RelayFlags(1 << 3);
+    /// `Guard` flag.
+    pub const GUARD: RelayFlags = RelayFlags(1 << 4);
+    /// `HSDir` flag.
+    pub const HSDIR: RelayFlags = RelayFlags(1 << 5);
+    /// `MiddleOnly` flag.
+    pub const MIDDLE_ONLY: RelayFlags = RelayFlags(1 << 6);
+    /// `Running` flag.
+    pub const RUNNING: RelayFlags = RelayFlags(1 << 7);
+    /// `Stable` flag.
+    pub const STABLE: RelayFlags = RelayFlags(1 << 8);
+    /// `StaleDesc` flag.
+    pub const STALE_DESC: RelayFlags = RelayFlags(1 << 9);
+    /// `V2Dir` flag.
+    pub const V2DIR: RelayFlags = RelayFlags(1 << 10);
+    /// `Valid` flag.
+    pub const VALID: RelayFlags = RelayFlags(1 << 11);
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: RelayFlags) -> RelayFlags {
+        RelayFlags(self.0 | other.0)
+    }
+
+    /// Whether all flags in `other` are present.
+    pub const fn contains(self, other: RelayFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Inserts the flags in `other`.
+    pub fn insert(&mut self, other: RelayFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Removes the flags in `other`.
+    pub fn remove(&mut self, other: RelayFlags) {
+        self.0 &= !other.0;
+    }
+
+    /// Iterates over the individual flags present, in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = RelayFlags> {
+        FLAG_TABLE
+            .iter()
+            .filter(move |(bit, _)| self.0 & bit != 0)
+            .map(|(bit, _)| RelayFlags(*bit))
+    }
+
+    /// Canonical space-separated flag names (the vote `s` line).
+    pub fn names(self) -> String {
+        FLAG_TABLE
+            .iter()
+            .filter(|(bit, _)| self.0 & bit != 0)
+            .map(|(_, name)| *name)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Parses space-separated flag names; unknown names are rejected.
+    pub fn parse(s: &str) -> Option<RelayFlags> {
+        let mut flags = RelayFlags::NONE;
+        for name in s.split_whitespace() {
+            let (bit, _) = FLAG_TABLE.iter().find(|(_, n)| *n == name)?;
+            flags.0 |= bit;
+        }
+        Some(flags)
+    }
+
+    /// Raw bit representation.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits (unknown bits are masked off).
+    pub fn from_bits(bits: u16) -> RelayFlags {
+        let mask: u16 = FLAG_TABLE.iter().map(|(b, _)| b).fold(0, |a, b| a | b);
+        RelayFlags(bits & mask)
+    }
+}
+
+impl std::fmt::Debug for RelayFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RelayFlags({})", self.names())
+    }
+}
+
+/// A Tor software version, ordered numerically (the Fig. 2 tie-break picks
+/// the largest).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TorVersion {
+    /// Major version.
+    pub major: u8,
+    /// Minor version.
+    pub minor: u8,
+    /// Micro version.
+    pub micro: u8,
+    /// Patch level.
+    pub patch: u8,
+}
+
+impl TorVersion {
+    /// Builds a version.
+    pub const fn new(major: u8, minor: u8, micro: u8, patch: u8) -> Self {
+        TorVersion {
+            major,
+            minor,
+            micro,
+            patch,
+        }
+    }
+
+    /// Parses `"Tor X.Y.Z.W"` or `"X.Y.Z.W"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.strip_prefix("Tor ").unwrap_or(s);
+        let mut parts = s.split('.');
+        let major = parts.next()?.parse().ok()?;
+        let minor = parts.next()?.parse().ok()?;
+        let micro = parts.next()?.parse().ok()?;
+        let patch = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(TorVersion {
+            major,
+            minor,
+            micro,
+            patch,
+        })
+    }
+}
+
+impl std::fmt::Display for TorVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tor {}.{}.{}.{}",
+            self.major, self.minor, self.micro, self.patch
+        )
+    }
+}
+
+/// An exit-policy summary (the `p` line of a status entry).
+///
+/// Tor summarizes the full exit policy as `accept`/`reject` plus a port
+/// list. Fig. 2's tie-break compares summaries lexicographically, so the
+/// canonical string form defines the order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ExitPolicySummary {
+    /// Whether the port list is an accept list (vs. reject).
+    pub accept: bool,
+    /// Sorted, disjoint port ranges.
+    pub ports: Vec<(u16, u16)>,
+}
+
+impl ExitPolicySummary {
+    /// The reject-all policy of a non-exit relay.
+    pub fn reject_all() -> Self {
+        ExitPolicySummary {
+            accept: false,
+            ports: vec![(1, 65535)],
+        }
+    }
+
+    /// A typical web-exit policy.
+    pub fn web_exit() -> Self {
+        ExitPolicySummary {
+            accept: true,
+            ports: vec![(80, 80), (443, 443)],
+        }
+    }
+
+    /// Canonical summary string, e.g. `accept 80,443` or
+    /// `reject 1-65535`.
+    pub fn summary(&self) -> String {
+        let ports = self
+            .ports
+            .iter()
+            .map(|&(lo, hi)| {
+                if lo == hi {
+                    lo.to_string()
+                } else {
+                    format!("{lo}-{hi}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{} {}", if self.accept { "accept" } else { "reject" }, ports)
+    }
+
+    /// Parses a canonical summary string.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (kind, ports_str) = s.split_once(' ')?;
+        let accept = match kind {
+            "accept" => true,
+            "reject" => false,
+            _ => return None,
+        };
+        let mut ports = Vec::new();
+        for part in ports_str.split(',') {
+            if let Some((lo, hi)) = part.split_once('-') {
+                ports.push((lo.parse().ok()?, hi.parse().ok()?));
+            } else {
+                let p: u16 = part.parse().ok()?;
+                ports.push((p, p));
+            }
+        }
+        Some(ExitPolicySummary { accept, ports })
+    }
+}
+
+impl PartialOrd for ExitPolicySummary {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ExitPolicySummary {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Fig. 2: "the lexicographically larger exit policy summary".
+        self.summary().cmp(&other.summary())
+    }
+}
+
+/// Everything an authority asserts about one relay in its vote.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelayInfo {
+    /// Identity fingerprint.
+    pub id: RelayId,
+    /// Nickname (1–19 alphanumerics).
+    pub nickname: String,
+    /// IPv4 address.
+    pub address: [u8; 4],
+    /// OR port.
+    pub or_port: u16,
+    /// Directory port (0 if none).
+    pub dir_port: u16,
+    /// Status flags.
+    pub flags: RelayFlags,
+    /// Claimed Tor version.
+    pub version: TorVersion,
+    /// Subprotocol versions line (e.g. `Cons=1-2 Desc=1-2 ...`).
+    pub protocols: String,
+    /// Exit policy summary.
+    pub exit_policy: ExitPolicySummary,
+    /// Measured bandwidth in kB/s, if this authority measures bandwidth.
+    pub bandwidth: Option<u32>,
+    /// Descriptor digest (pins the relay's server descriptor).
+    pub descriptor_digest: partialtor_crypto::Digest32,
+}
+
+impl RelayInfo {
+    /// Formats the IPv4 address.
+    pub fn address_string(&self) -> String {
+        let [a, b, c, d] = self.address;
+        format!("{a}.{b}.{c}.{d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_id_fingerprint_roundtrip() {
+        let id = RelayId::derive(1, 2);
+        let fp = id.fingerprint();
+        assert_eq!(fp.len(), 40);
+        assert_eq!(RelayId::from_fingerprint(&fp), Some(id));
+    }
+
+    #[test]
+    fn relay_id_derivation_is_stable_and_distinct() {
+        assert_eq!(RelayId::derive(5, 7), RelayId::derive(5, 7));
+        assert_ne!(RelayId::derive(5, 7), RelayId::derive(5, 8));
+        assert_ne!(RelayId::derive(5, 7), RelayId::derive(6, 7));
+    }
+
+    #[test]
+    fn flags_roundtrip_names() {
+        let f = RelayFlags::EXIT
+            .union(RelayFlags::FAST)
+            .union(RelayFlags::RUNNING)
+            .union(RelayFlags::VALID);
+        assert_eq!(f.names(), "Exit Fast Running Valid");
+        assert_eq!(RelayFlags::parse(&f.names()), Some(f));
+    }
+
+    #[test]
+    fn flags_parse_rejects_unknown() {
+        assert_eq!(RelayFlags::parse("Exit Wobbly"), None);
+    }
+
+    #[test]
+    fn flags_set_operations() {
+        let mut f = RelayFlags::NONE;
+        f.insert(RelayFlags::GUARD);
+        assert!(f.contains(RelayFlags::GUARD));
+        f.remove(RelayFlags::GUARD);
+        assert_eq!(f, RelayFlags::NONE);
+    }
+
+    #[test]
+    fn flags_bits_roundtrip_masks_unknown() {
+        let f = RelayFlags::from_bits(0xffff);
+        assert_eq!(f.bits() & 0xf000, 0, "only 12 known bits");
+    }
+
+    #[test]
+    fn version_ordering_and_parse() {
+        let old = TorVersion::new(0, 4, 7, 1);
+        let new = TorVersion::new(0, 4, 8, 0);
+        assert!(new > old);
+        assert_eq!(TorVersion::parse("Tor 0.4.8.10"), Some(TorVersion::new(0, 4, 8, 10)));
+        assert_eq!(TorVersion::parse("0.4.8.10"), Some(TorVersion::new(0, 4, 8, 10)));
+        assert_eq!(TorVersion::parse("0.4.8"), None);
+        assert_eq!(TorVersion::parse("Tor 0.4.8.10").unwrap().to_string(), "Tor 0.4.8.10");
+    }
+
+    #[test]
+    fn exit_policy_summary_roundtrip() {
+        for p in [
+            ExitPolicySummary::reject_all(),
+            ExitPolicySummary::web_exit(),
+        ] {
+            assert_eq!(ExitPolicySummary::parse(&p.summary()), Some(p.clone()));
+        }
+    }
+
+    #[test]
+    fn exit_policy_ordering_is_lexicographic_on_summary() {
+        let a = ExitPolicySummary::web_exit(); // "accept 80,443"
+        let r = ExitPolicySummary::reject_all(); // "reject 1-65535"
+        assert!(r > a, "'reject…' sorts after 'accept…'");
+    }
+
+    #[test]
+    fn flag_iter_counts() {
+        let f = RelayFlags::EXIT.union(RelayFlags::GUARD);
+        assert_eq!(f.iter().count(), 2);
+    }
+}

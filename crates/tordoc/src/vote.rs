@@ -1,0 +1,420 @@
+//! Status votes: the per-authority input documents of the directory
+//! protocol.
+//!
+//! A vote lists everything one authority believes about the relay
+//! population. The text encoding follows the shape of Tor's v3 directory
+//! format (`r`/`m`/`s`/`v`/`pr`/`w`/`p` lines per relay) with timestamps
+//! simplified to Unix seconds; it parses back losslessly, which the
+//! property tests exercise.
+
+use crate::authority::AuthorityId;
+use crate::relay::{ExitPolicySummary, RelayFlags, RelayId, RelayInfo, TorVersion};
+use partialtor_crypto::{sha256, Digest32};
+
+/// Vote/consensus parse failures, with the offending 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub reason: String,
+}
+
+impl DocError {
+    pub(crate) fn new(line: usize, reason: impl Into<String>) -> Self {
+        DocError {
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for DocError {}
+
+/// Header metadata of a vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VoteMeta {
+    /// The voting authority.
+    pub authority: AuthorityId,
+    /// Its human-readable name.
+    pub authority_name: String,
+    /// Its 40-hex-character fingerprint.
+    pub authority_fingerprint: String,
+    /// Publication time (Unix seconds).
+    pub published: u64,
+    /// Start of the validity interval.
+    pub valid_after: u64,
+    /// When the produced consensus goes stale (1 h after `valid_after`).
+    pub fresh_until: u64,
+    /// When the produced consensus becomes invalid (3 h).
+    pub valid_until: u64,
+}
+
+impl VoteMeta {
+    /// Builds metadata with the standard 1 h fresh / 3 h valid windows.
+    pub fn standard(
+        authority: AuthorityId,
+        name: &str,
+        fingerprint: String,
+        valid_after: u64,
+    ) -> Self {
+        VoteMeta {
+            authority,
+            authority_name: name.to_string(),
+            authority_fingerprint: fingerprint,
+            published: valid_after.saturating_sub(300),
+            valid_after,
+            fresh_until: valid_after + 3600,
+            valid_until: valid_after + 3 * 3600,
+        }
+    }
+}
+
+/// A complete status vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vote {
+    /// Header metadata.
+    pub meta: VoteMeta,
+    /// Relay entries, sorted by identity.
+    entries: Vec<RelayInfo>,
+}
+
+impl Vote {
+    /// Creates a vote, sorting entries by relay identity and dropping
+    /// duplicates (later entries win, matching "most recent descriptor").
+    pub fn new(meta: VoteMeta, mut entries: Vec<RelayInfo>) -> Self {
+        entries.sort_by_key(|e| e.id);
+        entries.dedup_by(|later, earlier| {
+            if later.id == earlier.id {
+                std::mem::swap(later, earlier);
+                true
+            } else {
+                false
+            }
+        });
+        Vote { meta, entries }
+    }
+
+    /// The relay entries, sorted by identity.
+    pub fn entries(&self) -> &[RelayInfo] {
+        &self.entries
+    }
+
+    /// Number of relays listed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vote lists no relays.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a relay by id (entries are sorted).
+    pub fn get(&self, id: RelayId) -> Option<&RelayInfo> {
+        self.entries
+            .binary_search_by_key(&id, |e| e.id)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Canonical text encoding.
+    pub fn encode(&self) -> String {
+        let m = &self.meta;
+        let mut out = String::with_capacity(128 + self.entries.len() * 360);
+        out.push_str("network-status-version 3\n");
+        out.push_str("vote-status vote\n");
+        out.push_str("consensus-method 28\n");
+        out.push_str(&format!("published {}\n", m.published));
+        out.push_str(&format!("valid-after {}\n", m.valid_after));
+        out.push_str(&format!("fresh-until {}\n", m.fresh_until));
+        out.push_str(&format!("valid-until {}\n", m.valid_until));
+        out.push_str("voting-delay 300 300\n");
+        out.push_str(&format!(
+            "dir-source {} {} {}\n",
+            m.authority_name, m.authority.0, m.authority_fingerprint
+        ));
+        out.push_str("known-flags Authority BadExit Exit Fast Guard HSDir MiddleOnly Running Stable StaleDesc V2Dir Valid\n");
+        for e in &self.entries {
+            encode_relay(&mut out, e, true);
+        }
+        out.push_str("directory-footer\n");
+        out
+    }
+
+    /// SHA-256 digest of the canonical encoding. This is the `h_i` that the
+    /// paper's dissemination sub-protocol signs and agrees on.
+    pub fn digest(&self) -> Digest32 {
+        sha256::digest(self.encode().as_bytes())
+    }
+
+    /// Size of the canonical encoding in bytes (the `d` of the paper's
+    /// complexity analysis).
+    pub fn wire_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+
+    /// Parses a canonical vote encoding.
+    pub fn parse(text: &str) -> Result<Vote, DocError> {
+        let mut lines = text.lines().enumerate().peekable();
+        let mut published = None;
+        let mut valid_after = None;
+        let mut fresh_until = None;
+        let mut valid_until = None;
+        let mut source: Option<(String, u8, String)> = None;
+
+        // Header section.
+        for (idx, line) in lines.by_ref() {
+            let ln = idx + 1;
+            if line.starts_with("known-flags ") {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("published ") {
+                published = Some(parse_u64(rest, ln)?);
+            } else if let Some(rest) = line.strip_prefix("valid-after ") {
+                valid_after = Some(parse_u64(rest, ln)?);
+            } else if let Some(rest) = line.strip_prefix("fresh-until ") {
+                fresh_until = Some(parse_u64(rest, ln)?);
+            } else if let Some(rest) = line.strip_prefix("valid-until ") {
+                valid_until = Some(parse_u64(rest, ln)?);
+            } else if let Some(rest) = line.strip_prefix("dir-source ") {
+                let mut parts = rest.split(' ');
+                let name = parts
+                    .next()
+                    .ok_or_else(|| DocError::new(ln, "dir-source missing name"))?;
+                let id: u8 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| DocError::new(ln, "dir-source missing id"))?;
+                let fp = parts
+                    .next()
+                    .ok_or_else(|| DocError::new(ln, "dir-source missing fingerprint"))?;
+                source = Some((name.to_string(), id, fp.to_string()));
+            } else if line.starts_with("network-status-version")
+                || line.starts_with("vote-status")
+                || line.starts_with("consensus-method")
+                || line.starts_with("voting-delay")
+            {
+                // Fixed header lines; accepted as-is.
+            } else {
+                return Err(DocError::new(ln, format!("unexpected header line: {line}")));
+            }
+        }
+
+        let (authority_name, authority_id, authority_fingerprint) =
+            source.ok_or_else(|| DocError::new(0, "missing dir-source"))?;
+        let meta = VoteMeta {
+            authority: AuthorityId(authority_id),
+            authority_name,
+            authority_fingerprint,
+            published: published.ok_or_else(|| DocError::new(0, "missing published"))?,
+            valid_after: valid_after.ok_or_else(|| DocError::new(0, "missing valid-after"))?,
+            fresh_until: fresh_until.ok_or_else(|| DocError::new(0, "missing fresh-until"))?,
+            valid_until: valid_until.ok_or_else(|| DocError::new(0, "missing valid-until"))?,
+        };
+
+        let entries = parse_entries(&mut lines, true)?;
+        Ok(Vote::new(meta, entries))
+    }
+}
+
+pub(crate) fn parse_u64(s: &str, line: usize) -> Result<u64, DocError> {
+    s.parse()
+        .map_err(|_| DocError::new(line, format!("bad integer: {s}")))
+}
+
+/// Encodes one relay's status lines (`with_descriptor` adds the vote-only
+/// `m` line).
+pub(crate) fn encode_relay(out: &mut String, e: &RelayInfo, with_descriptor: bool) {
+    out.push_str(&format!(
+        "r {} {} {} {} {}\n",
+        e.nickname,
+        e.id.fingerprint(),
+        e.address_string(),
+        e.or_port,
+        e.dir_port
+    ));
+    if with_descriptor {
+        out.push_str(&format!("m {}\n", e.descriptor_digest.to_hex()));
+    }
+    out.push_str(&format!("s {}\n", e.flags.names()));
+    out.push_str(&format!("v {}\n", e.version));
+    out.push_str(&format!("pr {}\n", e.protocols));
+    match e.bandwidth {
+        Some(bw) => out.push_str(&format!("w Bandwidth={bw} Measured={bw}\n")),
+        None => out.push_str("w Bandwidth=0\n"),
+    }
+    out.push_str(&format!("p {}\n", e.exit_policy.summary()));
+}
+
+/// Parses relay entries from an `(index, line)` iterator.
+pub(crate) fn parse_entries<'a, I>(
+    lines: &mut std::iter::Peekable<I>,
+    with_descriptor: bool,
+) -> Result<Vec<RelayInfo>, DocError>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let mut entries = Vec::new();
+    let mut current: Option<RelayInfo> = None;
+
+    while let Some((idx, line)) = lines.next() {
+        let ln = idx + 1;
+        if line == "directory-footer" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("r ") {
+            if let Some(done) = current.take() {
+                entries.push(done);
+            }
+            let parts: Vec<&str> = rest.split(' ').collect();
+            if parts.len() != 5 {
+                return Err(DocError::new(ln, "r line needs 5 fields"));
+            }
+            let id = RelayId::from_fingerprint(parts[1])
+                .ok_or_else(|| DocError::new(ln, "bad fingerprint"))?;
+            let addr_parts: Vec<&str> = parts[2].split('.').collect();
+            if addr_parts.len() != 4 {
+                return Err(DocError::new(ln, "bad IPv4 address"));
+            }
+            let mut address = [0u8; 4];
+            for (i, p) in addr_parts.iter().enumerate() {
+                address[i] = p
+                    .parse()
+                    .map_err(|_| DocError::new(ln, "bad IPv4 octet"))?;
+            }
+            current = Some(RelayInfo {
+                id,
+                nickname: parts[0].to_string(),
+                address,
+                or_port: parse_u64(parts[3], ln)? as u16,
+                dir_port: parse_u64(parts[4], ln)? as u16,
+                flags: RelayFlags::NONE,
+                version: TorVersion::new(0, 0, 0, 0),
+                protocols: String::new(),
+                exit_policy: ExitPolicySummary::reject_all(),
+                bandwidth: None,
+                descriptor_digest: Digest32::default(),
+            });
+            continue;
+        }
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| DocError::new(ln, "status line before any r line"))?;
+        if let Some(rest) = line.strip_prefix("m ") {
+            if with_descriptor {
+                entry.descriptor_digest = Digest32::from_hex(rest)
+                    .ok_or_else(|| DocError::new(ln, "bad descriptor digest"))?;
+            }
+        } else if let Some(rest) = line.strip_prefix("s ") {
+            entry.flags =
+                RelayFlags::parse(rest).ok_or_else(|| DocError::new(ln, "unknown flag"))?;
+        } else if let Some(rest) = line.strip_prefix("v ") {
+            entry.version =
+                TorVersion::parse(rest).ok_or_else(|| DocError::new(ln, "bad version"))?;
+        } else if let Some(rest) = line.strip_prefix("pr ") {
+            entry.protocols = rest.to_string();
+        } else if let Some(rest) = line.strip_prefix("w ") {
+            entry.bandwidth = None;
+            for field in rest.split(' ') {
+                if let Some(v) = field.strip_prefix("Measured=") {
+                    entry.bandwidth = Some(parse_u64(v, ln)? as u32);
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("p ") {
+            entry.exit_policy = ExitPolicySummary::parse(rest)
+                .ok_or_else(|| DocError::new(ln, "bad exit policy"))?;
+        } else {
+            return Err(DocError::new(ln, format!("unexpected line: {line}")));
+        }
+    }
+    if let Some(done) = current.take() {
+        entries.push(done);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_population, PopulationConfig};
+
+    fn sample_vote(n: usize) -> Vote {
+        let pop = generate_population(&PopulationConfig {
+            seed: 5,
+            count: n,
+        });
+        let meta = VoteMeta::standard(AuthorityId(3), "gabelmoo", "AB".repeat(20), 1_700_000_000);
+        Vote::new(meta, pop)
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let vote = sample_vote(50);
+        let text = vote.encode();
+        let parsed = Vote::parse(&text).expect("parses");
+        assert_eq!(parsed, vote);
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let v1 = sample_vote(10);
+        let mut v2 = sample_vote(10);
+        v2.meta.published += 1;
+        let v2 = Vote::new(v2.meta.clone(), v2.entries.to_vec());
+        assert_ne!(v1.digest(), v2.digest());
+    }
+
+    #[test]
+    fn entries_sorted_and_deduped() {
+        let pop = generate_population(&PopulationConfig { seed: 1, count: 5 });
+        let mut doubled = pop.clone();
+        doubled.extend(pop.iter().cloned());
+        let meta = VoteMeta::standard(AuthorityId(0), "moria1", "00".repeat(20), 0);
+        let vote = Vote::new(meta, doubled);
+        assert_eq!(vote.len(), 5);
+        for w in vote.entries().windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn get_by_id() {
+        let vote = sample_vote(20);
+        let target = vote.entries()[7].id;
+        assert_eq!(vote.get(target).unwrap().id, target);
+        assert!(vote.get(RelayId::derive(999, 999)).is_none());
+    }
+
+    #[test]
+    fn wire_size_scales_with_relays() {
+        let small = sample_vote(10).wire_size();
+        let large = sample_vote(100).wire_size();
+        assert!(large > small * 5, "size should grow roughly linearly");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Vote::parse("complete nonsense\n").is_err());
+        // Status line before any r line.
+        let bad = "network-status-version 3\nvote-status vote\nconsensus-method 28\n\
+published 1\nvalid-after 2\nfresh-until 3\nvalid-until 4\nvoting-delay 300 300\n\
+dir-source moria1 0 AAAA\nknown-flags Exit\ns Exit\n";
+        let err = Vote::parse(bad).unwrap_err();
+        assert!(err.reason.contains("before any r line"), "{err}");
+    }
+
+    #[test]
+    fn meta_standard_windows() {
+        let m = VoteMeta::standard(AuthorityId(1), "tor26", String::new(), 7200);
+        assert_eq!(m.fresh_until - m.valid_after, 3600);
+        assert_eq!(m.valid_until - m.valid_after, 3 * 3600);
+        assert_eq!(m.published, 6900);
+    }
+}

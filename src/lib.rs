@@ -1,0 +1,28 @@
+//! `partialtor-repro` — workspace façade.
+//!
+//! Re-exports the whole reproduction of *"Five Minutes of DDoS Brings
+//! down Tor"* (EUROSYS '26) behind one crate, so examples and downstream
+//! users can depend on a single name:
+//!
+//! * [`crypto`] — SHA-2 and Ed25519 from scratch;
+//! * [`simnet`] — the deterministic discrete-event network simulator;
+//! * [`tordoc`] — votes, consensus documents and the Fig. 2 aggregation;
+//! * [`consensus`] — the view-based BFT agreement engine;
+//! * [`core`] — the three directory protocols, the attack and the
+//!   experiment drivers.
+//!
+//! # Examples
+//!
+//! ```
+//! use partialtor_repro::core::{run, ProtocolKind, Scenario};
+//!
+//! let scenario = Scenario { relays: 500, ..Scenario::default() };
+//! let report = run(ProtocolKind::Icps, &scenario);
+//! assert!(report.success);
+//! ```
+
+pub use partialtor as core;
+pub use partialtor_consensus as consensus;
+pub use partialtor_crypto as crypto;
+pub use partialtor_simnet as simnet;
+pub use partialtor_tordoc as tordoc;

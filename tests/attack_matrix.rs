@@ -1,0 +1,105 @@
+//! Attack-scenario matrix across protocols: which attacks break which
+//! protocol, and how each recovers.
+
+use partialtor_repro::core::attack::DdosAttack;
+use partialtor_repro::core::{run, ProtocolKind, Scenario};
+use partialtor_repro::simnet::{SimDuration, SimTime};
+
+fn attack(targets: Vec<usize>, start_s: u64, duration_s: u64, residual_bps: f64) -> DdosAttack {
+    DdosAttack {
+        targets,
+        start: SimTime::from_secs(start_s),
+        duration: SimDuration::from_secs(duration_s),
+        residual_bps,
+    }
+}
+
+fn scenario_with(attack: DdosAttack) -> Scenario {
+    Scenario {
+        seed: 77,
+        relays: 8_000,
+        attacks: vec![attack],
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn five_minutes_five_victims_breaks_both_lockstep_protocols() {
+    let scenario = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 300, 0.5e6));
+    assert!(!run(ProtocolKind::Current, &scenario).success);
+    assert!(!run(ProtocolKind::Synchronous, &scenario).success);
+    assert!(run(ProtocolKind::Icps, &scenario).success);
+}
+
+#[test]
+fn four_victims_are_not_enough_against_current() {
+    // 4 < ⌈9/2⌉: the remaining five authorities still hold a majority of
+    // votes among themselves, so the current protocol survives.
+    let scenario = scenario_with(attack(vec![0, 1, 2, 3], 0, 300, 0.5e6));
+    assert!(
+        run(ProtocolKind::Current, &scenario).success,
+        "a minority attack must not break the current protocol"
+    );
+}
+
+#[test]
+fn attack_outside_vote_rounds_is_harmless_to_current() {
+    // §4.2: the attack must cover the first two rounds. Starting it after
+    // the votes are exchanged (t = 310 s) leaves the run unharmed.
+    let scenario = scenario_with(attack(vec![0, 1, 2, 3, 4], 310, 300, 0.5e6));
+    assert!(run(ProtocolKind::Current, &scenario).success);
+}
+
+#[test]
+fn icps_tolerates_attack_beyond_f_but_only_while_it_lasts() {
+    // Five victims exceed f = 2, so ICPS cannot finish *during* the
+    // attack — but unlike the lock-step protocols it finishes right after.
+    let a = attack(vec![0, 1, 2, 3, 4], 0, 300, 0.0);
+    let scenario = scenario_with(a.clone());
+    let report = run(ProtocolKind::Icps, &scenario);
+    assert!(report.success);
+    let first = report.first_valid_secs.expect("success");
+    assert!(
+        first >= a.end().as_secs_f64(),
+        "no consensus can complete during the outage (first at {first})"
+    );
+    let last = report.last_valid_secs.expect("success");
+    assert!(last < 360.0, "recovery should take seconds, got {last}");
+}
+
+#[test]
+fn icps_with_up_to_f_victims_succeeds_during_the_attack() {
+    // Two victims (= f) knocked out indefinitely: the other seven reach
+    // consensus without them.
+    let scenario = Scenario {
+        seed: 78,
+        relays: 2_000,
+        attacks: vec![attack(vec![0, 1], 0, 4 * 3600, 0.0)],
+        ..Scenario::default()
+    };
+    let report = run(ProtocolKind::Icps, &scenario);
+    assert!(report.success, "f crashes must be tolerated");
+    let successes = report.authorities.iter().filter(|a| a.success).count();
+    assert!(successes >= 7, "the seven live authorities must all finish");
+    // And they finish without waiting for the attack to end — but after
+    // the dissemination timeout Δ = 150 s, since two documents are
+    // missing and the n − f rule needs the deadline to pass.
+    let first = report.first_valid_secs.unwrap();
+    assert!(
+        (150.0..400.0).contains(&first),
+        "expected completion shortly after Δ, got {first}"
+    );
+}
+
+#[test]
+fn longer_attacks_delay_icps_proportionally() {
+    let short = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 300, 0.0));
+    let long = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 1_200, 0.0));
+    let t_short = run(ProtocolKind::Icps, &short).last_valid_secs.unwrap();
+    let t_long = run(ProtocolKind::Icps, &long).last_valid_secs.unwrap();
+    assert!(t_short < 400.0);
+    assert!(
+        (1_200.0..1_400.0).contains(&t_long),
+        "recovery tracks the attack end: {t_long}"
+    );
+}
