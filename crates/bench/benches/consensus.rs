@@ -45,8 +45,8 @@ fn decide_once(n: usize, f: usize, signers: &[SigningKey]) -> usize {
 
     let mut queue: VecDeque<(usize, ConsensusMsg<Val>)> = VecDeque::new();
     let push = |queue: &mut VecDeque<(usize, ConsensusMsg<Val>)>,
-                    from: usize,
-                    actions: Vec<Action<Val>>| {
+                from: usize,
+                actions: Vec<Action<Val>>| {
         for action in actions {
             match action {
                 Action::Send { to, msg } => queue.push_back((to, msg)),

@@ -34,9 +34,7 @@ fn bench_ed25519(c: &mut Criterion) {
     let signature = key.sign(message);
     let public = key.verifying_key();
 
-    c.bench_function("ed25519/sign", |b| {
-        b.iter(|| key.sign(black_box(message)))
-    });
+    c.bench_function("ed25519/sign", |b| b.iter(|| key.sign(black_box(message))));
     c.bench_function("ed25519/verify", |b| {
         b.iter(|| public.verify(black_box(message), black_box(&signature)))
     });

@@ -43,11 +43,15 @@ fn bench_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("vote");
     group.sample_size(20);
     group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode_1000_relays", |b| b.iter(|| black_box(vote).encode()));
+    group.bench_function("encode_1000_relays", |b| {
+        b.iter(|| black_box(vote).encode())
+    });
     group.bench_function("parse_1000_relays", |b| {
         b.iter(|| Vote::parse(black_box(&encoded)).expect("parses"))
     });
-    group.bench_function("digest_1000_relays", |b| b.iter(|| black_box(vote).digest()));
+    group.bench_function("digest_1000_relays", |b| {
+        b.iter(|| black_box(vote).digest())
+    });
     group.finish();
 }
 

@@ -5,9 +5,15 @@ use partialtor::experiments::ablations;
 use partialtor_bench::REPORT_SEED;
 
 fn main() {
-    print!("{}", ablations::render_timeout(&ablations::timeout_scaling(REPORT_SEED)));
+    print!(
+        "{}",
+        ablations::render_timeout(&ablations::timeout_scaling(REPORT_SEED))
+    );
     println!();
-    print!("{}", ablations::render_pulse(&ablations::pulse_sweep(REPORT_SEED)));
+    print!(
+        "{}",
+        ablations::render_pulse(&ablations::pulse_sweep(REPORT_SEED))
+    );
     println!();
     print!(
         "{}",

@@ -4,5 +4,8 @@ use partialtor::experiments::diff_savings;
 use partialtor_bench::REPORT_SEED;
 
 fn main() {
-    print!("{}", diff_savings::render(&diff_savings::run_experiment(REPORT_SEED)));
+    print!(
+        "{}",
+        diff_savings::render(&diff_savings::run_experiment(REPORT_SEED))
+    );
 }

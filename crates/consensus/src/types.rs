@@ -142,9 +142,7 @@ impl Tc {
         }
         match (self.max_high_qc_round(), &self.high_qc) {
             (None, None) => true,
-            (Some(max), Some(qc)) => {
-                qc.round == max && qc.verify(instance, keys, quorum)
-            }
+            (Some(max), Some(qc)) => qc.round == max && qc.verify(instance, keys, quorum),
             _ => false,
         }
     }

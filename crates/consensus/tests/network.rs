@@ -45,7 +45,11 @@ struct Net {
 }
 
 impl Net {
-    fn new(n: usize, f: usize, delay: Box<dyn FnMut(usize, usize, u64) -> u64>) -> (Self, Vec<SigningKey>) {
+    fn new(
+        n: usize,
+        f: usize,
+        delay: Box<dyn FnMut(usize, usize, u64) -> u64>,
+    ) -> (Self, Vec<SigningKey>) {
         let signers: Vec<SigningKey> = (0..n)
             .map(|i| SigningKey::from_seed([i as u8 + 10; 32]))
             .collect();
@@ -105,7 +109,13 @@ impl Net {
                     for to in 0..n {
                         if to != from {
                             let d = (self.delay)(from, to, self.now);
-                            self.push_event(self.now + d, Event::Deliver { to, msg: msg.clone() });
+                            self.push_event(
+                                self.now + d,
+                                Event::Deliver {
+                                    to,
+                                    msg: msg.clone(),
+                                },
+                            );
                         }
                     }
                 }
@@ -174,7 +184,9 @@ impl Net {
             if node.is_none() {
                 continue;
             }
-            let v = decided.as_ref().unwrap_or_else(|| panic!("node {i} undecided"));
+            let v = decided
+                .as_ref()
+                .unwrap_or_else(|| panic!("node {i} undecided"));
             match &value {
                 None => value = Some(v.clone()),
                 Some(prev) => assert_eq!(prev, v, "agreement violated at node {i}"),
@@ -329,28 +341,30 @@ fn equivocating_leader_cannot_break_agreement() {
     let (mut net, signers) = Net::new(n, 1, uniform(10));
     net.crash(0); // the instance is replaced by hand-crafted equivocation
 
-    let block_a = Block::new(
-        99,
-        0,
-        Val(b"AAAA".to_vec()),
-        None,
-        None,
-        0,
-        &signers[0],
-    );
-    let block_b = Block::new(
-        99,
-        0,
-        Val(b"BBBB".to_vec()),
-        None,
-        None,
-        0,
-        &signers[0],
-    );
+    let block_a = Block::new(99, 0, Val(b"AAAA".to_vec()), None, None, 0, &signers[0]);
+    let block_b = Block::new(99, 0, Val(b"BBBB".to_vec()), None, None, 0, &signers[0]);
     net.start_all(&inputs(n));
-    net.push_event(1, Event::Deliver { to: 1, msg: ConsensusMsg::Proposal(block_a) });
-    net.push_event(1, Event::Deliver { to: 2, msg: ConsensusMsg::Proposal(block_b.clone()) });
-    net.push_event(1, Event::Deliver { to: 3, msg: ConsensusMsg::Proposal(block_b) });
+    net.push_event(
+        1,
+        Event::Deliver {
+            to: 1,
+            msg: ConsensusMsg::Proposal(block_a),
+        },
+    );
+    net.push_event(
+        1,
+        Event::Deliver {
+            to: 2,
+            msg: ConsensusMsg::Proposal(block_b.clone()),
+        },
+    );
+    net.push_event(
+        1,
+        Event::Deliver {
+            to: 3,
+            msg: ConsensusMsg::Proposal(block_b),
+        },
+    );
     assert!(net.run(600_000), "correct nodes must still terminate");
     net.agreed_value();
 }
@@ -442,7 +456,7 @@ fn leader_offset_rotates_first_proposer() {
 }
 
 #[test]
-fn decide_message_alone_convinces_a_node()  {
+fn decide_message_alone_convinces_a_node() {
     // A node that missed the whole run decides from a single valid
     // Decide message (proof = two consecutive QCs over the value).
     let (mut net, _) = Net::new(4, 1, uniform(10));

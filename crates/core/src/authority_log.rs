@@ -50,7 +50,11 @@ mod tests {
 
     #[test]
     fn renders_tor_style_timestamps() {
-        let line = render_line(&entry(150, 0, "Time to fetch any votes that we're missing."));
+        let line = render_line(&entry(
+            150,
+            0,
+            "Time to fetch any votes that we're missing.",
+        ));
         assert!(line.starts_with("Jan 01 01:22:30.000 [notice]"), "{line}");
     }
 

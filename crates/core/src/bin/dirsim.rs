@@ -13,7 +13,7 @@
 use partialtor::attack::{AttackCostModel, DdosAttack};
 use partialtor::monitor;
 use partialtor::protocols::ProtocolKind;
-use partialtor::runner::{run, RunReport, Scenario};
+use partialtor::runner::{sweep, sweep_one, RunReport, Scenario, SweepJob};
 use partialtor_simnet::{SimDuration, SimTime};
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
@@ -88,7 +88,7 @@ fn print_report(report: &RunReport) {
 
 fn cmd_run(args: &[String]) {
     let scenario = base_scenario(args);
-    let report = run(arg_protocol(args), &scenario);
+    let report = sweep_one(arg_protocol(args), scenario);
     print_report(&report);
 }
 
@@ -101,7 +101,7 @@ fn cmd_attack(args: &[String]) {
         duration: SimDuration::from_secs(arg_u64(args, "--duration", 300)),
         residual_bps: arg_f64(args, "--residual", 0.5) * 1e6,
     }];
-    let report = run(arg_protocol(args), &scenario);
+    let report = sweep_one(arg_protocol(args), scenario);
     print_report(&report);
     println!("\nmonitor alerts:");
     let alerts = monitor::analyze(&report);
@@ -116,13 +116,22 @@ fn cmd_attack(args: &[String]) {
 fn cmd_sweep(args: &[String]) {
     let protocol = arg_protocol(args);
     let base = base_scenario(args);
+    let bandwidths = [250.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.5];
+    // The whole bandwidth sweep is one parallel batch.
+    let jobs: Vec<SweepJob> = bandwidths
+        .iter()
+        .map(|&mbps| {
+            SweepJob::new(
+                protocol,
+                Scenario {
+                    bandwidth_bps: mbps * 1e6,
+                    ..base.clone()
+                },
+            )
+        })
+        .collect();
     println!("{:>10} {:>12}", "Mbit/s", "latency (s)");
-    for mbps in [250.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.5] {
-        let scenario = Scenario {
-            bandwidth_bps: mbps * 1e6,
-            ..base.clone()
-        };
-        let report = run(protocol, &scenario);
+    for (mbps, report) in bandwidths.into_iter().zip(sweep(&jobs)) {
         let cell = report
             .success
             .then_some(report.network_time_secs)
@@ -147,12 +156,16 @@ fn cmd_cost(args: &[String]) {
 
 fn cmd_monitor(args: &[String]) {
     let scenario = base_scenario(args);
-    for protocol in [
+    let protocols = [
         ProtocolKind::Current,
         ProtocolKind::Synchronous,
         ProtocolKind::Icps,
-    ] {
-        let report = run(protocol, &scenario);
+    ];
+    let jobs: Vec<SweepJob> = protocols
+        .iter()
+        .map(|&protocol| SweepJob::new(protocol, scenario.clone()))
+        .collect();
+    for (protocol, report) in protocols.into_iter().zip(sweep(&jobs)) {
         let alerts = monitor::analyze(&report);
         println!(
             "{:<12} success={} alerts={}",

@@ -39,11 +39,8 @@ impl DirDocument {
     /// derived from `(run_id, authority)`, so distinct authorities (and
     /// runs) get distinct digests.
     pub fn synthetic(run_id: u64, authority: u8, size: u64) -> Self {
-        let digest = sha256::digest_parts(&[
-            b"synthetic-vote",
-            &run_id.to_le_bytes(),
-            &[authority],
-        ]);
+        let digest =
+            sha256::digest_parts(&[b"synthetic-vote", &run_id.to_le_bytes(), &[authority]]);
         DirDocument {
             authority,
             digest,

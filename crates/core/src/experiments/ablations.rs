@@ -20,10 +20,8 @@
 use crate::attack::DdosAttack;
 use crate::calibration::{self, vote_size_bytes};
 use crate::document::DirDocument;
-use crate::protocols::{
-    FetchPolicy, IcpsAuthority, IcpsByzantineMode, IcpsConfig, ProtocolKind,
-};
-use crate::runner::{run, Scenario};
+use crate::protocols::{FetchPolicy, IcpsAuthority, IcpsByzantineMode, IcpsConfig, ProtocolKind};
+use crate::runner::{par_map, sweep, Scenario, SweepJob};
 use partialtor_crypto::SigningKey;
 use partialtor_simnet::prelude::*;
 use serde::Serialize;
@@ -45,27 +43,35 @@ pub struct TimeoutRow {
 
 /// Sweeps Δ with an attacker that stretches its window to match.
 pub fn timeout_scaling(seed: u64) -> Vec<TimeoutRow> {
-    [150u64, 300, 600, 1200]
+    let rounds = [150u64, 300, 600, 1200];
+    let jobs: Vec<SweepJob> = rounds
         .into_iter()
         .map(|round_secs| {
-            let scenario = Scenario {
-                seed,
-                relays: 8_000,
-                round_secs,
-                attacks: vec![DdosAttack {
-                    targets: vec![0, 1, 2, 3, 4],
-                    start: SimTime::ZERO,
-                    // The attacker matches the enlarged vote window.
-                    duration: SimDuration::from_secs(2 * round_secs),
-                    residual_bps: calibration::ATTACK_RESIDUAL_BPS,
-                }],
-                ..Scenario::default()
-            };
-            TimeoutRow {
-                round_secs,
-                survives_matched_attack: run(ProtocolKind::Current, &scenario).success,
-                protocol_duration_secs: 4 * round_secs,
-            }
+            SweepJob::new(
+                ProtocolKind::Current,
+                Scenario {
+                    seed,
+                    relays: 8_000,
+                    round_secs,
+                    attacks: vec![DdosAttack {
+                        targets: vec![0, 1, 2, 3, 4],
+                        start: SimTime::ZERO,
+                        // The attacker matches the enlarged vote window.
+                        duration: SimDuration::from_secs(2 * round_secs),
+                        residual_bps: calibration::ATTACK_RESIDUAL_BPS,
+                    }],
+                    ..Scenario::default()
+                },
+            )
+        })
+        .collect();
+    rounds
+        .into_iter()
+        .zip(sweep(&jobs))
+        .map(|(round_secs, report)| TimeoutRow {
+            round_secs,
+            survives_matched_attack: report.success,
+            protocol_duration_secs: 4 * round_secs,
         })
         .collect()
 }
@@ -82,7 +88,11 @@ pub fn render_timeout(rows: &[TimeoutRow]) -> String {
         out.push_str(&format!(
             "{:>8} {:>22} {:>22}\n",
             row.round_secs,
-            if row.survives_matched_attack { "yes" } else { "no" },
+            if row.survives_matched_attack {
+                "yes"
+            } else {
+                "no"
+            },
             row.protocol_duration_secs
         ));
     }
@@ -123,26 +133,40 @@ pub fn pulsed_attack(on_secs: u64, off_secs: u64, cycles: u64) -> Vec<DdosAttack
 /// Sweeps pulse shapes at 8 000 relays. The `(300, 0, 1)` row is the
 /// paper's continuous attack, included as the boundary case.
 pub fn pulse_sweep(seed: u64) -> Vec<PulseRow> {
-    [(300u64, 0u64, 1u64), (240, 120, 2), (120, 60, 4), (60, 30, 6)]
+    let shapes = [
+        (300u64, 0u64, 1u64),
+        (240, 120, 2),
+        (120, 60, 4),
+        (60, 30, 6),
+    ];
+    // Two jobs per pulse shape (Current, then ICPS), one parallel batch.
+    let jobs: Vec<SweepJob> = shapes
         .into_iter()
-        .map(|(on_secs, off_secs, cycles)| {
+        .flat_map(|(on_secs, off_secs, cycles)| {
             let scenario = Scenario {
                 seed,
                 relays: 8_000,
                 attacks: pulsed_attack(on_secs, off_secs, cycles),
                 ..Scenario::default()
             };
-            let current = run(ProtocolKind::Current, &scenario);
-            let icps = run(ProtocolKind::Icps, &scenario);
-            PulseRow {
-                on_secs,
-                off_secs,
-                cycles,
-                current_survives: current.success,
-                icps_latency_secs: icps
-                    .last_valid_secs
-                    .expect("ICPS completes under pulsed attacks"),
-            }
+            [
+                SweepJob::new(ProtocolKind::Current, scenario.clone()),
+                SweepJob::new(ProtocolKind::Icps, scenario),
+            ]
+        })
+        .collect();
+    let reports = sweep(&jobs);
+    shapes
+        .into_iter()
+        .enumerate()
+        .map(|(i, (on_secs, off_secs, cycles))| PulseRow {
+            on_secs,
+            off_secs,
+            cycles,
+            current_survives: reports[2 * i].success,
+            icps_latency_secs: reports[2 * i + 1]
+                .last_valid_secs
+                .expect("ICPS completes under pulsed attacks"),
         })
         .collect()
 }
@@ -230,9 +254,19 @@ fn run_fetch(policy: FetchPolicy, seed: u64) -> FetchRow {
     sim.run_until(SimTime::from_secs(3_600));
 
     let last_valid_secs = (0..n)
-        .filter_map(|i| sim.node(NodeId(i)).outcome().valid_at.map(|t| t.as_secs_f64()))
+        .filter_map(|i| {
+            sim.node(NodeId(i))
+                .outcome()
+                .valid_at
+                .map(|t| t.as_secs_f64())
+        })
         .fold(0.0f64, f64::max);
-    let requests = sim.metrics().by_kind().get("FETCH-REQ").copied().unwrap_or_default();
+    let requests = sim
+        .metrics()
+        .by_kind()
+        .get("FETCH-REQ")
+        .copied()
+        .unwrap_or_default();
     let responses = sim
         .metrics()
         .by_kind()
@@ -247,12 +281,14 @@ fn run_fetch(policy: FetchPolicy, seed: u64) -> FetchRow {
     }
 }
 
-/// Compares the two fetch policies.
+/// Compares the two fetch policies (both simulations run in parallel;
+/// this driver builds its own `Simulation`, so it goes through
+/// [`par_map`] rather than the scenario-level sweep).
 pub fn fetch_policy_comparison(seed: u64) -> Vec<FetchRow> {
-    vec![
-        run_fetch(FetchPolicy::Endorsers, seed),
-        run_fetch(FetchPolicy::Everyone, seed),
-    ]
+    par_map(
+        &[FetchPolicy::Endorsers, FetchPolicy::Everyone],
+        |&policy| run_fetch(policy, seed),
+    )
 }
 
 /// Renders the fetch-policy table.

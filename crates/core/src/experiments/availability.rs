@@ -11,7 +11,7 @@
 use crate::attack::DdosAttack;
 use crate::calibration::CONSENSUS_VALID_SECS;
 use crate::protocols::ProtocolKind;
-use crate::runner::{run, Scenario};
+use crate::runner::{sweep, Scenario, SweepJob};
 use serde::Serialize;
 
 /// One hourly run in the timeline.
@@ -42,20 +42,31 @@ pub struct AvailabilityResult {
 /// Simulates `hours` hourly runs with a five-minute attack window at the
 /// start of each, and tracks document validity.
 pub fn timeline(protocol: ProtocolKind, hours: u64, seed: u64) -> AvailabilityResult {
+    // Each hourly run is an independent simulation, so the whole day
+    // sweeps in parallel; only the validity bookkeeping below is
+    // sequential.
+    let jobs: Vec<SweepJob> = (1..=hours)
+        .map(|hour| {
+            SweepJob::new(
+                protocol,
+                Scenario {
+                    seed: seed.wrapping_add(hour),
+                    relays: 8_000,
+                    attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+                    ..Scenario::default()
+                },
+            )
+        })
+        .collect();
+    let reports = sweep(&jobs);
+
     // The last pre-attack consensus was generated at t = 0 (the attack
     // begins with the run of hour 1).
     let mut last_valid_consensus_at: i64 = 0;
     let mut rows = Vec::new();
     let mut death_at_secs = None;
 
-    for hour in 1..=hours {
-        let scenario = Scenario {
-            seed: seed.wrapping_add(hour),
-            relays: 8_000,
-            attacks: vec![DdosAttack::five_of_nine_five_minutes()],
-            ..Scenario::default()
-        };
-        let report = run(protocol, &scenario);
+    for (hour, report) in (1..=hours).zip(reports) {
         let produced = report.success;
         let valid_at_offset_secs = report.last_valid_secs;
         if produced {
@@ -65,8 +76,7 @@ pub fn timeline(protocol: ProtocolKind, hours: u64, seed: u64) -> AvailabilityRe
         // Network is alive at the end of this hour iff some consensus is
         // still within its three-hour validity.
         let end_of_hour = ((hour + 1) * 3600) as i64;
-        let network_alive =
-            end_of_hour - last_valid_consensus_at <= CONSENSUS_VALID_SECS as i64;
+        let network_alive = end_of_hour - last_valid_consensus_at <= CONSENSUS_VALID_SECS as i64;
         if !network_alive && death_at_secs.is_none() {
             death_at_secs = Some((last_valid_consensus_at + CONSENSUS_VALID_SECS as i64) as u64);
         }

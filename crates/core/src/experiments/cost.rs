@@ -40,6 +40,9 @@ fn row(scenario: &str, model: AttackCostModel) -> CostRow {
 }
 
 /// Builds the headline cost plus sensitivity rows.
+///
+/// Pure arithmetic over [`AttackCostModel`] — the one driver with no
+/// scenario batch to hand to `runner::sweep`.
 pub fn run_experiment() -> CostResult {
     let paper = AttackCostModel::paper();
     let mut all_nine = paper;

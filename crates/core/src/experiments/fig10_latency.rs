@@ -8,7 +8,7 @@
 //! completion time, since it has no lock-step rounds.
 
 use crate::protocols::ProtocolKind;
-use crate::runner::{run, Scenario};
+use crate::runner::{run, sweep, Scenario, SweepJob};
 use serde::Serialize;
 
 /// The protocols and bandwidths of the figure.
@@ -34,29 +34,29 @@ pub struct Fig10Result {
     pub rows: Vec<Fig10Row>,
 }
 
-/// Runs one cell of the figure.
-pub fn measure(
-    protocol: ProtocolKind,
-    bandwidth_mbps: f64,
-    relays: u64,
-    seed: u64,
-) -> Option<f64> {
-    let scenario = Scenario {
+/// The scenario of one figure cell.
+fn cell_scenario(bandwidth_mbps: f64, relays: u64, seed: u64) -> Scenario {
+    Scenario {
         seed,
         relays,
         bandwidth_bps: bandwidth_mbps * 1e6,
         // Generous ceiling: the paper's 0.5 Mbit/s runs take ~15 minutes.
         deadline: partialtor_simnet::SimTime::from_secs(4 * 3600),
         ..Scenario::default()
-    };
-    let report = run(protocol, &scenario);
+    }
+}
+
+/// Runs one cell of the figure.
+pub fn measure(protocol: ProtocolKind, bandwidth_mbps: f64, relays: u64, seed: u64) -> Option<f64> {
+    let report = run(protocol, &cell_scenario(bandwidth_mbps, relays, seed));
     report.success.then(|| report.network_time_secs).flatten()
 }
 
-/// Runs the full sweep. `step` controls the relay-count granularity
-/// (1 000 for the paper's resolution).
+/// Runs the full sweep in parallel. `step` controls the relay-count
+/// granularity (1 000 for the paper's resolution).
 pub fn run_experiment(seed: u64, step: u64) -> Fig10Result {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut jobs = Vec::new();
     for &bandwidth_mbps in &BANDWIDTHS_MBPS {
         let mut relays = step.max(1_000);
         while relays <= 10_000 {
@@ -65,17 +65,25 @@ pub fn run_experiment(seed: u64, step: u64) -> Fig10Result {
                 ProtocolKind::Synchronous,
                 ProtocolKind::Icps,
             ] {
-                let latency_secs = measure(protocol, bandwidth_mbps, relays, seed);
-                rows.push(Fig10Row {
-                    bandwidth_mbps,
-                    relays,
-                    protocol: protocol.to_string(),
-                    latency_secs,
-                });
+                cells.push((bandwidth_mbps, relays, protocol));
+                jobs.push(SweepJob::new(
+                    protocol,
+                    cell_scenario(bandwidth_mbps, relays, seed),
+                ));
             }
             relays += step;
         }
     }
+    let rows = cells
+        .into_iter()
+        .zip(sweep(&jobs))
+        .map(|((bandwidth_mbps, relays, protocol), report)| Fig10Row {
+            bandwidth_mbps,
+            relays,
+            protocol: protocol.to_string(),
+            latency_secs: report.success.then(|| report.network_time_secs).flatten(),
+        })
+        .collect();
     Fig10Result { rows }
 }
 

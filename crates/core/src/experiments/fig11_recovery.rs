@@ -8,7 +8,7 @@
 use crate::attack::DdosAttack;
 use crate::calibration::{FALLBACK_RETRY_SECS, LOCKSTEP_ROUNDS, ROUND_SECS};
 use crate::protocols::ProtocolKind;
-use crate::runner::{run, Scenario};
+use crate::runner::{run, sweep, RunReport, Scenario, SweepJob};
 use partialtor_simnet::{SimDuration, SimTime};
 use serde::Serialize;
 
@@ -40,40 +40,53 @@ pub fn figure_attack() -> DdosAttack {
     }
 }
 
-/// Measures the post-attack recovery time for one relay count.
-pub fn recovery_secs(relays: u64, seed: u64) -> Option<f64> {
-    let attack = figure_attack();
-    let attack_end = attack.end().as_secs_f64();
-    let scenario = Scenario {
+fn attacked_scenario(relays: u64, seed: u64) -> Scenario {
+    Scenario {
         seed,
         relays,
-        attacks: vec![attack],
+        attacks: vec![figure_attack()],
         ..Scenario::default()
-    };
-    let report = run(ProtocolKind::Icps, &scenario);
+    }
+}
+
+fn recovery_from_report(report: &RunReport) -> Option<f64> {
+    let attack_end = figure_attack().end().as_secs_f64();
     report
         .success
         .then(|| report.last_valid_secs.map(|t| (t - attack_end).max(0.0)))
         .flatten()
 }
 
-/// Runs the sweep over 1 000 – 10 000 relays.
+/// Measures the post-attack recovery time for one relay count.
+pub fn recovery_secs(relays: u64, seed: u64) -> Option<f64> {
+    recovery_from_report(&run(ProtocolKind::Icps, &attacked_scenario(relays, seed)))
+}
+
+/// Runs the sweep over 1 000 – 10 000 relays in parallel.
 pub fn run_experiment(seed: u64, step: u64) -> Fig11Result {
-    let mut rows = Vec::new();
+    let mut relay_counts = Vec::new();
     let mut relays = step.max(1_000);
     while relays <= 10_000 {
-        if let Some(secs) = recovery_secs(relays, seed) {
-            rows.push(Fig11Row {
-                relays,
-                recovery_secs: secs,
-            });
-        }
+        relay_counts.push(relays);
         relays += step;
     }
+    let jobs: Vec<SweepJob> = relay_counts
+        .iter()
+        .map(|&relays| SweepJob::new(ProtocolKind::Icps, attacked_scenario(relays, seed)))
+        .collect();
+    let rows = relay_counts
+        .into_iter()
+        .zip(sweep(&jobs))
+        .filter_map(|(relays, report)| {
+            recovery_from_report(&report).map(|secs| Fig11Row {
+                relays,
+                recovery_secs: secs,
+            })
+        })
+        .collect();
     Fig11Result {
         rows,
-        lockstep_comparison_secs: (FALLBACK_RETRY_SECS - 300 + ROUND_SECS * LOCKSTEP_ROUNDS)
-            as f64,
+        lockstep_comparison_secs: (FALLBACK_RETRY_SECS - 300 + ROUND_SECS * LOCKSTEP_ROUNDS) as f64,
     }
 }
 
@@ -85,7 +98,10 @@ pub fn render(result: &Fig11Result) -> String {
         "(lock-step protocols need {} s: wait for the rerun + 10-minute run)\n\n",
         result.lockstep_comparison_secs
     ));
-    out.push_str(&format!("{:>8} {:>26}\n", "relays", "recovery after attack (s)"));
+    out.push_str(&format!(
+        "{:>8} {:>26}\n",
+        "relays", "recovery after attack (s)"
+    ));
     for row in &result.rows {
         out.push_str(&format!("{:>8} {:>26.1}\n", row.relays, row.recovery_secs));
     }

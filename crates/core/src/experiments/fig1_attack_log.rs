@@ -10,7 +10,7 @@
 use crate::attack::DdosAttack;
 use crate::authority_log::render_authority;
 use crate::protocols::ProtocolKind;
-use crate::runner::{run, Scenario};
+use crate::runner::{sweep_one, Scenario};
 use partialtor_simnet::{NodeId, SimDuration, SimTime};
 
 /// Result of the Fig. 1 reproduction.
@@ -38,7 +38,7 @@ pub fn run_experiment(seed: u64) -> Fig1Result {
         collect_logs: true,
         ..Scenario::default()
     };
-    let report = run(ProtocolKind::Current, &scenario);
+    let report = sweep_one(ProtocolKind::Current, scenario);
     // Authority 8 is outside the victim set.
     let transcript = render_authority(&report.logs, NodeId(8));
     let votes_held_line = transcript
@@ -76,7 +76,9 @@ mod tests {
         assert!(result
             .transcript
             .contains("Time to fetch any votes that we're missing."));
-        assert!(result.transcript.contains("We're missing votes from 5 authorities"));
+        assert!(result
+            .transcript
+            .contains("We're missing votes from 5 authorities"));
         assert!(result
             .transcript
             .contains("Giving up downloading votes from 100.0.0."));

@@ -23,6 +23,9 @@ pub struct Fig6Result {
 }
 
 /// Runs the experiment.
+///
+/// Renders the calibrated population series directly — no simulation
+/// runs, hence no `runner::sweep` batch.
 pub fn run_experiment() -> Fig6Result {
     let population = RelayPopulation::paper_series();
     let rows = population

@@ -9,7 +9,7 @@
 
 use crate::calibration::ATTACK_RESIDUAL_BPS;
 use crate::protocols::ProtocolKind;
-use crate::runner::{run, Scenario};
+use crate::runner::{run, sweep, Scenario, SweepJob};
 use serde::Serialize;
 
 /// One sweep point.
@@ -30,42 +30,72 @@ pub struct Fig7Result {
     pub attack_residual_mbps: f64,
 }
 
-fn succeeds(relays: u64, limited_bps: f64, seed: u64) -> bool {
-    let scenario = Scenario {
+fn victim_scenario(relays: u64, limited_bps: f64, seed: u64) -> Scenario {
+    Scenario {
         seed,
         relays,
         limited: vec![0, 1, 2, 3, 4],
         limited_bps,
         ..Scenario::default()
-    };
-    run(ProtocolKind::Current, &scenario).success
+    }
+}
+
+fn succeeds(relays: u64, limited_bps: f64, seed: u64) -> bool {
+    run(
+        ProtocolKind::Current,
+        &victim_scenario(relays, limited_bps, seed),
+    )
+    .success
 }
 
 /// Finds the minimum viable bandwidth for one relay count, Mbit/s.
 pub fn required_bandwidth_mbps(relays: u64, seed: u64) -> f64 {
-    let mut lo = 0.05e6; // known-failing
-    let mut hi = 40e6; // known-passing for the swept range
-    debug_assert!(succeeds(relays, hi, seed));
+    required_bandwidth_sweep(&[relays], seed)[0]
+}
+
+/// Binary-searches the minimum viable bandwidth for every relay count at
+/// once. The searches advance in lock step: each of the 14 refinement
+/// rounds batches one midpoint probe per relay count through [`sweep`],
+/// so the whole figure saturates the machine instead of one core.
+pub fn required_bandwidth_sweep(relay_counts: &[u64], seed: u64) -> Vec<f64> {
+    // (lo, hi) per relay count: lo known-failing, hi known-passing for
+    // the swept range.
+    let mut bounds: Vec<(f64, f64)> = relay_counts.iter().map(|_| (0.05e6, 40e6)).collect();
+    debug_assert!(relay_counts
+        .iter()
+        .all(|&relays| succeeds(relays, 40e6, seed)));
     for _ in 0..14 {
-        let mid = (lo + hi) / 2.0;
-        if succeeds(relays, mid, seed) {
-            hi = mid;
-        } else {
-            lo = mid;
+        let jobs: Vec<SweepJob> = relay_counts
+            .iter()
+            .zip(&bounds)
+            .map(|(&relays, &(lo, hi))| {
+                SweepJob::new(
+                    ProtocolKind::Current,
+                    victim_scenario(relays, (lo + hi) / 2.0, seed),
+                )
+            })
+            .collect();
+        for (bound, report) in bounds.iter_mut().zip(sweep(&jobs)) {
+            let mid = (bound.0 + bound.1) / 2.0;
+            if report.success {
+                bound.1 = mid;
+            } else {
+                bound.0 = mid;
+            }
         }
     }
-    hi / 1e6
+    bounds.into_iter().map(|(_, hi)| hi / 1e6).collect()
 }
 
 /// Runs the sweep over 1 000 – 10 000 relays.
 pub fn run_experiment(seed: u64) -> Fig7Result {
-    let rows = (1..=10)
-        .map(|k| {
-            let relays = k * 1_000;
-            Fig7Row {
-                relays,
-                required_mbps: required_bandwidth_mbps(relays, seed),
-            }
+    let relay_counts: Vec<u64> = (1..=10).map(|k| k * 1_000).collect();
+    let rows = relay_counts
+        .iter()
+        .zip(required_bandwidth_sweep(&relay_counts, seed))
+        .map(|(&relays, required_mbps)| Fig7Row {
+            relays,
+            required_mbps,
         })
         .collect();
     Fig7Result {

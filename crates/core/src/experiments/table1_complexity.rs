@@ -8,7 +8,9 @@
 //! n²d (Current, Ours) from the n³d (Synchronous) designs.
 
 use crate::protocols::ProtocolKind;
-use crate::runner::{run, Scenario};
+#[cfg(test)]
+use crate::runner::run;
+use crate::runner::{sweep, Scenario, SweepJob};
 use serde::Serialize;
 
 /// One measured cell.
@@ -43,14 +45,19 @@ const PROTOCOLS: [ProtocolKind; 3] = [
     ProtocolKind::Icps,
 ];
 
-fn measure(protocol: ProtocolKind, n: usize, relays: u64, seed: u64) -> u64 {
-    let scenario = Scenario {
+fn cell_scenario(n: usize, relays: u64, seed: u64) -> Scenario {
+    Scenario {
         seed,
         n,
         relays,
         ..Scenario::default()
-    };
-    run(protocol, &scenario).total_tx_bytes
+    }
+}
+
+/// Single-cell measurement, kept for the spot-check tests below.
+#[cfg(test)]
+fn measure(protocol: ProtocolKind, n: usize, relays: u64, seed: u64) -> u64 {
+    run(protocol, &cell_scenario(n, relays, seed)).total_tx_bytes
 }
 
 /// Least-squares slope of ln(y) on ln(x).
@@ -67,40 +74,63 @@ fn loglog_slope(points: &[(f64, f64)]) -> f64 {
     (n * sxy - sx * sy) / (n * sxx - sx * sx)
 }
 
-/// Runs the measurements and fits.
+/// Runs the measurements and fits. All `protocol × (n, d)` cells are
+/// independent simulations, so the whole table is one parallel sweep.
 pub fn run_experiment(seed: u64) -> Table1Result {
     let ns = [4usize, 7, 10, 13];
     let relay_counts = [500u64, 1_000, 2_000, 4_000];
+
+    // One flat batch: per protocol, first the n-scaling cells at fixed
+    // d, then the d-scaling cells at fixed n = 9.
+    let mut shapes = Vec::new();
+    for protocol in PROTOCOLS {
+        for &n in &ns {
+            shapes.push((protocol, n, 1_000u64));
+        }
+        for &relays in &relay_counts {
+            shapes.push((protocol, 9usize, relays));
+        }
+    }
+    let jobs: Vec<SweepJob> = shapes
+        .iter()
+        .map(|&(protocol, n, relays)| SweepJob::new(protocol, cell_scenario(n, relays, seed)))
+        .collect();
+    let measured: Vec<u64> = sweep(&jobs)
+        .into_iter()
+        .map(|report| report.total_tx_bytes)
+        .collect();
+
     let mut cells = Vec::new();
     let mut n_exponent = Vec::new();
     let mut d_exponent = Vec::new();
-
+    let mut results = shapes.iter().zip(measured);
     for protocol in PROTOCOLS {
-        // Scale n at fixed d.
         let mut n_points = Vec::new();
-        for &n in &ns {
-            let bytes = measure(protocol, n, 1_000, seed);
+        for _ in &ns {
+            let (&(_, n, relays), bytes) = results.next().expect("n cell");
             cells.push(Table1Cell {
                 protocol: protocol.to_string(),
                 n,
-                relays: 1_000,
+                relays,
                 total_bytes: bytes,
             });
             n_points.push((n as f64, bytes as f64));
         }
         n_exponent.push((protocol.to_string(), loglog_slope(&n_points)));
 
-        // Scale d at fixed n.
         let mut d_points = Vec::new();
-        for &relays in &relay_counts {
-            let bytes = measure(protocol, 9, relays, seed);
+        for _ in &relay_counts {
+            let (&(_, n, relays), bytes) = results.next().expect("d cell");
             cells.push(Table1Cell {
                 protocol: protocol.to_string(),
-                n: 9,
+                n,
                 relays,
                 total_bytes: bytes,
             });
-            d_points.push((crate::calibration::vote_size_bytes(relays) as f64, bytes as f64));
+            d_points.push((
+                crate::calibration::vote_size_bytes(relays) as f64,
+                bytes as f64,
+            ));
         }
         d_exponent.push((protocol.to_string(), loglog_slope(&d_points)));
     }

@@ -7,7 +7,7 @@
 //! with a good leader and no GST, giving the paper's 9-round total.
 
 use crate::protocols::ProtocolKind;
-use crate::runner::{run, Scenario};
+use crate::runner::{sweep_one, Scenario};
 use serde::Serialize;
 
 /// The table plus the measured agreement behaviour.
@@ -32,7 +32,7 @@ pub fn run_experiment(seed: u64) -> Table2Result {
         relays: 2_000,
         ..Scenario::default()
     };
-    let report = run(ProtocolKind::Icps, &scenario);
+    let report = sweep_one(ProtocolKind::Icps, scenario);
     assert!(report.success, "healthy run must succeed");
     let fetches = report
         .by_kind
@@ -50,7 +50,10 @@ pub fn run_experiment(seed: u64) -> Table2Result {
     Table2Result {
         rows: vec![
             ("Dissemination".into(), "2".into()),
-            ("Agreement".into(), "protocol-specific (5 for two-chain HotStuff)".into()),
+            (
+                "Agreement".into(),
+                "protocol-specific (5 for two-chain HotStuff)".into(),
+            ),
             ("Aggregation".into(), "2".into()),
         ],
         measured_decided_round: decided_round,

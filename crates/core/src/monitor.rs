@@ -184,12 +184,21 @@ mod tests {
         // neither: the Luo et al. attack outcome.
         let mut outcomes = Vec::new();
         for _ in 0..4 {
-            outcomes.push(ObservedOutcome { digest: Some(digest(1)), valid: true });
+            outcomes.push(ObservedOutcome {
+                digest: Some(digest(1)),
+                valid: true,
+            });
         }
         for _ in 0..4 {
-            outcomes.push(ObservedOutcome { digest: Some(digest(2)), valid: true });
+            outcomes.push(ObservedOutcome {
+                digest: Some(digest(2)),
+                valid: true,
+            });
         }
-        outcomes.push(ObservedOutcome { digest: None, valid: false });
+        outcomes.push(ObservedOutcome {
+            digest: None,
+            valid: false,
+        });
         let alerts = analyze_outcomes(&outcomes);
         assert!(matches!(
             alerts.first(),
@@ -209,7 +218,10 @@ mod tests {
             };
             8
         ];
-        outcomes.push(ObservedOutcome { digest: None, valid: false });
+        outcomes.push(ObservedOutcome {
+            digest: None,
+            valid: false,
+        });
         let alerts = analyze_outcomes(&outcomes);
         assert_eq!(alerts, vec![HealthAlert::LaggingAuthority { index: 8 }]);
     }
@@ -220,11 +232,17 @@ mod tests {
         let mut outcomes = Vec::new();
         for tag in 1..=3u8 {
             for _ in 0..3 {
-                outcomes.push(ObservedOutcome { digest: Some(digest(tag)), valid: false });
+                outcomes.push(ObservedOutcome {
+                    digest: Some(digest(tag)),
+                    valid: false,
+                });
             }
         }
         let alerts = analyze_outcomes(&outcomes);
-        assert!(matches!(alerts[0], HealthAlert::ConsensusFailure { digests_seen: 9 }));
+        assert!(matches!(
+            alerts[0],
+            HealthAlert::ConsensusFailure { digests_seen: 9 }
+        ));
         assert!(matches!(&alerts[1], HealthAlert::DigestDivergence { camps } if camps.len() == 3));
     }
 

@@ -253,7 +253,10 @@ impl Node for CurrentAuthority {
     fn on_timer(&mut self, ctx: &mut Context<'_, CurrentMsg>, _timer: TimerId, tag: u64) {
         match tag {
             TAG_FETCH_VOTES => {
-                ctx.log(LogLevel::Notice, "Time to fetch any votes that we're missing.");
+                ctx.log(
+                    LogLevel::Notice,
+                    "Time to fetch any votes that we're missing.",
+                );
                 let missing = self.missing_votes();
                 if !missing.is_empty() {
                     let fingerprints = missing
@@ -417,11 +420,7 @@ mod tests {
     use crate::calibration::vote_size_bytes;
     use partialtor_crypto::SigningKey;
 
-    fn build_sim(
-        n: usize,
-        relays: u64,
-        bandwidth_bps: f64,
-    ) -> Simulation<CurrentAuthority> {
+    fn build_sim(n: usize, relays: u64, bandwidth_bps: f64) -> Simulation<CurrentAuthority> {
         let signers: Vec<SigningKey> = (0..n)
             .map(|i| SigningKey::from_seed([i as u8 + 1; 32]))
             .collect();

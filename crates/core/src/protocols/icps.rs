@@ -431,7 +431,11 @@ impl IcpsAuthority {
         self.cfg.signing.sign(d.as_bytes())
     }
 
-    fn apply_bft_actions(&mut self, ctx: &mut Context<'_, IcpsMsg>, actions: Vec<Action<DigestVector>>) {
+    fn apply_bft_actions(
+        &mut self,
+        ctx: &mut Context<'_, IcpsMsg>,
+        actions: Vec<Action<DigestVector>>,
+    ) {
         for action in actions {
             match action {
                 Action::Send { to, msg } => ctx.send(NodeId(to), IcpsMsg::Bft(msg)),
@@ -731,7 +735,11 @@ impl Node for IcpsAuthority {
                     if peer as u8 == self.cfg.index {
                         continue;
                     }
-                    let doc = if peer % 2 == 0 { msg.clone() } else { alt.clone() };
+                    let doc = if peer % 2 == 0 {
+                        msg.clone()
+                    } else {
+                        alt.clone()
+                    };
                     ctx.send(NodeId(peer), IcpsMsg::Document(doc));
                 }
             }
@@ -787,7 +795,12 @@ mod tests {
     use super::*;
     use crate::calibration::vote_size_bytes;
 
-    fn build_sim(n: usize, relays: u64, bandwidth_bps: f64, seed: u64) -> Simulation<IcpsAuthority> {
+    fn build_sim(
+        n: usize,
+        relays: u64,
+        bandwidth_bps: f64,
+        seed: u64,
+    ) -> Simulation<IcpsAuthority> {
         let signers: Vec<SigningKey> = (0..n)
             .map(|i| SigningKey::from_seed([i as u8 + 91; 32]))
             .collect();
@@ -866,8 +879,7 @@ mod tests {
         let doc_digest = sha256::digest(b"doc");
         let make_entry = |j: u8, endorsers: usize| VectorEntry::Present {
             digest: doc_digest,
-            sender_sig: signers[j as usize]
-                .sign(doc_sig_digest(3, j, Some(doc_digest)).as_bytes()),
+            sender_sig: signers[j as usize].sign(doc_sig_digest(3, j, Some(doc_digest)).as_bytes()),
             endorsements: (0..endorsers)
                 .map(|k| {
                     (
@@ -905,10 +917,7 @@ mod tests {
                     .collect(),
             });
         }
-        let sparse = DigestVector {
-            run_id: 3,
-            entries,
-        };
+        let sparse = DigestVector { run_id: 3, entries };
         assert!(!sparse.verify(3, 9, 2, &keys));
     }
 

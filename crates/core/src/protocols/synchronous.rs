@@ -204,7 +204,12 @@ impl SyncAuthority {
         true
     }
 
-    fn accept_chain(&mut self, ctx: &mut Context<'_, SyncMsg>, pack: Pack, sigs: Vec<(u8, Signature)>) {
+    fn accept_chain(
+        &mut self,
+        ctx: &mut Context<'_, SyncMsg>,
+        pack: Pack,
+        sigs: Vec<(u8, Signature)>,
+    ) {
         if !self.verify_chain(&pack, &sigs) {
             return;
         }
@@ -325,11 +330,8 @@ impl Node for SyncAuthority {
                     Some((pack, _)) => {
                         let lists = pack.docs.len();
                         if lists >= calibration::majority(self.cfg.n) {
-                            let votes: BTreeMap<u8, DirDocument> = pack
-                                .docs
-                                .iter()
-                                .map(|d| (d.authority, d.clone()))
-                                .collect();
+                            let votes: BTreeMap<u8, DirDocument> =
+                                pack.docs.iter().map(|d| (d.authority, d.clone())).collect();
                             (true, Some(consensus_digest(&votes)), lists)
                         } else {
                             (false, None, lists)

@@ -110,12 +110,8 @@ impl Scenario {
                         ..ViewConfig::default()
                     };
                     let view = authority_view(&population, auth.id, self.seed, &config);
-                    let meta = VoteMeta::standard(
-                        auth.id,
-                        &auth.name,
-                        auth.fingerprint_hex(),
-                        3_600,
-                    );
+                    let meta =
+                        VoteMeta::standard(auth.id, &auth.name, auth.fingerprint_hex(), 3_600);
                     DirDocument::real(Vote::new(meta, view))
                 })
                 .collect()
@@ -166,7 +162,7 @@ impl Scenario {
 }
 
 /// Per-authority result.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AuthorityReport {
     /// Authority index.
     pub index: usize,
@@ -183,7 +179,7 @@ pub struct AuthorityReport {
 }
 
 /// Aggregate result of one scenario run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// The protocol run.
     pub protocol: ProtocolKind,
@@ -227,10 +223,7 @@ fn finish_report<N: Node>(
         .filter(|a| a.success)
         .filter_map(|a| a.network_time_secs)
         .collect();
-    let valid_times: Vec<f64> = authorities
-        .iter()
-        .filter_map(|a| a.valid_at_secs)
-        .collect();
+    let valid_times: Vec<f64> = authorities.iter().filter_map(|a| a.valid_at_secs).collect();
     let metrics = sim.metrics();
     // The current and ICPS protocols already require a majority of
     // signatures for any single authority to count as successful; the
@@ -270,7 +263,123 @@ pub fn run(protocol: ProtocolKind, scenario: &Scenario) -> RunReport {
     }
 }
 
-fn committee_keys(scenario: &Scenario) -> (Vec<partialtor_crypto::SigningKey>, Vec<partialtor_crypto::VerifyingKey>) {
+/// One entry in a [`sweep`] batch.
+#[derive(Clone, Debug)]
+pub struct SweepJob {
+    /// Protocol to run.
+    pub protocol: ProtocolKind,
+    /// Scenario to run it on.
+    pub scenario: Scenario,
+}
+
+impl SweepJob {
+    /// Convenience constructor.
+    pub fn new(protocol: ProtocolKind, scenario: Scenario) -> Self {
+        SweepJob { protocol, scenario }
+    }
+}
+
+/// Environment variable overriding the sweep worker count (`0`/`1` force
+/// a serial sweep; unset uses all available cores).
+pub const SWEEP_THREADS_ENV: &str = "PARTIALTOR_SWEEP_THREADS";
+
+fn auto_worker_count(jobs: usize) -> usize {
+    let configured = std::env::var(SWEEP_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    configured.unwrap_or(available).clamp(1, jobs.max(1))
+}
+
+/// Runs a batch of scenarios, fanning them out across all cores.
+///
+/// Every simulation is a pure function of its `(protocol, scenario)`
+/// pair, so parallel execution is behaviourally identical to a serial
+/// loop over [`run`]: same seeds produce byte-identical [`RunReport`]s,
+/// and `reports[i]` always corresponds to `jobs[i]`.
+///
+/// Worker count defaults to the available cores (capped at the batch
+/// size) and can be overridden with [`SWEEP_THREADS_ENV`].
+pub fn sweep(jobs: &[SweepJob]) -> Vec<RunReport> {
+    sweep_threads(jobs, auto_worker_count(jobs.len()))
+}
+
+/// Runs a single scenario through the batch API (a one-job [`sweep`]).
+///
+/// Behaviourally identical to [`run`]; exists so single-run callers
+/// (Fig. 1, Table 2, `dirsim run`/`attack`) share the sweep entry point
+/// without repeating the one-job boilerplate.
+pub fn sweep_one(protocol: ProtocolKind, scenario: Scenario) -> RunReport {
+    sweep(&[SweepJob::new(protocol, scenario)])
+        .pop()
+        .expect("one job in, one report out")
+}
+
+/// [`sweep`] with an explicit worker count (`<= 1` runs serially).
+/// Exposed so determinism tests can compare serial and parallel sweeps
+/// without touching process-global state.
+pub fn sweep_threads(jobs: &[SweepJob], threads: usize) -> Vec<RunReport> {
+    par_map_threads(jobs, threads, |job| run(job.protocol, &job.scenario))
+}
+
+/// Order-preserving parallel map over `items` using all available cores.
+///
+/// The generic escape hatch behind [`sweep`] for drivers whose unit of
+/// work is not a single protocol run (e.g. Fig. 7's per-relay-count
+/// binary search or the consensus-diff measurements).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(items, auto_worker_count(items.len()), f)
+}
+
+fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    // Work-stealing by atomic index; each result lands in its input's
+    // slot, so output order is independent of scheduling.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                let result = f(item);
+                *slots[index].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+fn committee_keys(
+    scenario: &Scenario,
+) -> (
+    Vec<partialtor_crypto::SigningKey>,
+    Vec<partialtor_crypto::VerifyingKey>,
+) {
     let set = AuthoritySet::with_size(scenario.seed, scenario.n);
     let signers: Vec<_> = set.iter().map(|a| a.signing_key.clone()).collect();
     let verifiers = set.verifying_keys();
@@ -353,9 +462,9 @@ fn run_synchronous(scenario: &Scenario) -> RunReport {
                 success: outcome.success,
                 digest: outcome.digest,
                 network_time_secs: outcome.network_time_secs,
-                valid_at_secs: outcome.success.then(|| {
-                    (scenario.round_secs * calibration::LOCKSTEP_ROUNDS) as f64
-                }),
+                valid_at_secs: outcome
+                    .success
+                    .then(|| (scenario.round_secs * calibration::LOCKSTEP_ROUNDS) as f64),
                 decided_round: None,
             }
         })
@@ -407,6 +516,87 @@ fn run_icps(scenario: &Scenario) -> RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A mixed batch covering all three protocols, several seeds and
+    /// relay counts, and one attacked scenario.
+    fn mixed_jobs() -> Vec<SweepJob> {
+        let mut jobs = Vec::new();
+        for (i, protocol) in [
+            ProtocolKind::Current,
+            ProtocolKind::Synchronous,
+            ProtocolKind::Icps,
+        ]
+        .into_iter()
+        .cycle()
+        .take(9)
+        .enumerate()
+        {
+            jobs.push(SweepJob::new(
+                protocol,
+                Scenario {
+                    seed: 11 + i as u64,
+                    relays: 500 + 250 * i as u64,
+                    ..Scenario::default()
+                },
+            ));
+        }
+        jobs.push(SweepJob::new(
+            ProtocolKind::Icps,
+            Scenario {
+                seed: 3,
+                relays: 2_000,
+                attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+                ..Scenario::default()
+            },
+        ));
+        jobs
+    }
+
+    #[test]
+    fn sweep_parallel_matches_serial_byte_for_byte() {
+        let jobs = mixed_jobs();
+        assert!(jobs.len() >= 8, "determinism check needs a real batch");
+        let serial = sweep_threads(&jobs, 1);
+        let parallel = sweep_threads(&jobs, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (index, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a, b, "job {index} diverged between serial and parallel");
+            // Belt and braces: the rendered reports must match byte for
+            // byte, catching any non-PartialEq drift in nested types.
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "job {index} debug repr");
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let jobs = mixed_jobs();
+        let reports = sweep(&jobs);
+        assert_eq!(reports.len(), jobs.len());
+        for (job, report) in jobs.iter().zip(&reports) {
+            assert_eq!(report.protocol, job.protocol);
+            assert_eq!(report.authorities.len(), job.scenario.n);
+        }
+        // Spot-check one slot against its job's individual run; full
+        // serial-vs-parallel equality is covered by
+        // `sweep_parallel_matches_serial_byte_for_byte`.
+        let probe = jobs.len() / 2;
+        assert_eq!(
+            reports[probe],
+            run(jobs[probe].protocol, &jobs[probe].scenario)
+        );
+    }
+
+    #[test]
+    fn par_map_is_order_stable_for_uneven_work() {
+        let items: Vec<u64> = (0..40).collect();
+        let doubled = par_map(&items, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 2
+        });
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
 
     #[test]
     fn all_three_protocols_succeed_on_healthy_network() {

@@ -8,7 +8,11 @@ use partialtor_crypto::{sha256, Digest32, Signature, SigningKey, VerifyingKey};
 
 /// Digest signed when an authority endorses a consensus document.
 pub fn consensus_sig_digest(run_id: u64, consensus: Digest32) -> Digest32 {
-    sha256::digest_parts(&[b"dir-consensus-sig", &run_id.to_le_bytes(), consensus.as_bytes()])
+    sha256::digest_parts(&[
+        b"dir-consensus-sig",
+        &run_id.to_le_bytes(),
+        consensus.as_bytes(),
+    ])
 }
 
 /// Digest signed by authority `subject` over its own document (the

@@ -55,7 +55,11 @@ fn run_current_with(byz: CurrentByzantineMode) -> Simulation<CurrentAuthority> {
                 my_doc: DirDocument::synthetic(60, i as u8, vote_size_bytes(RELAYS)),
                 signing: signers[i].clone(),
                 keys: keys.clone(),
-                byzantine: if i == 0 { byz } else { CurrentByzantineMode::Honest },
+                byzantine: if i == 0 {
+                    byz
+                } else {
+                    CurrentByzantineMode::Honest
+                },
             })
         })
         .collect();
@@ -142,7 +146,11 @@ fn synchronous_protocol_neutralizes_equivocation() {
     assert!(successes >= 5, "{successes} correct authorities succeeded");
 }
 
-fn build_icps(seed: u64, run_id: u64, byz: impl Fn(usize) -> IcpsByzantineMode) -> Simulation<IcpsAuthority> {
+fn build_icps(
+    seed: u64,
+    run_id: u64,
+    byz: impl Fn(usize) -> IcpsByzantineMode,
+) -> Simulation<IcpsAuthority> {
     let (signers, keys) = committee(seed);
     let nodes: Vec<IcpsAuthority> = (0..N)
         .map(|i| {

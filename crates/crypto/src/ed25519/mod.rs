@@ -79,9 +79,7 @@ impl VerifyingKey {
     /// Parses a compressed public key, rejecting undecodable encodings.
     pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, SignatureError> {
         EdwardsPoint::decompress(bytes).ok_or(SignatureError::InvalidPublicKey)?;
-        Ok(VerifyingKey {
-            compressed: *bytes,
-        })
+        Ok(VerifyingKey { compressed: *bytes })
     }
 
     /// The compressed encoding.
@@ -95,10 +93,10 @@ impl VerifyingKey {
     /// `R`/`A`, and failures of `[S]B = R + [k]A` (compared in compressed
     /// form, i.e. cofactorless verification like Tor's ed25519 use).
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
-        let s = Scalar::from_canonical_bytes(&signature.s)
-            .ok_or(SignatureError::NonCanonicalScalar)?;
-        let a = EdwardsPoint::decompress(&self.compressed)
-            .ok_or(SignatureError::InvalidPublicKey)?;
+        let s =
+            Scalar::from_canonical_bytes(&signature.s).ok_or(SignatureError::NonCanonicalScalar)?;
+        let a =
+            EdwardsPoint::decompress(&self.compressed).ok_or(SignatureError::InvalidPublicKey)?;
         let k_bytes = sha512::digest_parts(&[&signature.r, &self.compressed, message]);
         let k = Scalar::from_bytes_mod_order_wide(&k_bytes);
 

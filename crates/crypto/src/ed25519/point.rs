@@ -36,8 +36,7 @@ pub struct EdwardsPoint {
 impl PartialEq for EdwardsPoint {
     fn eq(&self, other: &Self) -> bool {
         // (X1/Z1, Y1/Z1) == (X2/Z2, Y2/Z2) without divisions.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 

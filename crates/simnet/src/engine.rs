@@ -42,7 +42,7 @@ impl std::fmt::Display for LogLevel {
 }
 
 /// One captured log line.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogEntry {
     /// When the line was emitted.
     pub time: SimTime,
@@ -199,7 +199,14 @@ impl<M: Payload> EngineCore<M> {
         if from == to {
             // Local delivery bypasses the network entirely: no wire
             // bytes, no byte accounting.
-            self.push(self.now, EventKind::LocalDeliver { node: to, from, msg });
+            self.push(
+                self.now,
+                EventKind::LocalDeliver {
+                    node: to,
+                    from,
+                    msg,
+                },
+            );
             return;
         }
         let kind = msg.kind();
@@ -263,7 +270,8 @@ impl<'a, M: Payload> Context<'a, M> {
         self.core.timer_seq += 1;
         let node = self.node;
         let at = self.core.now + delay;
-        self.core.push(at, EventKind::TimerFire { node, timer, tag });
+        self.core
+            .push(at, EventKind::TimerFire { node, timer, tag });
         timer
     }
 
@@ -357,9 +365,7 @@ impl<N: Node> Simulation<N> {
             seq: 0,
             heap: BinaryHeap::new(),
             uplinks: (0..n).map(|_| Pipe::new(config.default_up_bps)).collect(),
-            downlinks: (0..n)
-                .map(|_| Pipe::new(config.default_down_bps))
-                .collect(),
+            downlinks: (0..n).map(|_| Pipe::new(config.default_down_bps)).collect(),
             latency,
             metrics: Metrics::new(n),
             logs: Vec::new(),
@@ -470,7 +476,8 @@ impl<N: Node> Simulation<N> {
                     };
                     let arrive = now + latency;
                     transfer.bytes_left = transfer.total_bytes as f64;
-                    self.core.push(arrive, EventKind::DownlinkArrive { transfer });
+                    self.core
+                        .push(arrive, EventKind::DownlinkArrive { transfer });
                 }
             }
             EventKind::DownlinkArrive { mut transfer } => {
@@ -594,7 +601,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, ctx: &mut Context<'_, SizedPayload>, from: NodeId, msg: SizedPayload) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, SizedPayload>,
+            from: NodeId,
+            msg: SizedPayload,
+        ) {
             self.received.push((ctx.now(), from, msg.tag));
         }
     }
@@ -617,7 +629,13 @@ mod tests {
         // 1 s (uplink) + 0.1 s (latency) + 1 s (downlink) = 2.1 s.
         let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
         let nodes = vec![
-            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 7, size: 125_000 })]),
+            Recorder::new(vec![(
+                NodeId(1),
+                SizedPayload {
+                    tag: 7,
+                    size: 125_000,
+                },
+            )]),
             Recorder::new(vec![]),
         ];
         let mut sim = Simulation::new(topo, nodes, config_1mbps());
@@ -633,9 +651,27 @@ mod tests {
         let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(10));
         let nodes = vec![
             Recorder::new(vec![
-                (NodeId(1), SizedPayload { tag: 1, size: 50_000 }),
-                (NodeId(1), SizedPayload { tag: 2, size: 1_000 }),
-                (NodeId(1), SizedPayload { tag: 3, size: 1_000 }),
+                (
+                    NodeId(1),
+                    SizedPayload {
+                        tag: 1,
+                        size: 50_000,
+                    },
+                ),
+                (
+                    NodeId(1),
+                    SizedPayload {
+                        tag: 2,
+                        size: 1_000,
+                    },
+                ),
+                (
+                    NodeId(1),
+                    SizedPayload {
+                        tag: 3,
+                        size: 1_000,
+                    },
+                ),
             ]),
             Recorder::new(vec![]),
         ];
@@ -652,16 +688,17 @@ mod tests {
         // = 5 s, so uplink completes at 5.5 s; delivery 5.5 + 0.1 + 1 = 6.6 s.
         let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
         let nodes = vec![
-            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 7, size: 125_000 })]),
+            Recorder::new(vec![(
+                NodeId(1),
+                SizedPayload {
+                    tag: 7,
+                    size: 125_000,
+                },
+            )]),
             Recorder::new(vec![]),
         ];
         let mut sim = Simulation::new(topo, nodes, config_1mbps());
-        sim.schedule_bandwidth_change(
-            SimTime::from_micros(500_000),
-            NodeId(0),
-            Some(0.1e6),
-            None,
-        );
+        sim.schedule_bandwidth_change(SimTime::from_micros(500_000), NodeId(0), Some(0.1e6), None);
         sim.run();
         let received = &sim.node(NodeId(1)).received;
         assert_eq!(received[0].0, SimTime::from_micros(6_600_000));
@@ -673,7 +710,13 @@ mod tests {
         // 10 + 1 + 0.1 + 1 = 12.1 s.
         let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
         let nodes = vec![
-            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 9, size: 125_000 })]),
+            Recorder::new(vec![(
+                NodeId(1),
+                SizedPayload {
+                    tag: 9,
+                    size: 125_000,
+                },
+            )]),
             Recorder::new(vec![]),
         ];
         let mut sim = Simulation::new(topo, nodes, config_1mbps());
@@ -690,7 +733,10 @@ mod tests {
         let topo = LatencyMatrix::uniform(1, SimDuration::ZERO);
         let nodes = vec![Recorder::new(vec![(
             NodeId(0),
-            SizedPayload { tag: 5, size: 1_000_000 },
+            SizedPayload {
+                tag: 5,
+                size: 1_000_000,
+            },
         )])];
         let mut sim = Simulation::new(topo, nodes, config_1mbps());
         sim.run();
@@ -707,7 +753,15 @@ mod tests {
                 .map(|i| {
                     let plan = (0..9)
                         .filter(|&j| j != i)
-                        .map(|j| (NodeId(j), SizedPayload { tag: i as u64, size: 10_000 }))
+                        .map(|j| {
+                            (
+                                NodeId(j),
+                                SizedPayload {
+                                    tag: i as u64,
+                                    size: 10_000,
+                                },
+                            )
+                        })
                         .collect();
                     Recorder::new(plan)
                 })
@@ -731,7 +785,13 @@ mod tests {
     fn metrics_track_bytes() {
         let topo = LatencyMatrix::uniform(2, SimDuration::ZERO);
         let nodes = vec![
-            Recorder::new(vec![(NodeId(1), SizedPayload { tag: 1, size: 1_000 })]),
+            Recorder::new(vec![(
+                NodeId(1),
+                SizedPayload {
+                    tag: 1,
+                    size: 1_000,
+                },
+            )]),
             Recorder::new(vec![]),
         ];
         let mut config = config_1mbps();
@@ -799,10 +859,7 @@ mod tests {
         let fired = &sim.node(NodeId(0)).fired;
         assert_eq!(
             fired,
-            &vec![
-                (SimTime::from_secs(1), 1),
-                (SimTime::from_secs(3), 3),
-            ]
+            &vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(3), 3),]
         );
     }
 }

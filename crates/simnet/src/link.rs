@@ -113,11 +113,7 @@ impl<M> Pipe<M> {
 
     /// Handles a completion event. Returns the finished transfer (if the
     /// event is current) and the follow-up scheduling action.
-    pub fn complete(
-        &mut self,
-        now: SimTime,
-        generation: u64,
-    ) -> (Option<Transfer<M>>, PipeAction) {
+    pub fn complete(&mut self, now: SimTime, generation: u64) -> (Option<Transfer<M>>, PipeAction) {
         if generation != self.generation || self.current.is_none() {
             // A stale event from before a rate change; ignore it.
             return (None, PipeAction::None);
@@ -192,7 +188,10 @@ mod tests {
         pipe.enqueue(SimTime::ZERO, transfer(1_000_000));
         let action = pipe.set_rate(SimTime::from_millis(500), 8e5);
         // 0.5 MB remain at 0.1 MB/s → 5 s more.
-        assert_eq!(at(action), SimTime::from_millis(500) + SimDuration::from_secs(5));
+        assert_eq!(
+            at(action),
+            SimTime::from_millis(500) + SimDuration::from_secs(5)
+        );
     }
 
     #[test]

@@ -168,8 +168,14 @@ fn latency_jitter_bounds_and_determinism() {
     let run = |jitter: f64, seed: u64| {
         let plan = (0..20u64).map(|i| (1usize, i, 1_000u64)).collect();
         let nodes = vec![
-            Scripted { plan, received: Vec::new() },
-            Scripted { plan: Vec::new(), received: Vec::new() },
+            Scripted {
+                plan,
+                received: Vec::new(),
+            },
+            Scripted {
+                plan: Vec::new(),
+                received: Vec::new(),
+            },
         ];
         let config = SimConfig {
             seed,

@@ -62,7 +62,12 @@ impl Authority {
 
 impl std::fmt::Debug for Authority {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Authority({}, {})", self.name, &self.fingerprint_hex()[..8])
+        write!(
+            f,
+            "Authority({}, {})",
+            self.name,
+            &self.fingerprint_hex()[..8]
+        )
     }
 }
 

@@ -210,7 +210,10 @@ impl Consensus {
                     .ok_or_else(|| DocError::new(ln, "bad signature hex"))?;
                 signatures.push((AuthorityId(id), Signature::from_bytes(&bytes)));
             } else {
-                return Err(DocError::new(ln, format!("unexpected trailer line: {line}")));
+                return Err(DocError::new(
+                    ln,
+                    format!("unexpected trailer line: {line}"),
+                ));
             }
         }
 
@@ -284,7 +287,10 @@ fn aggregate_relay(id: RelayId, listed: &[(AuthorityId, &RelayInfo)]) -> Consens
     let mut flags = RelayFlags::NONE;
     for (bit, _) in FLAG_TABLE {
         let flag = RelayFlags::from_bits(bit);
-        let count = listed.iter().filter(|(_, e)| e.flags.contains(flag)).count();
+        let count = listed
+            .iter()
+            .filter(|(_, e)| e.flags.contains(flag))
+            .count();
         if count * 2 > listed.len() {
             flags.insert(flag);
         }

@@ -82,11 +82,8 @@ impl ConsensusDiff {
         if from.digest() != self.from_digest {
             return None;
         }
-        let mut entries: std::collections::BTreeMap<RelayId, ConsensusEntry> = from
-            .entries
-            .iter()
-            .map(|e| (e.id, e.clone()))
-            .collect();
+        let mut entries: std::collections::BTreeMap<RelayId, ConsensusEntry> =
+            from.entries.iter().map(|e| (e.id, e.clone())).collect();
         for id in &self.removed {
             entries.remove(id);
         }
@@ -226,7 +223,8 @@ mod tests {
         let population = generate_population(&PopulationConfig { seed, count });
         let votes: Vec<Vote> = (0..9u8)
             .map(|i| {
-                let view = authority_view(&population, AuthorityId(i), seed, &ViewConfig::default());
+                let view =
+                    authority_view(&population, AuthorityId(i), seed, &ViewConfig::default());
                 Vote::new(
                     VoteMeta::standard(AuthorityId(i), "a", String::new(), valid_after),
                     view,

@@ -59,9 +59,7 @@ pub mod prelude {
     pub use crate::authority::{Authority, AuthorityId, AuthoritySet};
     pub use crate::consensus::{aggregate, Consensus, ConsensusEntry, ConsensusMeta};
     pub use crate::diff::ConsensusDiff;
-    pub use crate::generator::{
-        authority_view, generate_population, PopulationConfig, ViewConfig,
-    };
+    pub use crate::generator::{authority_view, generate_population, PopulationConfig, ViewConfig};
     pub use crate::relay::{ExitPolicySummary, RelayFlags, RelayId, RelayInfo, TorVersion};
     pub use crate::vote::{DocError, Vote, VoteMeta};
 }

@@ -270,7 +270,11 @@ impl ExitPolicySummary {
             })
             .collect::<Vec<_>>()
             .join(",");
-        format!("{} {}", if self.accept { "accept" } else { "reject" }, ports)
+        format!(
+            "{} {}",
+            if self.accept { "accept" } else { "reject" },
+            ports
+        )
     }
 
     /// Parses a canonical summary string.
@@ -396,10 +400,19 @@ mod tests {
         let old = TorVersion::new(0, 4, 7, 1);
         let new = TorVersion::new(0, 4, 8, 0);
         assert!(new > old);
-        assert_eq!(TorVersion::parse("Tor 0.4.8.10"), Some(TorVersion::new(0, 4, 8, 10)));
-        assert_eq!(TorVersion::parse("0.4.8.10"), Some(TorVersion::new(0, 4, 8, 10)));
+        assert_eq!(
+            TorVersion::parse("Tor 0.4.8.10"),
+            Some(TorVersion::new(0, 4, 8, 10))
+        );
+        assert_eq!(
+            TorVersion::parse("0.4.8.10"),
+            Some(TorVersion::new(0, 4, 8, 10))
+        );
         assert_eq!(TorVersion::parse("0.4.8"), None);
-        assert_eq!(TorVersion::parse("Tor 0.4.8.10").unwrap().to_string(), "Tor 0.4.8.10");
+        assert_eq!(
+            TorVersion::parse("Tor 0.4.8.10").unwrap().to_string(),
+            "Tor 0.4.8.10"
+        );
     }
 
     #[test]

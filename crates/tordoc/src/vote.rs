@@ -285,9 +285,7 @@ where
             }
             let mut address = [0u8; 4];
             for (i, p) in addr_parts.iter().enumerate() {
-                address[i] = p
-                    .parse()
-                    .map_err(|_| DocError::new(ln, "bad IPv4 octet"))?;
+                address[i] = p.parse().map_err(|_| DocError::new(ln, "bad IPv4 octet"))?;
             }
             current = Some(RelayInfo {
                 id,
@@ -346,10 +344,7 @@ mod tests {
     use crate::generator::{generate_population, PopulationConfig};
 
     fn sample_vote(n: usize) -> Vote {
-        let pop = generate_population(&PopulationConfig {
-            seed: 5,
-            count: n,
-        });
+        let pop = generate_population(&PopulationConfig { seed: 5, count: n });
         let meta = VoteMeta::standard(AuthorityId(3), "gabelmoo", "AB".repeat(20), 1_700_000_000);
         Vote::new(meta, pop)
     }

@@ -24,7 +24,10 @@ fn main() {
     println!("== Current protocol under the 5-authority, 5-minute DDoS ==\n");
     let current = run(ProtocolKind::Current, &scenario);
     println!("{}", render_authority(&current.logs, NodeId(8)));
-    println!("\ncurrent protocol produced a valid consensus: {}", current.success);
+    println!(
+        "\ncurrent protocol produced a valid consensus: {}",
+        current.success
+    );
 
     println!("\n== Same attack against the ICPS protocol ==\n");
     let icps = run(ProtocolKind::Icps, &scenario);

@@ -27,11 +27,8 @@ fn main() {
         "consensus latency: {:.2} s (simulated)",
         report.network_time_secs.expect("healthy run succeeds")
     );
-    let digests: std::collections::BTreeSet<_> = report
-        .authorities
-        .iter()
-        .filter_map(|a| a.digest)
-        .collect();
+    let digests: std::collections::BTreeSet<_> =
+        report.authorities.iter().filter_map(|a| a.digest).collect();
     println!("distinct digests : {} (must be 1)", digests.len());
     if let Some(digest) = digests.iter().next() {
         println!("consensus digest : {}", digest.short_hex(20));

@@ -8,7 +8,10 @@
 use partialtor_tordoc::prelude::*;
 
 fn main() {
-    let population = generate_population(&PopulationConfig { seed: 1, count: 120 });
+    let population = generate_population(&PopulationConfig {
+        seed: 1,
+        count: 120,
+    });
     let committee = AuthoritySet::live(1);
 
     let votes: Vec<Vote> = committee

@@ -1,0 +1,249 @@
+//! Vendored stand-in for `criterion` 0.5.
+//!
+//! Mirrors the API surface the workspace's benches use. Behaviour follows
+//! criterion's contract with cargo:
+//!
+//! * `cargo bench` passes `--bench` to the harness — each registered
+//!   function is warmed up once and then timed over `sample_size`
+//!   iterations, reporting mean/min/max wall-clock per iteration.
+//! * `cargo test` runs the harness with no `--bench` flag — each
+//!   function executes exactly once, so benches stay cheap smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]. The shim times whole
+/// batches of one, so the variants only preserve source compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Timing collector handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    bench_mode: bool,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds the harness from argv (used by `criterion_main!`).
+    pub fn from_args() -> Self {
+        Criterion::default()
+    }
+
+    pub fn sample_size(&mut self, n: u64) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.into(), self.bench_mode, self.sample_size, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing line (`criterion_main!` calls this).
+    pub fn final_summary(&mut self) {
+        if self.bench_mode {
+            println!("benchmark run complete");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: u64) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(full, self.criterion.bench_mode, samples, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    bench_mode: bool,
+    samples: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !bench_mode {
+        // Test mode (`cargo test`): run once so the bench is exercised
+        // without dominating the suite's runtime.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("bench-test {id} ... ok ({:?})", bencher.elapsed);
+        return;
+    }
+    // Warm-up pass, then the timed samples.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64());
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean > 0.0 => {
+            format!("  {:.1} MiB/s", bytes as f64 / mean / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(elems)) if mean > 0.0 => {
+            format!("  {:.1} elem/s", elems as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} mean {:>12} min {:>12} max {:>12}{rate}",
+        format_secs(mean),
+        format_secs(min),
+        format_secs(max),
+    );
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the harness `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,25 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace builds without network access, so the real serde cannot
+//! be fetched. The experiment drivers only use `#[derive(Serialize)]` as
+//! a structural marker (rows are rendered through hand-written `render`
+//! functions, never serialized generically), so the shim provides:
+//!
+//! * a [`Serialize`] marker trait blanket-implemented for every type, and
+//! * no-op `Serialize`/`Deserialize` derives re-exported from
+//!   `serde_derive`.
+//!
+//! Swapping in the real serde later is a one-line change in the root
+//! `[workspace.dependencies]` table.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the vendored `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are blanket-implemented
+//! for every type, so the derives only need to exist and expand to
+//! nothing for `#[derive(Serialize)]` to compile.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

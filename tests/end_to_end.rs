@@ -77,7 +77,10 @@ fn simulated_consensus_digest_matches_direct_aggregation() {
 
 #[test]
 fn consensus_documents_round_trip_and_verify() {
-    let population = generate_population(&PopulationConfig { seed: 53, count: 50 });
+    let population = generate_population(&PopulationConfig {
+        seed: 53,
+        count: 50,
+    });
     let committee = AuthoritySet::live(53);
     let votes: Vec<Vote> = committee
         .iter()
