@@ -1,0 +1,65 @@
+//! Benchmarks of the distribution layer's cohort machinery: stepping a
+//! multi-million-client fleet through a full day, and the cache-tier
+//! fetch simulation it feeds on. The fleet number is the one that makes
+//! `dirsim clients --clients 3000000 --hours 24` feasible — per-client
+//! event objects would be six orders of magnitude more work.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use partialtor_dirdist::{cachesim, fleet, ConsensusTimeline, DocModel, FleetConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn healthy_day() -> ConsensusTimeline {
+    let outcomes: Vec<Option<f64>> = (0..24).map(|_| Some(330.0)).collect();
+    ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800)
+}
+
+fn bench_fleet_stepping(c: &mut Criterion) {
+    let timeline = healthy_day();
+    let model = DocModel::synthetic(&timeline.publications, 8_000, 0.02, 3);
+    let cached_at: Vec<Option<f64>> = timeline
+        .publications
+        .iter()
+        .map(|p| Some(p.available_at_secs + 120.0))
+        .collect();
+
+    let mut group = c.benchmark_group("fleet_day");
+    group.sample_size(10);
+    for clients in [100_000u64, 3_000_000] {
+        group.throughput(Throughput::Elements(clients));
+        group.bench_function(format!("{clients}_clients_24h"), |b| {
+            b.iter(|| {
+                fleet::run(
+                    &FleetConfig::sized(black_box(clients), 7),
+                    &timeline,
+                    &model,
+                    &cached_at,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_tier(c: &mut Criterion) {
+    let timeline = healthy_day();
+    let model = Arc::new(DocModel::synthetic(&timeline.publications, 8_000, 0.02, 3));
+
+    let mut group = c.benchmark_group("cache_tier_day");
+    group.sample_size(10);
+    for caches in [50usize, 200] {
+        let config = cachesim::CacheSimConfig {
+            seed: 7,
+            n_caches: caches,
+            ..cachesim::CacheSimConfig::default()
+        };
+        group.throughput(Throughput::Elements(caches as u64));
+        group.bench_function(format!("{caches}_caches_24h"), |b| {
+            b.iter(|| cachesim::run(black_box(&config), &timeline, &model))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_stepping, bench_cache_tier);
+criterion_main!(benches);

@@ -62,9 +62,9 @@ fn decide_once(n: usize, f: usize, signers: &[SigningKey]) -> usize {
         }
     };
 
-    for i in 0..n {
-        let mut actions = nodes[i].start();
-        actions.extend(nodes[i].set_input(Val(vec![i as u8; 64])));
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let mut actions = node.start();
+        actions.extend(node.set_input(Val(vec![i as u8; 64])));
         push(&mut queue, i, actions);
     }
     let mut delivered = 0;

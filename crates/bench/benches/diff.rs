@@ -1,0 +1,98 @@
+//! Benchmarks of the proposal-140 hot path: consensus-diff compute and
+//! apply at realistic relay counts (2 k ≈ the early-2021 network, 8 k ≈
+//! the paper's evaluation), plus the cache-side `DiffStore` publish step
+//! that recomputes a retained diff set on every new consensus.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use partialtor_tordoc::prelude::*;
+use partialtor_tordoc::serve::DiffStore;
+use std::hint::black_box;
+
+/// Builds an hour-apart consensus pair with ~1 % churn.
+fn consensus_pair(relays: usize) -> (Consensus, Consensus) {
+    let population = generate_population(&PopulationConfig {
+        seed: 11,
+        count: relays,
+    });
+    let make = |pop: &[RelayInfo], valid_after: u64| {
+        let votes: Vec<Vote> = (0..9u8)
+            .map(|i| {
+                let view = authority_view(pop, AuthorityId(i), 11, &ViewConfig::default());
+                Vote::new(
+                    VoteMeta::standard(AuthorityId(i), "a", String::new(), valid_after),
+                    view,
+                )
+            })
+            .collect();
+        let refs: Vec<&Vote> = votes.iter().collect();
+        aggregate(&refs)
+    };
+    let old = make(&population, 3_600);
+    // 1% churn: replace the first relays with fresh ones.
+    let replaced = relays / 100;
+    let fresh = generate_population(&PopulationConfig {
+        seed: 11 ^ 0x5eed,
+        count: replaced,
+    });
+    let mut next: Vec<RelayInfo> = population[replaced..].to_vec();
+    next.extend(fresh);
+    let new = make(&next, 7_200);
+    (old, new)
+}
+
+fn bench_compute_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_diff");
+    group.sample_size(10);
+    for relays in [2_000usize, 8_000] {
+        let (old, new) = consensus_pair(relays);
+        let diff = ConsensusDiff::compute(&old, &new);
+        group.throughput(Throughput::Elements(relays as u64));
+        group.bench_function(format!("compute_{relays}_relays"), |b| {
+            b.iter(|| ConsensusDiff::compute(black_box(&old), black_box(&new)))
+        });
+        group.bench_function(format!("apply_{relays}_relays"), |b| {
+            b.iter(|| black_box(&diff).apply(black_box(&old)).expect("applies"))
+        });
+        group.bench_function(format!("encode_{relays}_relays"), |b| {
+            b.iter(|| black_box(&diff).encode())
+        });
+    }
+    group.finish();
+}
+
+fn bench_diff_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff_store");
+    group.sample_size(10);
+    let (old, new) = consensus_pair(2_000);
+    let old_digest = old.digest();
+    // Publishing into a store holding three bases recomputes three diffs.
+    group.bench_function("publish_2000_relays_retain3", |b| {
+        b.iter_batched(
+            || {
+                let mut store = DiffStore::new(3);
+                store.publish(old.clone());
+                (store, new.clone())
+            },
+            |(mut store, next)| {
+                store.publish(next);
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let mut store = DiffStore::new(3);
+    store.publish(old.clone());
+    store.publish(new.clone());
+    group.bench_function("serve_diff_2000_relays", |b| {
+        b.iter(|| {
+            store
+                .serve(black_box(Some(&old_digest)))
+                .expect("store is populated")
+                .wire_bytes()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute_apply, bench_diff_store);
+criterion_main!(benches);

@@ -111,7 +111,7 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
         signing: SigningKey,
         validator: Validator<V>,
     ) -> Self {
-        assert!(config.n >= 3 * config.f + 1, "need n >= 3f + 1");
+        assert!(config.n > 3 * config.f, "need n >= 3f + 1");
         assert_eq!(keys.len(), config.n, "one key per node");
         ConsensusInstance {
             config,
@@ -388,7 +388,7 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
             let qc = Qc {
                 round: vote.round,
                 value: vote.value,
-                signatures: slot.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                signatures: slot.iter().map(|(k, v)| (*k, *v)).collect(),
             };
             self.absorb_qc(qc, actions);
         }
@@ -423,7 +423,7 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
                 .map(|(node, (hqr, sig))| TcEntry {
                     node: *node,
                     high_qc_round: *hqr,
-                    signature: sig.clone(),
+                    signature: *sig,
                 })
                 .collect();
             let max_round = entries.iter().filter_map(|e| e.high_qc_round).max();
@@ -478,12 +478,9 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
             return;
         }
         let round = qc.round;
-        if self.qcs.contains_key(&round) {
-            // Conflicting QCs in one round would require > f faults; keep
-            // the first.
-        } else {
-            self.qcs.insert(round, qc.clone());
-        }
+        // Conflicting QCs in one round would require > f faults; keep the
+        // first.
+        self.qcs.entry(round).or_insert_with(|| qc.clone());
         if self.high_qc.as_ref().is_none_or(|h| round > h.round) {
             self.high_qc = Some(qc.clone());
         }

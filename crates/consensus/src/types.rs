@@ -370,7 +370,7 @@ mod tests {
         let (signers, verifiers) = keys(4);
         let value = sha256::digest(b"v");
         let mut qc = make_qc(1, 1, value, &signers[..3]);
-        qc.signatures[1] = qc.signatures[0].clone();
+        qc.signatures[1] = qc.signatures[0];
         assert!(!qc.verify(1, &verifiers, 3));
     }
 

@@ -29,8 +29,14 @@ impl ConsensusValue for Val {
 
 /// Event queue entries ordered by (time_ms, seq).
 enum Event {
-    Deliver { to: usize, msg: ConsensusMsg<Val> },
-    Timer { node: usize, round: u64 },
+    Deliver {
+        to: usize,
+        msg: Box<ConsensusMsg<Val>>,
+    },
+    Timer {
+        node: usize,
+        round: u64,
+    },
 }
 
 struct Net {
@@ -103,7 +109,13 @@ impl Net {
             match action {
                 Action::Send { to, msg } => {
                     let d = (self.delay)(from, to, self.now);
-                    self.push_event(self.now + d, Event::Deliver { to, msg });
+                    self.push_event(
+                        self.now + d,
+                        Event::Deliver {
+                            to,
+                            msg: Box::new(msg),
+                        },
+                    );
                 }
                 Action::Broadcast { msg } => {
                     for to in 0..n {
@@ -113,7 +125,7 @@ impl Net {
                                 self.now + d,
                                 Event::Deliver {
                                     to,
-                                    msg: msg.clone(),
+                                    msg: Box::new(msg.clone()),
                                 },
                             );
                         }
@@ -130,10 +142,10 @@ impl Net {
     }
 
     fn start_all(&mut self, inputs: &[Option<Val>]) {
-        for i in 0..self.nodes.len() {
+        for (i, input) in inputs.iter().enumerate() {
             if let Some(node) = self.nodes[i].as_mut() {
                 let mut actions = node.start();
-                if let Some(input) = &inputs[i] {
+                if let Some(input) = input {
                     actions.extend(node.set_input(input.clone()));
                 }
                 self.apply_actions(i, actions);
@@ -152,7 +164,7 @@ impl Net {
             match event {
                 Event::Deliver { to, msg } => {
                     if let Some(node) = self.nodes[to].as_mut() {
-                        let actions = node.on_message(msg);
+                        let actions = node.on_message(*msg);
                         self.apply_actions(to, actions);
                     }
                 }
@@ -310,7 +322,7 @@ fn external_validity_rejects_poisoned_input() {
         .collect();
     let keys: Vec<_> = signers.iter().map(|s| s.verifying_key()).collect();
     let (mut net, _) = Net::new(n, 1, uniform(10));
-    for i in 0..n {
+    for (i, signer) in signers.iter().enumerate() {
         let config = ConsensusConfig {
             instance: 99,
             n,
@@ -322,7 +334,7 @@ fn external_validity_rejects_poisoned_input() {
         net.nodes[i] = Some(ConsensusInstance::new(
             config,
             keys.clone(),
-            signers[i].clone(),
+            signer.clone(),
             Box::new(|v: &Val| v.0.first() != Some(&0)),
         ));
     }
@@ -348,21 +360,21 @@ fn equivocating_leader_cannot_break_agreement() {
         1,
         Event::Deliver {
             to: 1,
-            msg: ConsensusMsg::Proposal(block_a),
+            msg: Box::new(ConsensusMsg::Proposal(block_a)),
         },
     );
     net.push_event(
         1,
         Event::Deliver {
             to: 2,
-            msg: ConsensusMsg::Proposal(block_b.clone()),
+            msg: Box::new(ConsensusMsg::Proposal(block_b.clone())),
         },
     );
     net.push_event(
         1,
         Event::Deliver {
             to: 3,
-            msg: ConsensusMsg::Proposal(block_b),
+            msg: Box::new(ConsensusMsg::Proposal(block_b)),
         },
     );
     assert!(net.run(600_000), "correct nodes must still terminate");
@@ -397,8 +409,8 @@ fn randomized_schedules_preserve_agreement() {
         net.start_all(&ins);
         // Nodes without inputs get them late.
         net.run(10_000);
-        for i in 0..4 {
-            if ins[i].is_none() {
+        for (i, input) in ins.iter().enumerate() {
+            if input.is_none() {
                 if let Some(node) = net.nodes[i].as_mut() {
                     let actions = node.set_input(Val(vec![i as u8 + 50; 4]));
                     net.apply_actions(i, actions);
@@ -434,7 +446,7 @@ fn leader_offset_rotates_first_proposer() {
         .collect();
     let keys: Vec<_> = signers.iter().map(|s| s.verifying_key()).collect();
     let (mut net, _) = Net::new(n, 1, uniform(10));
-    for i in 0..n {
+    for (i, signer) in signers.iter().enumerate() {
         let config = ConsensusConfig {
             instance: 99,
             n,
@@ -446,7 +458,7 @@ fn leader_offset_rotates_first_proposer() {
         net.nodes[i] = Some(ConsensusInstance::new(
             config,
             keys.clone(),
-            signers[i].clone(),
+            signer.clone(),
             Box::new(|_: &Val| true),
         ));
     }

@@ -39,6 +39,28 @@ impl DdosAttack {
         self.start + self.duration
     }
 
+    /// This attack as a distribution-layer window, shifted so the
+    /// protocol run it disrupts starts at absolute `run_start_secs`
+    /// (protocol runs simulate from t = 0; the cache tier lives on the
+    /// whole day's clock).
+    pub fn window_at(&self, run_start_secs: f64) -> partialtor_dirdist::AttackWindow {
+        partialtor_dirdist::AttackWindow {
+            targets: self.targets.clone(),
+            start_secs: run_start_secs + self.start.as_secs_f64(),
+            duration_secs: self.duration.as_secs_f64(),
+            residual_bps: self.residual_bps,
+        }
+    }
+
+    /// The sustained form of this attack: one window per hourly run,
+    /// hours `1..=hours` (the §2.1 timeline the availability and clients
+    /// experiments share).
+    pub fn hourly_windows(&self, hours: u64) -> Vec<partialtor_dirdist::AttackWindow> {
+        (1..=hours)
+            .map(|hour| self.window_at((hour * 3600) as f64))
+            .collect()
+    }
+
     /// Applies the attack to a simulation by scheduling bandwidth drops
     /// and restorations on every victim. `restore_bps(target)` gives the
     /// bandwidth each victim returns to when the attack ends.

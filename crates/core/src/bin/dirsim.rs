@@ -6,14 +6,19 @@
 //! dirsim attack  [--protocol ...] [--targets K] [--duration SECS]
 //!                [--residual MBPS] [--relays N] [--seed N]
 //! dirsim sweep   [--protocol ...] [--relays N] [--seed N]
+//! dirsim clients [--clients N] [--hours H] [--caches K] [--relays N] [--seed N]
 //! dirsim cost    [--targets K] [--flood MBPS] [--minutes M]
 //! dirsim monitor [--relays N] [--seed N]
 //! ```
+//!
+//! Every subcommand accepts `--threads N` to pin the sweep worker count
+//! (overrides `PARTIALTOR_SWEEP_THREADS`).
 
 use partialtor::attack::{AttackCostModel, DdosAttack};
+use partialtor::experiments::clients;
 use partialtor::monitor;
 use partialtor::protocols::ProtocolKind;
-use partialtor::runner::{sweep, sweep_one, RunReport, Scenario, SweepJob};
+use partialtor::runner::{set_sweep_threads, sweep, sweep_one, RunReport, Scenario, SweepJob};
 use partialtor_simnet::{SimDuration, SimTime};
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
@@ -179,19 +184,50 @@ fn cmd_monitor(args: &[String]) {
     }
 }
 
-const USAGE: &str = "usage: dirsim <run|attack|sweep|cost|monitor> [options]
-  run     --protocol current|synchronous|icps --relays N --bandwidth MBPS --seed N [--real-docs]
-  attack  …run options… --targets K --duration SECS --residual MBPS
-  sweep   --protocol P --relays N
-  cost    --targets K --flood MBPS --minutes M
-  monitor --relays N --seed N";
+fn cmd_clients(args: &[String]) {
+    let params = clients::ClientsParams {
+        hours: arg_u64(args, "--hours", 24),
+        clients: arg_u64(args, "--clients", 3_000_000),
+        caches: arg_u64(args, "--caches", 200) as usize,
+        relays: arg_u64(args, "--relays", 8_000),
+        seed: arg_u64(args, "--seed", 1),
+    };
+    print!("{}", clients::render(&clients::run_experiment(&params)));
+}
+
+const USAGE: &str = "usage: dirsim <run|attack|sweep|clients|cost|monitor> [options]
+  run     one protocol run
+          --protocol current|synchronous|icps --relays N --bandwidth MBPS --seed N [--real-docs]
+  attack  one run under a bandwidth-DDoS window
+          …run options… --targets K --duration SECS --residual MBPS
+  sweep   latency across a bandwidth grid
+          --protocol P --relays N --seed N
+  clients client-visible availability through the distribution layer
+          (cache tier + cohort-aggregated fleet), current vs. ICPS
+          --clients N --hours H --caches K --relays N --seed N
+  cost    the §4.3 DDoS-for-hire price arithmetic
+          --targets K --flood MBPS --minutes M
+  monitor run all three protocols through the bandwidth monitor
+          --relays N --seed N
+global: --threads N  explicit sweep worker count
+        (overrides PARTIALTOR_SWEEP_THREADS; 1 = serial)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(threads) = arg_value(&args, "--threads") {
+        match threads.parse::<usize>() {
+            Ok(t) => set_sweep_threads(Some(t)),
+            Err(_) => {
+                eprintln!("--threads expects a number, got {threads:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args),
         Some("attack") => cmd_attack(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("clients") => cmd_clients(&args),
         Some("cost") => cmd_cost(&args),
         Some("monitor") => cmd_monitor(&args),
         _ => {

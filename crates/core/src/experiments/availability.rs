@@ -11,8 +11,16 @@
 use crate::attack::DdosAttack;
 use crate::calibration::CONSENSUS_VALID_SECS;
 use crate::protocols::ProtocolKind;
-use crate::runner::{sweep, Scenario, SweepJob};
+use crate::runner::sweep;
+use partialtor_dirdist::{simulate, DistConfig};
 use serde::Serialize;
+
+/// Reference fleet used to weight downtime by clients rather than by
+/// the binary "does any valid document exist" check.
+const REFERENCE_FLEET_CLIENTS: u64 = 1_000_000;
+
+/// Caches in the reference distribution tier.
+const REFERENCE_FLEET_CACHES: usize = 50;
 
 /// One hourly run in the timeline.
 #[derive(Clone, Debug, Serialize)]
@@ -26,6 +34,12 @@ pub struct HourRow {
     /// Whether the network still has any unexpired consensus at the end
     /// of this hour.
     pub network_alive: bool,
+    /// Time-averaged fraction of the reference fleet with no valid
+    /// consensus this hour (cannot build circuits).
+    pub dead_client_fraction: f64,
+    /// Time-averaged fraction without a *fresh* consensus (stale holders
+    /// plus the dead).
+    pub stale_client_fraction: f64,
 }
 
 /// The availability timeline of one protocol under sustained attack.
@@ -37,6 +51,9 @@ pub struct AvailabilityResult {
     pub rows: Vec<HourRow>,
     /// First simulated second at which the network was dead, if ever.
     pub death_at_secs: Option<u64>,
+    /// Fraction of client-time lost over the whole horizon — the
+    /// client-weighted form of "the network is down".
+    pub client_weighted_downtime: f64,
 }
 
 /// Simulates `hours` hourly runs with a five-minute attack window at the
@@ -45,20 +62,10 @@ pub fn timeline(protocol: ProtocolKind, hours: u64, seed: u64) -> AvailabilityRe
     // Each hourly run is an independent simulation, so the whole day
     // sweeps in parallel; only the validity bookkeeping below is
     // sequential.
-    let jobs: Vec<SweepJob> = (1..=hours)
-        .map(|hour| {
-            SweepJob::new(
-                protocol,
-                Scenario {
-                    seed: seed.wrapping_add(hour),
-                    relays: 8_000,
-                    attacks: vec![DdosAttack::five_of_nine_five_minutes()],
-                    ..Scenario::default()
-                },
-            )
-        })
-        .collect();
+    let attack = DdosAttack::five_of_nine_five_minutes();
+    let jobs = super::sustained::hourly_jobs(protocol, &attack, hours, seed, 8_000);
     let reports = sweep(&jobs);
+    let hourly_outcomes = super::sustained::hourly_outcomes(&reports);
 
     // The last pre-attack consensus was generated at t = 0 (the attack
     // begins with the run of hour 1).
@@ -85,13 +92,38 @@ pub fn timeline(protocol: ProtocolKind, hours: u64, seed: u64) -> AvailabilityRe
             produced,
             valid_at_offset_secs,
             network_alive,
+            dead_client_fraction: 0.0,
+            stale_client_fraction: 0.0,
         });
+    }
+
+    // Client weighting: replay the same timeline through the
+    // distribution layer with a reference fleet — cache fetches see the
+    // same hourly attack windows the protocol runs did — then fold its
+    // per-hour staleness back into the rows.
+    let (dist_timeline, windows) = super::sustained::dist_view(&attack, &hourly_outcomes);
+    let dist = simulate(
+        &DistConfig {
+            seed,
+            clients: REFERENCE_FLEET_CLIENTS,
+            n_caches: REFERENCE_FLEET_CACHES,
+            attacks: windows,
+            ..DistConfig::default()
+        },
+        &dist_timeline,
+    );
+    for row in &mut rows {
+        if let Some(fleet_row) = dist.fleet.rows.iter().find(|r| r.hour == row.hour) {
+            row.dead_client_fraction = fleet_row.dead_fraction;
+            row.stale_client_fraction = fleet_row.stale_fraction;
+        }
     }
 
     AvailabilityResult {
         protocol: protocol.to_string(),
         rows,
         death_at_secs,
+        client_weighted_downtime: dist.fleet.client_weighted_downtime,
     }
 }
 
@@ -111,18 +143,20 @@ pub fn render(results: &[AvailabilityResult]) -> String {
     for result in results {
         out.push_str(&format!("\n--- {} ---\n", result.protocol));
         out.push_str(&format!(
-            "{:>5} {:>10} {:>16} {:>14}\n",
-            "hour", "consensus", "valid at (+s)", "network alive"
+            "{:>5} {:>10} {:>16} {:>14} {:>9} {:>9}\n",
+            "hour", "consensus", "valid at (+s)", "network alive", "stale %", "dead %"
         ));
         for row in &result.rows {
             out.push_str(&format!(
-                "{:>5} {:>10} {:>16} {:>14}\n",
+                "{:>5} {:>10} {:>16} {:>14} {:>9.1} {:>9.1}\n",
                 row.hour,
                 if row.produced { "ok" } else { "FAILED" },
                 row.valid_at_offset_secs
                     .map(|t| format!("{t:.0}"))
                     .unwrap_or_else(|| "-".into()),
                 if row.network_alive { "yes" } else { "DOWN" },
+                100.0 * row.stale_client_fraction,
+                100.0 * row.dead_client_fraction,
             ));
         }
         match result.death_at_secs {
@@ -132,6 +166,10 @@ pub fn render(results: &[AvailabilityResult]) -> String {
             )),
             None => out.push_str("network stayed up for the whole period\n"),
         }
+        out.push_str(&format!(
+            "client-weighted downtime: {:.1}% of client-time lost\n",
+            100.0 * result.client_weighted_downtime
+        ));
     }
     out
 }
@@ -147,6 +185,15 @@ mod tests {
         // Last valid document from t = 0 expires at t = 3 h.
         assert_eq!(result.death_at_secs, Some(CONSENSUS_VALID_SECS));
         assert!(!result.rows.last().unwrap().network_alive);
+        // Client-weighted view: the fleet dies with the document.
+        assert!(
+            result.client_weighted_downtime > 0.3,
+            "a large share of client-time must be lost: {}",
+            result.client_weighted_downtime
+        );
+        let last = result.rows.last().unwrap();
+        assert!(last.dead_client_fraction > 0.95, "{last:?}");
+        assert!(last.stale_client_fraction > 0.99);
     }
 
     #[test]
@@ -160,5 +207,16 @@ mod tests {
             let t = row.valid_at_offset_secs.unwrap();
             assert!((300.0..400.0).contains(&t), "hour {}: {t}", row.hour);
         }
+        // Client-weighted view: nobody falls off the network.
+        assert!(
+            result.client_weighted_downtime < 0.02,
+            "downtime {}",
+            result.client_weighted_downtime
+        );
+        assert!(
+            result.rows.iter().all(|r| r.dead_client_fraction < 0.05),
+            "{:?}",
+            result.rows
+        );
     }
 }

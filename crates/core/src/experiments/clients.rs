@@ -1,0 +1,241 @@
+//! Client-visible availability under the sustained attack — the paper's
+//! headline claim measured from the *user's* seat.
+//!
+//! The availability experiment tracks document validity at the
+//! authorities; this one pushes the same hourly timeline through the
+//! distribution layer (`partialtor-dirdist`): a cache tier fetching each
+//! new consensus over simulated links (diffs where possible), and a
+//! cohort-aggregated client fleet — millions of users — bootstrapping,
+//! refreshing on the staggered Tor schedule, and falling off the network
+//! when their document expires. Under the $53.28/month attack, the
+//! current protocol's fleet dies three hours after the last valid
+//! consensus; the ICPS fleet barely notices.
+
+use crate::attack::DdosAttack;
+use crate::calibration::N_AUTHORITIES;
+use crate::protocols::ProtocolKind;
+use crate::runner::{sweep, SweepJob};
+use partialtor_dirdist::{simulate, DistConfig, DistReport};
+use serde::Serialize;
+
+/// Experiment parameters (the `dirsim clients` surface).
+#[derive(Clone, Debug)]
+pub struct ClientsParams {
+    /// Hourly attacked runs to simulate after the baseline.
+    pub hours: u64,
+    /// Client fleet size.
+    pub clients: u64,
+    /// Directory caches in the distribution tier.
+    pub caches: usize,
+    /// Relay population (document sizes, protocol load).
+    pub relays: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ClientsParams {
+    fn default() -> Self {
+        ClientsParams {
+            hours: 24,
+            clients: 3_000_000,
+            caches: 200,
+            relays: 8_000,
+            seed: 1,
+        }
+    }
+}
+
+/// One protocol's client-visible outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClientsResult {
+    /// Protocol label.
+    pub protocol: String,
+    /// Hourly runs that produced a consensus (out of `hours`).
+    pub produced_hours: u64,
+    /// The distribution-layer report (cache tier + fleet).
+    pub dist: DistReport,
+}
+
+/// Runs the client-visible timeline for the current and ICPS protocols.
+///
+/// All `2 × hours` protocol simulations go out as one parallel sweep;
+/// the distribution layer then replays each protocol's timeline against
+/// the same fleet and cache tier.
+pub fn run_experiment(params: &ClientsParams) -> Vec<ClientsResult> {
+    let protocols = [ProtocolKind::Current, ProtocolKind::Icps];
+    let attack = DdosAttack::five_of_nine_five_minutes();
+    let jobs: Vec<SweepJob> = protocols
+        .iter()
+        .flat_map(|&protocol| {
+            super::sustained::hourly_jobs(
+                protocol,
+                &attack,
+                params.hours,
+                params.seed,
+                params.relays,
+            )
+        })
+        .collect();
+    let reports = sweep(&jobs);
+
+    protocols
+        .iter()
+        .enumerate()
+        .map(|(index, &protocol)| {
+            let slice = &reports[index * params.hours as usize..][..params.hours as usize];
+            let hourly = super::sustained::hourly_outcomes(slice);
+            let (timeline, windows) = super::sustained::dist_view(&attack, &hourly);
+            let config = DistConfig {
+                seed: params.seed,
+                clients: params.clients,
+                relays: params.relays,
+                n_authorities: N_AUTHORITIES,
+                n_caches: params.caches,
+                attacks: windows,
+                ..DistConfig::default()
+            };
+            ClientsResult {
+                protocol: protocol.to_string(),
+                produced_hours: hourly.iter().flatten().count() as u64,
+                dist: simulate(&config, &timeline),
+            }
+        })
+        .collect()
+}
+
+/// Renders the per-protocol hourly tables and the comparison summary.
+pub fn render(results: &[ClientsResult]) -> String {
+    let mut out = String::new();
+    out.push_str("=== Client-visible availability under sustained hourly DDoS ===\n");
+    out.push_str("(five-of-nine victims, five minutes per hourly run; distribution\n");
+    out.push_str(" layer: directory caches + cohort-aggregated client fleet)\n");
+    for result in results {
+        out.push_str(&format!(
+            "\n--- {} ({} of {} hourly runs produced a consensus) ---\n",
+            result.protocol,
+            result.produced_hours,
+            result.dist.fleet.rows.len().saturating_sub(1),
+        ));
+        out.push_str(&format!(
+            "{:>5} {:>13} {:>13} {:>9} {:>9} {:>14}\n",
+            "hour", "bootstraps", "ok rate", "stale %", "dead %", "egress (MB)"
+        ));
+        for row in &result.dist.fleet.rows {
+            let rate = if row.bootstrap_attempts == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}%",
+                    100.0 * row.bootstrap_successes as f64 / row.bootstrap_attempts as f64
+                )
+            };
+            out.push_str(&format!(
+                "{:>5} {:>13} {:>13} {:>9.1} {:>9.1} {:>14.1}\n",
+                row.hour,
+                row.bootstrap_attempts,
+                rate,
+                100.0 * row.stale_fraction,
+                100.0 * row.dead_fraction,
+                row.cache_egress_bytes as f64 / 1e6,
+            ));
+        }
+        let fleet = &result.dist.fleet;
+        let cache = &result.dist.cache;
+        out.push_str(&format!(
+            "bootstrap success {:.1}%  client-weighted downtime {:.1}%  stale clients {:.1}% mean / {:.1}% peak\n",
+            100.0 * fleet.bootstrap_success_rate,
+            100.0 * fleet.client_weighted_downtime,
+            100.0 * fleet.mean_stale_fraction,
+            100.0 * fleet.peak_stale_fraction,
+        ));
+        out.push_str(&format!(
+            "authority egress {:.1} MB (diffs) vs {:.1} MB (full-only); cache egress {:.1} GB vs {:.1} GB\n",
+            cache.authority_egress_bytes as f64 / 1e6,
+            cache.authority_egress_full_only_bytes as f64 / 1e6,
+            fleet.cache_egress_bytes as f64 / 1e9,
+            fleet.cache_egress_full_only_bytes as f64 / 1e9,
+        ));
+    }
+    if let [current, icps] = results {
+        out.push_str(&format!(
+            "\nverdict: bootstrap success {:.1}% → {:.1}%, stale clients {:.1}% → {:.1}%, client-weighted downtime {:.1}% → {:.1}% (Current → Icps)\n",
+            100.0 * current.dist.fleet.bootstrap_success_rate,
+            100.0 * icps.dist.fleet.bootstrap_success_rate,
+            100.0 * current.dist.fleet.mean_stale_fraction,
+            100.0 * icps.dist.fleet.mean_stale_fraction,
+            100.0 * current.dist.fleet.client_weighted_downtime,
+            100.0 * icps.dist.fleet.client_weighted_downtime,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> ClientsParams {
+        ClientsParams {
+            hours: 4,
+            clients: 100_000,
+            caches: 30,
+            relays: 8_000,
+            seed: 31,
+        }
+    }
+
+    #[test]
+    fn current_and_icps_diverge_for_clients() {
+        let results = run_experiment(&small_params());
+        assert_eq!(results.len(), 2);
+        let current = &results[0];
+        let icps = &results[1];
+        assert_eq!(current.protocol, "Current");
+        assert_eq!(icps.protocol, "Ours");
+
+        // Authorities: every attacked run fails under the current
+        // protocol, every one succeeds under ICPS.
+        assert_eq!(current.produced_hours, 0);
+        assert_eq!(icps.produced_hours, 4);
+
+        // Clients: the ICPS fleet stays bootstrapped and fresh …
+        assert!(icps.dist.fleet.bootstrap_success_rate > 0.95);
+        assert!(icps.dist.fleet.client_weighted_downtime < 0.02);
+        // … the current-protocol fleet dies three hours after t = 0.
+        assert!(current.dist.fleet.client_weighted_downtime > 0.3);
+        assert!(current.dist.fleet.peak_stale_fraction > 0.99);
+        let last = current.dist.fleet.rows.last().unwrap();
+        assert!(last.dead_fraction > 0.95, "{last:?}");
+        assert_eq!(last.bootstrap_successes, 0);
+
+        // Divergence the acceptance criterion asks for: bootstrap success
+        // rate and stale-client fraction.
+        let rate_gap =
+            icps.dist.fleet.bootstrap_success_rate - current.dist.fleet.bootstrap_success_rate;
+        assert!(rate_gap > 0.3, "bootstrap rates must diverge: {rate_gap}");
+        let stale_gap =
+            current.dist.fleet.mean_stale_fraction - icps.dist.fleet.mean_stale_fraction;
+        assert!(stale_gap > 0.2, "stale fractions must diverge: {stale_gap}");
+
+        // The render mentions both protocols and the verdict line.
+        let text = render(&results);
+        assert!(text.contains("Current") && text.contains("Ours"));
+        assert!(text.contains("verdict"));
+    }
+
+    #[test]
+    fn experiment_is_deterministic_for_a_seed() {
+        // Smaller than the divergence test: determinism does not depend
+        // on scale, and the dev-profile suite runs on small machines.
+        let params = ClientsParams {
+            hours: 2,
+            clients: 50_000,
+            caches: 20,
+            relays: 2_000,
+            seed: 9,
+        };
+        let a = run_experiment(&params);
+        let b = run_experiment(&params);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

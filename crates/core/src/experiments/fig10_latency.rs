@@ -49,7 +49,7 @@ fn cell_scenario(bandwidth_mbps: f64, relays: u64, seed: u64) -> Scenario {
 /// Runs one cell of the figure.
 pub fn measure(protocol: ProtocolKind, bandwidth_mbps: f64, relays: u64, seed: u64) -> Option<f64> {
     let report = run(protocol, &cell_scenario(bandwidth_mbps, relays, seed));
-    report.success.then(|| report.network_time_secs).flatten()
+    report.success.then_some(report.network_time_secs).flatten()
 }
 
 /// Runs the full sweep in parallel. `step` controls the relay-count
@@ -81,7 +81,7 @@ pub fn run_experiment(seed: u64, step: u64) -> Fig10Result {
             bandwidth_mbps,
             relays,
             protocol: protocol.to_string(),
-            latency_secs: report.success.then(|| report.network_time_secs).flatten(),
+            latency_secs: report.success.then_some(report.network_time_secs).flatten(),
         })
         .collect();
     Fig10Result { rows }

@@ -7,7 +7,69 @@
 
 pub mod ablations;
 pub mod availability;
+pub mod clients;
 pub mod cost;
+
+/// Shared plumbing for the §2.1 sustained-attack experiments
+/// (`availability`, `clients`): one [`DdosAttack`] shape drives both the
+/// hourly protocol sweep jobs and the distribution layer's view of the
+/// same windows, and the report-to-timeline mapping lives in one place —
+/// the two sides cannot silently drift onto different scenarios.
+pub(crate) mod sustained {
+    use crate::attack::DdosAttack;
+    use crate::calibration::CONSENSUS_VALID_SECS;
+    use crate::protocols::ProtocolKind;
+    use crate::runner::{RunReport, Scenario, SweepJob};
+    use partialtor_dirdist::{AttackWindow, ConsensusTimeline};
+
+    /// One attacked run per hour (`1..=hours`) under `attack`.
+    pub fn hourly_jobs(
+        protocol: ProtocolKind,
+        attack: &DdosAttack,
+        hours: u64,
+        seed: u64,
+        relays: u64,
+    ) -> Vec<SweepJob> {
+        (1..=hours)
+            .map(|hour| {
+                SweepJob::new(
+                    protocol,
+                    Scenario {
+                        seed: seed.wrapping_add(hour),
+                        relays,
+                        attacks: vec![attack.clone()],
+                        ..Scenario::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Per-hour completion offsets from the sweep's reports (`None` =
+    /// that hour's run produced no consensus).
+    pub fn hourly_outcomes(reports: &[RunReport]) -> Vec<Option<f64>> {
+        reports
+            .iter()
+            .map(|report| {
+                report
+                    .success
+                    .then(|| report.last_valid_secs.unwrap_or(0.0))
+            })
+            .collect()
+    }
+
+    /// The same scenario as the distribution layer sees it: the
+    /// publication timeline plus the attack windows on the day's clock.
+    pub fn dist_view(
+        attack: &DdosAttack,
+        outcomes: &[Option<f64>],
+    ) -> (ConsensusTimeline, Vec<AttackWindow>) {
+        let timeline =
+            ConsensusTimeline::from_hourly_outcomes(outcomes, 3_600, CONSENSUS_VALID_SECS);
+        let windows = attack.hourly_windows(outcomes.len() as u64);
+        (timeline, windows)
+    }
+}
 pub mod diff_savings;
 pub mod fig10_latency;
 pub mod fig11_recovery;

@@ -367,12 +367,10 @@ impl Node for CurrentAuthority {
                     );
                 }
             }
-            TAG_FETCH_SIGS => {
-                if self.my_digest.is_some() && self.sigs.len() < self.cfg.n {
-                    for peer in 0..self.cfg.n {
-                        if peer as u8 != self.cfg.index {
-                            ctx.send(NodeId(peer), CurrentMsg::SigRequest);
-                        }
+            TAG_FETCH_SIGS if self.my_digest.is_some() && self.sigs.len() < self.cfg.n => {
+                for peer in 0..self.cfg.n {
+                    if peer as u8 != self.cfg.index {
+                        ctx.send(NodeId(peer), CurrentMsg::SigRequest);
                     }
                 }
             }

@@ -484,7 +484,7 @@ impl IcpsAuthority {
                 Some(m) => ProposalEntry {
                     subject: j,
                     digest: Some(m.doc.digest),
-                    sender_sig: Some(m.sig.clone()),
+                    sender_sig: Some(m.sig),
                     endorse_sig: self.endorse(j, Some(m.doc.digest)),
                 },
                 None => ProposalEntry {
@@ -558,12 +558,10 @@ impl IcpsAuthority {
                 let entry = &p.entries[j as usize];
                 match (&entry.digest, &entry.sender_sig) {
                     (Some(d), Some(ss)) => {
-                        let slot = by_digest
-                            .entry(*d)
-                            .or_insert_with(|| (ss.clone(), Vec::new()));
-                        slot.1.push((*from, entry.endorse_sig.clone()));
+                        let slot = by_digest.entry(*d).or_insert_with(|| (*ss, Vec::new()));
+                        slot.1.push((*from, entry.endorse_sig));
                     }
-                    _ => absents.push((*from, entry.endorse_sig.clone())),
+                    _ => absents.push((*from, entry.endorse_sig)),
                 }
             }
             // Equivocation: two distinct digests validly signed by j.
@@ -574,8 +572,8 @@ impl IcpsAuthority {
                 entries.push(VectorEntry::AbsentEquivocation {
                     digest_a: *da,
                     digest_b: *db,
-                    sig_a: sa.clone(),
-                    sig_b: sb.clone(),
+                    sig_a: *sa,
+                    sig_b: *sb,
                 });
                 continue;
             }
@@ -932,7 +930,7 @@ mod tests {
         let entry = VectorEntry::AbsentEquivocation {
             digest_a: d,
             digest_b: d,
-            sig_a: sig.clone(),
+            sig_a: sig,
             sig_b: sig,
         };
         let mut vector = DigestVector {

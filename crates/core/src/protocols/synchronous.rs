@@ -298,18 +298,16 @@ impl Node for SyncAuthority {
                 self.packs.insert(self.cfg.index, pack.clone());
                 ctx.broadcast(SyncMsg::VotePack(pack));
             }
-            TAG_SYNC1 => {
+            TAG_SYNC1 if self.cfg.index == self.cfg.designated => {
                 // The designated sender starts the Dolev–Strong chain over
                 // its own pack.
-                if self.cfg.index == self.cfg.designated {
-                    if let Some(pack) = self.packs.get(&self.cfg.index).cloned() {
-                        let digest = ds_sig_digest(self.cfg.run_id, pack.digest());
-                        let sig = self.cfg.signing.sign(digest.as_bytes());
-                        let sigs = vec![(self.cfg.index, sig)];
-                        self.agreed = Some((pack.clone(), sigs.clone()));
-                        self.chain_at = Some(ctx.now());
-                        ctx.broadcast(SyncMsg::Chain { pack, sigs });
-                    }
+                if let Some(pack) = self.packs.get(&self.cfg.index).cloned() {
+                    let digest = ds_sig_digest(self.cfg.run_id, pack.digest());
+                    let sig = self.cfg.signing.sign(digest.as_bytes());
+                    let sigs = vec![(self.cfg.index, sig)];
+                    self.agreed = Some((pack.clone(), sigs.clone()));
+                    self.chain_at = Some(ctx.now());
+                    ctx.broadcast(SyncMsg::Chain { pack, sigs });
                 }
             }
             TAG_SYNC2 => {

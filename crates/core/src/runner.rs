@@ -283,10 +283,31 @@ impl SweepJob {
 /// a serial sweep; unset uses all available cores).
 pub const SWEEP_THREADS_ENV: &str = "PARTIALTOR_SWEEP_THREADS";
 
+/// Process-wide explicit worker count (0 = unset). Takes precedence over
+/// [`SWEEP_THREADS_ENV`]; set from the `dirsim --threads` flag.
+static SWEEP_THREADS_OVERRIDE: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Sets (or, with `None`, clears) an explicit sweep worker count for this
+/// process. Takes precedence over [`SWEEP_THREADS_ENV`]; `Some(1)` forces
+/// serial sweeps.
+pub fn set_sweep_threads(threads: Option<usize>) {
+    SWEEP_THREADS_OVERRIDE.store(
+        threads.map_or(0, |t| t.max(1)),
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
 fn auto_worker_count(jobs: usize) -> usize {
-    let configured = std::env::var(SWEEP_THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok());
+    let overridden = match SWEEP_THREADS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => None,
+        t => Some(t),
+    };
+    let configured = overridden.or_else(|| {
+        std::env::var(SWEEP_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    });
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -596,6 +617,19 @@ mod tests {
             x * 2
         });
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_thread_override_takes_precedence_over_env() {
+        // The override is process-global but only changes worker counts,
+        // never results (sweeps are deterministic), so flipping it here
+        // cannot perturb concurrently running tests.
+        set_sweep_threads(Some(3));
+        assert_eq!(auto_worker_count(100), 3);
+        set_sweep_threads(Some(0));
+        assert_eq!(auto_worker_count(100), 1, "0 clamps to serial");
+        set_sweep_threads(None);
+        assert!(auto_worker_count(100) >= 1);
     }
 
     #[test]

@@ -181,10 +181,10 @@ impl FieldElement {
     pub fn add(&self, rhs: &Self) -> Self {
         let mut r = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, limb) in r.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            r[i] = s2;
+            *limb = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         // Both inputs are < p < 2^255, so the sum is < 2^256 and fits.

@@ -32,7 +32,7 @@ pub fn encode_upper(bytes: &[u8]) -> String {
 /// assert_eq!(partialtor_crypto::hex::decode("xyz"), None);
 /// ```
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits: Vec<u8> = s

@@ -1,0 +1,573 @@
+//! The directory cache tier, simulated on `simnet` links.
+//!
+//! Nodes `0..n_authorities` are authority dirports serving the published
+//! documents; nodes `n_authorities..` are directory caches. When a new
+//! consensus appears, each cache polls an authority (staggered, with
+//! per-cache jitter), asking for the newest document and advertising the
+//! version it already holds; the authority answers with a proposal-140
+//! diff when the base is within the retain window, the full document
+//! otherwise. Slow authorities — DDoS victims, or links ground down by
+//! the aggregate load of legacy clients fetching directly — trigger
+//! timeout-driven retries against other authorities, exactly the fetch
+//! storm the January 2021 outage report describes.
+//!
+//! Client fleets never appear here as nodes; their load arrives in bulk
+//! via `simnet`'s background-load mechanism, and their behaviour lives
+//! in [`crate::fleet`].
+
+use crate::docmodel::DocModel;
+use crate::timeline::ConsensusTimeline;
+use partialtor_simnet::prelude::*;
+use rand::Rng;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// A bandwidth-exhaustion window against a set of authorities (the
+/// distribution layer's own attack shape; `partialtor::attack` converts
+/// its model into this).
+#[derive(Clone, Debug, Serialize)]
+pub struct AttackWindow {
+    /// Victim authority indices (`0..n_authorities`).
+    pub targets: Vec<usize>,
+    /// Window start, absolute seconds.
+    pub start_secs: f64,
+    /// Window length, seconds.
+    pub duration_secs: f64,
+    /// Victim bandwidth during the window, bits/s.
+    pub residual_bps: f64,
+}
+
+/// Cache-tier configuration.
+#[derive(Clone, Debug)]
+pub struct CacheSimConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Number of authority dirports.
+    pub n_authorities: usize,
+    /// Number of directory caches.
+    pub n_caches: usize,
+    /// Authority link rate, bits/s.
+    pub authority_bps: f64,
+    /// Cache link rate, bits/s.
+    pub cache_bps: f64,
+    /// Aggregate legacy-client load on each authority's uplink, bits/s
+    /// (clients that fetch directly instead of via caches).
+    pub direct_client_load_bps: f64,
+    /// Attack windows to apply to authority links.
+    pub attacks: Vec<AttackWindow>,
+    /// Caches stagger their fetch of a new document over this window.
+    pub poll_spread_secs: u64,
+    /// A cache that has not received its document after this long asks a
+    /// different authority.
+    pub retry_secs: u64,
+    /// Retries before a cache gives up on one version (it will still
+    /// catch up when the next version appears).
+    pub max_retries: u32,
+    /// Fraction of caches that must hold a version before the fleet
+    /// model treats it as fetchable by clients.
+    pub quorum: f64,
+}
+
+impl Default for CacheSimConfig {
+    fn default() -> Self {
+        CacheSimConfig {
+            seed: 1,
+            n_authorities: 9,
+            n_caches: 200,
+            authority_bps: 250e6,
+            cache_bps: 100e6,
+            direct_client_load_bps: 0.0,
+            attacks: Vec::new(),
+            poll_spread_secs: 120,
+            retry_secs: 60,
+            max_retries: 4,
+            quorum: 0.5,
+        }
+    }
+}
+
+/// Messages on the directory distribution wire.
+#[derive(Clone, Debug)]
+enum DirMsg {
+    /// Cache → authority: "send me the newest consensus; I hold `have`".
+    Request { have: Option<usize> },
+    /// Authority → cache: a document (full or diff) bringing the cache
+    /// to `version`.
+    Response {
+        version: usize,
+        bytes: u64,
+        is_diff: bool,
+    },
+    /// Authority → cache: nothing newer than what you hold.
+    NotModified,
+}
+
+/// Wire cost of a request line / 304 response (headers only).
+const CONTROL_BYTES: u64 = 200;
+
+impl Payload for DirMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            DirMsg::Request { .. } | DirMsg::NotModified => CONTROL_BYTES,
+            DirMsg::Response { bytes, .. } => *bytes,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            DirMsg::Request { .. } => "DIR_REQ",
+            DirMsg::NotModified => "DIR_304",
+            DirMsg::Response { is_diff: true, .. } => "DIR_DIFF",
+            DirMsg::Response { is_diff: false, .. } => "DIR_FULL",
+        }
+    }
+}
+
+struct AuthorityState {
+    /// `(version, available_at)` publication schedule.
+    schedule: Vec<(usize, SimTime)>,
+    latest: Option<usize>,
+    model: Arc<DocModel>,
+    /// Actual payload bytes served.
+    egress_bytes: u64,
+    /// What the same responses would have cost served as full documents.
+    egress_full_only_bytes: u64,
+    full_responses: u64,
+    diff_responses: u64,
+}
+
+struct CacheState {
+    /// Ordinal among caches (0-based), used for deterministic authority
+    /// rotation.
+    ordinal: usize,
+    n_authorities: usize,
+    /// `(version, available_at)` publication schedule (the hourly cadence
+    /// caches poll on).
+    schedule: Vec<(usize, SimTime)>,
+    poll_spread_secs: u64,
+    retry: SimDuration,
+    max_retries: u32,
+    /// Newest version held.
+    held: Option<usize>,
+    /// First simulated second at which the cache held version `v` (or
+    /// newer) — availability as clients experience it.
+    received_at: Vec<Option<f64>>,
+    attempts: Vec<u32>,
+}
+
+/// Timer tags: `2 * version` polls, `2 * version + 1` retries.
+fn poll_tag(version: usize) -> u64 {
+    2 * version as u64
+}
+fn retry_tag(version: usize) -> u64 {
+    2 * version as u64 + 1
+}
+
+enum DistNode {
+    Authority(AuthorityState),
+    Cache(CacheState),
+}
+
+impl CacheState {
+    fn request(&mut self, ctx: &mut Context<'_, DirMsg>, version: usize) {
+        self.attempts[version] += 1;
+        // Rotate deterministically over authorities so retries escape a
+        // stalled victim.
+        let pick =
+            (self.ordinal + version + self.attempts[version] as usize - 1) % self.n_authorities;
+        ctx.send(NodeId(pick), DirMsg::Request { have: self.held });
+        ctx.set_timer(self.retry, retry_tag(version));
+    }
+
+    fn wants(&self, version: usize) -> bool {
+        self.held.is_none_or(|held| held < version)
+    }
+}
+
+impl Node for DistNode {
+    type Msg = DirMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, DirMsg>) {
+        match self {
+            DistNode::Authority(auth) => {
+                for (version, at) in auth.schedule.clone() {
+                    ctx.set_timer(at.since(SimTime::ZERO), poll_tag(version));
+                }
+            }
+            DistNode::Cache(cache) => {
+                // One poll per publication, staggered per cache so the
+                // tier does not stampede the authorities the instant a
+                // document appears.
+                for (version, at) in cache.schedule.clone() {
+                    let jitter = ctx.rng().gen_range(5..=cache.poll_spread_secs.max(6));
+                    let delay = at.since(SimTime::ZERO) + SimDuration::from_secs(jitter);
+                    ctx.set_timer(delay, poll_tag(version));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, DirMsg>, _timer: TimerId, tag: u64) {
+        let version = (tag / 2) as usize;
+        match self {
+            DistNode::Authority(auth) => {
+                // Publication: the authority now serves `version`.
+                if auth.latest.is_none_or(|l| l < version) {
+                    auth.latest = Some(version);
+                }
+            }
+            DistNode::Cache(cache) => {
+                if !cache.wants(version) {
+                    return;
+                }
+                if tag.is_multiple_of(2) {
+                    // First poll for this version.
+                    cache.request(ctx, version);
+                } else if cache.attempts[version] <= cache.max_retries {
+                    // Retry against the next authority.
+                    cache.request(ctx, version);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DirMsg>, from: NodeId, msg: DirMsg) {
+        match (self, msg) {
+            (DistNode::Authority(auth), DirMsg::Request { have }) => match auth.latest {
+                Some(latest) if have.is_none_or(|h| h < latest) => {
+                    let response = auth.model.response(have, latest);
+                    auth.egress_bytes += response.bytes;
+                    auth.egress_full_only_bytes += auth.model.full_bytes(latest);
+                    if response.is_diff {
+                        auth.diff_responses += 1;
+                    } else {
+                        auth.full_responses += 1;
+                    }
+                    ctx.send(
+                        from,
+                        DirMsg::Response {
+                            version: latest,
+                            bytes: response.bytes,
+                            is_diff: response.is_diff,
+                        },
+                    );
+                }
+                _ => ctx.send(from, DirMsg::NotModified),
+            },
+            (DistNode::Cache(cache), DirMsg::Response { version, .. })
+                if cache.held.is_none_or(|h| h < version) =>
+            {
+                cache.held = Some(version);
+                let now = ctx.now().as_secs_f64();
+                for slot in cache.received_at.iter_mut().take(version + 1) {
+                    if slot.is_none() {
+                        *slot = Some(now);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-version cache-tier outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct VersionAvailability {
+    /// Version index.
+    pub version: usize,
+    /// Second at which a quorum of caches held the version, if ever.
+    pub cached_at_secs: Option<f64>,
+    /// Fraction of caches that eventually held it.
+    pub cache_coverage: f64,
+}
+
+/// Result of one cache-tier simulation.
+#[derive(Clone, Debug, Serialize)]
+pub struct CacheTierReport {
+    /// Per-version availability at the cache tier.
+    pub versions: Vec<VersionAvailability>,
+    /// Payload bytes served by all authorities (requests answered with
+    /// diffs where possible).
+    pub authority_egress_bytes: u64,
+    /// What the same responses would have cost without proposal 140.
+    pub authority_egress_full_only_bytes: u64,
+    /// Responses served as full documents.
+    pub full_responses: u64,
+    /// Responses served as diffs.
+    pub diff_responses: u64,
+}
+
+/// Runs the cache tier against a timeline and document model.
+pub fn run(
+    config: &CacheSimConfig,
+    timeline: &ConsensusTimeline,
+    model: &Arc<DocModel>,
+) -> CacheTierReport {
+    assert!(config.n_authorities > 0, "need at least one authority");
+    let versions = timeline.publications.len();
+    let n = config.n_authorities + config.n_caches;
+
+    let schedule: Vec<(usize, SimTime)> = timeline
+        .publications
+        .iter()
+        .map(|p| {
+            (
+                p.version,
+                SimTime::from_micros((p.available_at_secs * 1e6) as u64),
+            )
+        })
+        .collect();
+
+    let nodes: Vec<DistNode> = (0..n)
+        .map(|index| {
+            if index < config.n_authorities {
+                DistNode::Authority(AuthorityState {
+                    schedule: schedule.clone(),
+                    latest: None,
+                    model: Arc::clone(model),
+                    egress_bytes: 0,
+                    egress_full_only_bytes: 0,
+                    full_responses: 0,
+                    diff_responses: 0,
+                })
+            } else {
+                DistNode::Cache(CacheState {
+                    ordinal: index - config.n_authorities,
+                    n_authorities: config.n_authorities,
+                    schedule: schedule.clone(),
+                    poll_spread_secs: config.poll_spread_secs,
+                    retry: SimDuration::from_secs(config.retry_secs),
+                    max_retries: config.max_retries,
+                    held: None,
+                    received_at: vec![None; versions],
+                    attempts: vec![0; versions],
+                })
+            }
+        })
+        .collect();
+
+    // Authorities sit in the measured authority topology; caches get a
+    // mid-range latency to everyone (they are spread worldwide).
+    let auth_topo = if config.n_authorities == 9 {
+        authority_topology(config.seed)
+    } else {
+        scaled_topology(config.n_authorities, config.seed)
+    };
+    let cache_latency = SimDuration::from_millis(60);
+    let topo = LatencyMatrix::from_fn(n, |a, b| {
+        if a < config.n_authorities && b < config.n_authorities {
+            auth_topo.get(NodeId(a), NodeId(b))
+        } else {
+            cache_latency
+        }
+    });
+
+    let mut sim = Simulation::new(
+        topo,
+        nodes,
+        SimConfig {
+            seed: config.seed,
+            default_up_bps: config.cache_bps,
+            default_down_bps: config.cache_bps,
+            wire_overhead_bytes: 64,
+            collect_logs: false,
+            latency_jitter: 0.0,
+        },
+    );
+
+    // Authority links are wider than cache links; set them explicitly,
+    // then layer legacy-client background load and the attack windows on
+    // top.
+    for a in 0..config.n_authorities {
+        sim.schedule_bandwidth_change(
+            SimTime::ZERO,
+            NodeId(a),
+            Some(config.authority_bps),
+            Some(config.authority_bps),
+        );
+        if config.direct_client_load_bps > 0.0 {
+            sim.schedule_background_load(
+                SimTime::ZERO,
+                NodeId(a),
+                Some(config.direct_client_load_bps),
+                None,
+            );
+        }
+    }
+    for attack in &config.attacks {
+        for &target in &attack.targets {
+            if target >= config.n_authorities {
+                continue;
+            }
+            let start = SimTime::from_micros((attack.start_secs * 1e6) as u64);
+            let end =
+                SimTime::from_micros(((attack.start_secs + attack.duration_secs) * 1e6) as u64);
+            sim.schedule_bandwidth_change(
+                start,
+                NodeId(target),
+                Some(attack.residual_bps),
+                Some(attack.residual_bps),
+            );
+            sim.schedule_bandwidth_change(
+                end,
+                NodeId(target),
+                Some(config.authority_bps),
+                Some(config.authority_bps),
+            );
+        }
+    }
+
+    sim.run_until(SimTime::from_micros(
+        ((timeline.horizon_secs() + 1_800.0) * 1e6) as u64,
+    ));
+
+    let mut availability = vec![Vec::new(); versions];
+    let mut egress = 0u64;
+    let mut egress_full_only = 0u64;
+    let mut full_responses = 0u64;
+    let mut diff_responses = 0u64;
+    for index in 0..n {
+        match sim.node(NodeId(index)) {
+            DistNode::Authority(auth) => {
+                egress += auth.egress_bytes;
+                egress_full_only += auth.egress_full_only_bytes;
+                full_responses += auth.full_responses;
+                diff_responses += auth.diff_responses;
+            }
+            DistNode::Cache(cache) => {
+                for (version, at) in cache.received_at.iter().enumerate() {
+                    if let Some(at) = at {
+                        availability[version].push(*at);
+                    }
+                }
+            }
+        }
+    }
+
+    let quorum_count = ((config.n_caches as f64 * config.quorum).ceil() as usize).max(1);
+    let versions_report = availability
+        .into_iter()
+        .enumerate()
+        .map(|(version, mut times)| {
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            VersionAvailability {
+                version,
+                cached_at_secs: (times.len() >= quorum_count).then(|| times[quorum_count - 1]),
+                cache_coverage: times.len() as f64 / config.n_caches.max(1) as f64,
+            }
+        })
+        .collect();
+
+    CacheTierReport {
+        versions: versions_report,
+        authority_egress_bytes: egress,
+        authority_egress_full_only_bytes: egress_full_only,
+        full_responses,
+        diff_responses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docmodel::DocModel;
+    use crate::timeline::ConsensusTimeline;
+
+    fn healthy_timeline(hours: u64) -> ConsensusTimeline {
+        let outcomes: Vec<Option<f64>> = (0..hours).map(|_| Some(330.0)).collect();
+        ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800)
+    }
+
+    fn config(n_caches: usize) -> CacheSimConfig {
+        CacheSimConfig {
+            seed: 7,
+            n_caches,
+            ..CacheSimConfig::default()
+        }
+    }
+
+    fn model_for(timeline: &ConsensusTimeline) -> Arc<DocModel> {
+        Arc::new(DocModel::synthetic(&timeline.publications, 8_000, 0.02, 3))
+    }
+
+    #[test]
+    fn healthy_tier_caches_every_version_promptly() {
+        let timeline = healthy_timeline(4);
+        let report = run(&config(40), &timeline, &model_for(&timeline));
+        assert_eq!(report.versions.len(), 5);
+        for (publication, version) in timeline.publications.iter().zip(&report.versions) {
+            let cached = version.cached_at_secs.expect("version reaches quorum");
+            assert!(
+                cached > publication.available_at_secs
+                    && cached < publication.available_at_secs + 600.0,
+                "version {} cached at {cached}, published {}",
+                version.version,
+                publication.available_at_secs
+            );
+            assert!(version.cache_coverage > 0.9);
+        }
+    }
+
+    #[test]
+    fn diffs_dominate_steady_state_and_slash_egress() {
+        let timeline = healthy_timeline(6);
+        let report = run(&config(40), &timeline, &model_for(&timeline));
+        assert!(
+            report.diff_responses > report.full_responses,
+            "steady-state caches fetch diffs: {} diff vs {} full",
+            report.diff_responses,
+            report.full_responses
+        );
+        assert!(
+            report.authority_egress_bytes * 3 < report.authority_egress_full_only_bytes,
+            "proposal 140 must cut authority egress: {} vs {}",
+            report.authority_egress_bytes,
+            report.authority_egress_full_only_bytes
+        );
+    }
+
+    #[test]
+    fn caches_route_around_attacked_authorities() {
+        let timeline = healthy_timeline(2);
+        let mut cfg = config(30);
+        // Five of nine victims saturated across the whole fetch window.
+        cfg.attacks = vec![AttackWindow {
+            targets: vec![0, 1, 2, 3, 4],
+            start_secs: 0.0,
+            duration_secs: timeline.horizon_secs(),
+            residual_bps: 0.5e6,
+        }];
+        let report = run(&cfg, &timeline, &model_for(&timeline));
+        for version in &report.versions {
+            assert!(
+                version.cached_at_secs.is_some(),
+                "retries must reach the four healthy authorities: {version:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn background_load_delays_but_does_not_break_the_tier() {
+        let timeline = healthy_timeline(1);
+        let mut slow = config(30);
+        // Legacy direct fetchers grind each authority down to a trickle.
+        slow.direct_client_load_bps = 249.5e6;
+        let fast = run(&config(30), &timeline, &model_for(&timeline));
+        let loaded = run(&slow, &timeline, &model_for(&timeline));
+        let fast_at = fast.versions[0].cached_at_secs.unwrap();
+        let loaded_at = loaded.versions[0].cached_at_secs.unwrap();
+        assert!(
+            loaded_at > fast_at,
+            "aggregate client load must slow the bootstrap fetch: {loaded_at} vs {fast_at}"
+        );
+    }
+
+    #[test]
+    fn tier_is_deterministic_for_a_seed() {
+        let timeline = healthy_timeline(3);
+        let model = model_for(&timeline);
+        let a = run(&config(25), &timeline, &model);
+        let b = run(&config(25), &timeline, &model);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Wire-size model for the documents the distribution layer serves.
+//!
+//! The cache tier and fleets only need *sizes*: how many bytes a full
+//! consensus costs, and how many a proposal-140 diff from version `i` to
+//! version `j` costs. Two constructors provide them:
+//!
+//! * [`DocModel::synthetic`] — calibrated sizes for production-scale
+//!   runs (8 000 relays, millions of clients), no documents built;
+//! * [`DocModel::from_consensuses`] — real `tordoc` documents pushed
+//!   through a [`DiffStore`], with every served diff verified to
+//!   reconstruct its target. This is the mode that proves the diff
+//!   plumbing end to end; tests and small experiments use it.
+
+use crate::timeline::Publication;
+use partialtor_tordoc::serve::{DiffStore, Served};
+use partialtor_tordoc::Consensus;
+use std::collections::BTreeMap;
+
+/// Fixed overhead of a consensus document (header, known-flags,
+/// signatures), bytes.
+pub const CONSENSUS_BASE_BYTES: u64 = 16 * 1024;
+
+/// Marginal consensus size per listed relay, bytes (status line,
+/// policy summary, bandwidth weight).
+pub const CONSENSUS_PER_RELAY_BYTES: u64 = 320;
+
+/// Fixed overhead of an encoded diff, bytes.
+pub const DIFF_BASE_BYTES: u64 = 1024;
+
+/// Synthetic consensus wire size for a network with `relays` relays.
+pub const fn consensus_size_bytes(relays: u64) -> u64 {
+    CONSENSUS_BASE_BYTES + relays * CONSENSUS_PER_RELAY_BYTES
+}
+
+/// What one directory response costs on the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResponseSize {
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Whether the response is a diff (vs. the full document).
+    pub is_diff: bool,
+}
+
+/// Wire sizes for a timeline's documents and diffs.
+#[derive(Clone, Debug)]
+pub struct DocModel {
+    /// Full document bytes per version.
+    full_bytes: Vec<u64>,
+    /// Diff bytes keyed by `(from_version, to_version)`; pairs absent
+    /// here are served as full documents.
+    diff_bytes: BTreeMap<(usize, usize), u64>,
+}
+
+impl DocModel {
+    /// Calibrated synthetic sizes for `publications`.
+    ///
+    /// A diff's size grows with the *hour gap* between base and target —
+    /// roughly `2 × churn × gap` of the entry list (removed-relay lines
+    /// plus replacement entries plus changed entries) — and bases more
+    /// than `retain_hours` behind the target are not diffable (caches
+    /// bound their diff window, Tor's `consdiff` cache does the same).
+    pub fn synthetic(
+        publications: &[Publication],
+        relays: u64,
+        churn_per_hour: f64,
+        retain_hours: u64,
+    ) -> Self {
+        let full = consensus_size_bytes(relays);
+        let full_bytes = vec![full; publications.len()];
+        let mut diff_bytes = BTreeMap::new();
+        for (j, to) in publications.iter().enumerate() {
+            for (i, from) in publications.iter().enumerate().take(j) {
+                let gap = to.hour.saturating_sub(from.hour);
+                if gap == 0 || gap > retain_hours {
+                    continue;
+                }
+                let churned = (relays as f64 * churn_per_hour * gap as f64).min(relays as f64);
+                let body = (churned * 2.0 * CONSENSUS_PER_RELAY_BYTES as f64) as u64;
+                diff_bytes.insert((i, j), (DIFF_BASE_BYTES + body).min(full));
+            }
+        }
+        DocModel {
+            full_bytes,
+            diff_bytes,
+        }
+    }
+
+    /// Measures real documents: publishes each consensus into a
+    /// [`DiffStore`] retaining `retain` predecessors and records the
+    /// exact wire size of every diff the store serves. Each diff is
+    /// verified to reconstruct its target before its size is trusted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a served diff fails to reconstruct its target — that
+    /// would mean the proposal-140 implementation is broken, and no
+    /// bandwidth number derived from it could be trusted.
+    pub fn from_consensuses(docs: &[Consensus], retain: usize) -> Self {
+        let digests: Vec<_> = docs.iter().map(|d| d.digest()).collect();
+        let full_bytes: Vec<u64> = docs.iter().map(|d| d.wire_size()).collect();
+        let mut diff_bytes = BTreeMap::new();
+        let mut store = DiffStore::new(retain);
+        for (j, doc) in docs.iter().enumerate() {
+            store.publish(doc.clone());
+            for i in j.saturating_sub(retain)..j {
+                if let Some(Served::Diff(diff)) = store.serve(Some(&digests[i])) {
+                    let rebuilt = diff
+                        .apply(&docs[i])
+                        .expect("served diff must apply to its base");
+                    assert_eq!(
+                        rebuilt.digest(),
+                        digests[j],
+                        "served diff must reconstruct its target"
+                    );
+                    diff_bytes.insert((i, j), diff.wire_size());
+                }
+            }
+        }
+        DocModel {
+            full_bytes,
+            diff_bytes,
+        }
+    }
+
+    /// Number of versions the model covers.
+    pub fn versions(&self) -> usize {
+        self.full_bytes.len()
+    }
+
+    /// Full document bytes for `version`.
+    pub fn full_bytes(&self, version: usize) -> u64 {
+        self.full_bytes[version]
+    }
+
+    /// The response a directory server sends a requester holding `have`
+    /// and wanting `want`: a diff when the pair is diffable, the full
+    /// document otherwise.
+    pub fn response(&self, have: Option<usize>, want: usize) -> ResponseSize {
+        if let Some(from) = have {
+            if let Some(&bytes) = self.diff_bytes.get(&(from, want)) {
+                return ResponseSize {
+                    bytes,
+                    is_diff: true,
+                };
+            }
+        }
+        ResponseSize {
+            bytes: self.full_bytes(want),
+            is_diff: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::ConsensusTimeline;
+    use partialtor_tordoc::prelude::*;
+
+    fn hourly_pubs(hours: u64) -> Vec<Publication> {
+        let outcomes: Vec<Option<f64>> = (0..hours).map(|_| Some(300.0)).collect();
+        ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800).publications
+    }
+
+    #[test]
+    fn synthetic_diffs_grow_with_gap_and_cap_at_full() {
+        let pubs = hourly_pubs(6);
+        let model = DocModel::synthetic(&pubs, 8_000, 0.02, 3);
+        let one = model.response(Some(4), 5);
+        let two = model.response(Some(3), 5);
+        let three = model.response(Some(2), 5);
+        assert!(one.is_diff && two.is_diff && three.is_diff);
+        assert!(one.bytes < two.bytes && two.bytes < three.bytes);
+        // Beyond the retain window: full document.
+        let four = model.response(Some(1), 5);
+        assert!(!four.is_diff);
+        assert_eq!(four.bytes, consensus_size_bytes(8_000));
+        // Bootstrapping (no base) is always full.
+        assert!(!model.response(None, 5).is_diff);
+        // A diff is far smaller than the full document at 2% churn.
+        assert!(one.bytes * 10 < four.bytes);
+    }
+
+    #[test]
+    fn real_documents_measure_and_verify() {
+        let population = generate_population(&PopulationConfig { seed: 5, count: 60 });
+        let committee = AuthoritySet::with_size(5, 9);
+        let make = |valid_after: u64, drop: usize| {
+            let subset = &population[drop..];
+            let votes: Vec<Vote> = committee
+                .iter()
+                .map(|auth| {
+                    let view = authority_view(subset, auth.id, 5, &ViewConfig::default());
+                    Vote::new(
+                        VoteMeta::standard(
+                            auth.id,
+                            &auth.name,
+                            auth.fingerprint_hex(),
+                            valid_after,
+                        ),
+                        view,
+                    )
+                })
+                .collect();
+            let refs: Vec<&Vote> = votes.iter().collect();
+            aggregate(&refs)
+        };
+        let docs: Vec<Consensus> = (0..4).map(|h| make(3_600 * (h + 1), h as usize)).collect();
+        let model = DocModel::from_consensuses(&docs, 2);
+        assert_eq!(model.versions(), 4);
+        // Adjacent versions diff; the hour-3 base against version 3 does
+        // not (outside the retain window of 2).
+        assert!(model.response(Some(2), 3).is_diff);
+        assert!(model.response(Some(1), 3).is_diff);
+        assert!(!model.response(Some(0), 3).is_diff);
+        assert!(model.response(Some(2), 3).bytes < model.full_bytes(3));
+    }
+}

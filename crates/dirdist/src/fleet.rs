@@ -1,0 +1,373 @@
+//! Client fleets at planetary scale, by cohort aggregation.
+//!
+//! Tor has millions of daily clients; simulating them as event-driven
+//! nodes would drown any engine. This model never allocates a per-client
+//! object: clients are *counts* bucketed by state — bootstrapping (no
+//! usable consensus, needs a full document plus descriptors) or steady
+//! (holding consensus version `v`) — and each fixed step moves sampled
+//! binomial/Poisson quantities between buckets. A 3-million-client day
+//! is ~1 440 steps over a handful of cohorts: microseconds of work,
+//! deterministic for a fixed seed.
+//!
+//! Behaviour follows the Tor client schedule in shape: steady clients
+//! notice a new consensus at the cache tier and fetch it at a uniformly
+//! staggered time (diff if their base is recent, full otherwise);
+//! clients whose document passes `valid-until` fall off the network and
+//! re-enter bootstrap, retrying on a fixed cadence with Poisson-thinned
+//! attempts until a live document is fetchable again.
+
+use crate::docmodel::DocModel;
+use crate::stats::{binomial, poisson};
+use crate::timeline::ConsensusTimeline;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Fleet configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Fleet size at t = 0 (all holding the baseline consensus).
+    pub clients: u64,
+    /// Sampler seed.
+    pub seed: u64,
+    /// Step length, seconds.
+    pub step_secs: u64,
+    /// Mean *new* clients starting a bootstrap per second (daily churn).
+    pub arrivals_per_sec: f64,
+    /// Mean seconds between one bootstrapping client's attempts.
+    pub bootstrap_retry_secs: f64,
+    /// Steady clients spread their fetch of a newly cached consensus
+    /// uniformly over this window, seconds.
+    pub refresh_spread_secs: f64,
+}
+
+impl FleetConfig {
+    /// A fleet of `clients` with Tor-shaped defaults: 2 % daily churn,
+    /// one bootstrap attempt a minute, fetches staggered over 45 min.
+    pub fn sized(clients: u64, seed: u64) -> Self {
+        FleetConfig {
+            clients,
+            seed,
+            step_secs: 60,
+            arrivals_per_sec: clients as f64 * 0.02 / 86_400.0,
+            bootstrap_retry_secs: 60.0,
+            refresh_spread_secs: 45.0 * 60.0,
+        }
+    }
+}
+
+/// One hour of client-visible outcomes.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetHourRow {
+    /// Hour index (covers `[hour * 3600, (hour + 1) * 3600)`).
+    pub hour: u64,
+    /// Bootstrap attempts made this hour.
+    pub bootstrap_attempts: u64,
+    /// Attempts that found a live consensus at the cache tier.
+    pub bootstrap_successes: u64,
+    /// Steady-state refresh fetches this hour.
+    pub refresh_fetches: u64,
+    /// Time-averaged fraction of clients with *no valid* consensus —
+    /// clients that cannot build circuits at all.
+    pub dead_fraction: f64,
+    /// Time-averaged fraction of clients without a *fresh* consensus
+    /// (stale holders plus the dead) — the paper's client-visible
+    /// staleness metric.
+    pub stale_fraction: f64,
+    /// Cache-tier egress to clients this hour, bytes (diffs served where
+    /// possible).
+    pub cache_egress_bytes: u64,
+    /// The same egress if every fetch were a full document.
+    pub cache_egress_full_only_bytes: u64,
+}
+
+/// Whole-horizon fleet outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetReport {
+    /// Per-hour rows.
+    pub rows: Vec<FleetHourRow>,
+    /// Successes over attempts across the horizon (1.0 when no attempts).
+    pub bootstrap_success_rate: f64,
+    /// Time-averaged dead-client fraction — the client-weighted downtime
+    /// the availability experiment reports.
+    pub client_weighted_downtime: f64,
+    /// Time-averaged stale fraction (clients without a fresh consensus).
+    pub mean_stale_fraction: f64,
+    /// Worst instantaneous stale fraction observed.
+    pub peak_stale_fraction: f64,
+    /// Total cache egress, bytes.
+    pub cache_egress_bytes: u64,
+    /// Counterfactual egress without consensus diffs, bytes.
+    pub cache_egress_full_only_bytes: u64,
+}
+
+/// When a version became fetchable at the cache tier (`None` = never).
+pub type CacheAvailability = [Option<f64>];
+
+/// Runs the fleet over a timeline whose versions became fetchable at the
+/// cache tier at `cached_at[version]`.
+pub fn run(
+    config: &FleetConfig,
+    timeline: &ConsensusTimeline,
+    model: &DocModel,
+    cached_at: &CacheAvailability,
+) -> FleetReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dt = config.step_secs.max(1) as f64;
+    let horizon = timeline.horizon_secs();
+    let steps = (horizon / dt).ceil() as u64;
+
+    // Cohorts: version → clients holding it; plus the bootstrap pool.
+    let mut holding: BTreeMap<usize, u64> = BTreeMap::new();
+    holding.insert(0, config.clients);
+    let mut pool: u64 = 0;
+
+    let mut rows: Vec<FleetHourRow> = Vec::new();
+    let mut hour_attempts = 0u64;
+    let mut hour_successes = 0u64;
+    let mut hour_refreshes = 0u64;
+    let mut hour_egress = 0u64;
+    let mut hour_egress_full = 0u64;
+    let mut hour_dead_sum = 0.0;
+    let mut hour_stale_sum = 0.0;
+    let mut hour_samples = 0u64;
+
+    let mut total_attempts = 0u64;
+    let mut total_successes = 0u64;
+    let mut downtime_sum = 0.0;
+    let mut stale_sum = 0.0;
+    let mut peak_stale = 0.0f64;
+    let mut egress = 0u64;
+    let mut egress_full = 0u64;
+
+    let publications = &timeline.publications;
+
+    for step in 0..steps {
+        let t = step as f64 * dt;
+        let hour = (t / 3600.0) as u64;
+
+        // Newest version fetchable from the cache tier right now.
+        let newest_cached = publications
+            .iter()
+            .rev()
+            .find(|p| matches!(cached_at.get(p.version), Some(Some(at)) if *at <= t))
+            .map(|p| p.version);
+        let newest_live = newest_cached.filter(|&v| publications[v].valid_until_secs > t);
+
+        // 1. Expiry: cohorts whose document passed valid-until fall off
+        //    the network and start over.
+        let expired: Vec<usize> = holding
+            .keys()
+            .copied()
+            .filter(|&v| publications[v].valid_until_secs <= t)
+            .collect();
+        for v in expired {
+            pool += holding.remove(&v).unwrap_or(0);
+        }
+
+        // 2. Arrivals: fresh clients joining the network (Poisson).
+        pool += poisson(&mut rng, config.arrivals_per_sec * dt);
+
+        // 3. Steady-state refresh: holders of an older version fetch the
+        //    newest cached one, staggered over the refresh window.
+        if let Some(target) = newest_live {
+            let p_refresh = (dt / config.refresh_spread_secs).min(1.0);
+            let sources: Vec<usize> = holding.keys().copied().filter(|&v| v < target).collect();
+            for v in sources {
+                let count = holding[&v];
+                let movers = binomial(&mut rng, count, p_refresh);
+                if movers == 0 {
+                    continue;
+                }
+                *holding.get_mut(&v).expect("cohort exists") -= movers;
+                *holding.entry(target).or_insert(0) += movers;
+                let response = model.response(Some(v), target);
+                hour_refreshes += movers;
+                hour_egress += movers * response.bytes;
+                hour_egress_full += movers * model.full_bytes(target);
+            }
+            holding.retain(|_, count| *count > 0);
+        }
+
+        // 4. Bootstrap attempts: Poisson-thinned retries from the pool.
+        if pool > 0 {
+            let p_attempt = (dt / config.bootstrap_retry_secs).min(1.0);
+            let attempts = binomial(&mut rng, pool, p_attempt);
+            hour_attempts += attempts;
+            total_attempts += attempts;
+            if let Some(target) = newest_live {
+                // The cache tier serves them the full document.
+                pool -= attempts;
+                *holding.entry(target).or_insert(0) += attempts;
+                hour_successes += attempts;
+                total_successes += attempts;
+                let bytes = model.full_bytes(target);
+                hour_egress += attempts * bytes;
+                hour_egress_full += attempts * bytes;
+            }
+        }
+
+        // 5. Client-visible state at the end of the step.
+        let held: u64 = holding.values().sum();
+        let total = (held + pool).max(1);
+        let fresh: u64 = holding
+            .iter()
+            .filter(|(v, _)| publications[**v].fresh_until_secs > t)
+            .map(|(_, count)| *count)
+            .sum();
+        let dead_fraction = pool as f64 / total as f64;
+        let stale_fraction = 1.0 - fresh as f64 / total as f64;
+        hour_dead_sum += dead_fraction;
+        hour_stale_sum += stale_fraction;
+        hour_samples += 1;
+        downtime_sum += dead_fraction;
+        stale_sum += stale_fraction;
+        peak_stale = peak_stale.max(stale_fraction);
+
+        // Hour boundary: flush the row.
+        let next_hour = ((step + 1) as f64 * dt / 3600.0) as u64;
+        if next_hour != hour || step + 1 == steps {
+            rows.push(FleetHourRow {
+                hour,
+                bootstrap_attempts: hour_attempts,
+                bootstrap_successes: hour_successes,
+                refresh_fetches: hour_refreshes,
+                dead_fraction: hour_dead_sum / hour_samples.max(1) as f64,
+                stale_fraction: hour_stale_sum / hour_samples.max(1) as f64,
+                cache_egress_bytes: hour_egress,
+                cache_egress_full_only_bytes: hour_egress_full,
+            });
+            egress += hour_egress;
+            egress_full += hour_egress_full;
+            hour_attempts = 0;
+            hour_successes = 0;
+            hour_refreshes = 0;
+            hour_egress = 0;
+            hour_egress_full = 0;
+            hour_dead_sum = 0.0;
+            hour_stale_sum = 0.0;
+            hour_samples = 0;
+        }
+    }
+
+    FleetReport {
+        rows,
+        bootstrap_success_rate: if total_attempts == 0 {
+            1.0
+        } else {
+            total_successes as f64 / total_attempts as f64
+        },
+        client_weighted_downtime: downtime_sum / steps.max(1) as f64,
+        mean_stale_fraction: stale_sum / steps.max(1) as f64,
+        peak_stale_fraction: peak_stale,
+        cache_egress_bytes: egress,
+        cache_egress_full_only_bytes: egress_full,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(hourly: &[Option<f64>]) -> ConsensusTimeline {
+        ConsensusTimeline::from_hourly_outcomes(hourly, 3_600, 10_800)
+    }
+
+    fn model(t: &ConsensusTimeline) -> DocModel {
+        DocModel::synthetic(&t.publications, 8_000, 0.02, 3)
+    }
+
+    /// Caches hold each version five minutes after the authorities.
+    fn prompt_caches(t: &ConsensusTimeline) -> Vec<Option<f64>> {
+        t.publications
+            .iter()
+            .map(|p| Some(p.available_at_secs + 300.0))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_timeline_keeps_fleet_alive_and_on_diffs() {
+        let t = timeline(&[Some(330.0); 6]);
+        let m = model(&t);
+        let report = run(
+            &FleetConfig::sized(1_000_000, 3),
+            &t,
+            &m,
+            &prompt_caches(&t),
+        );
+        assert!(report.bootstrap_success_rate > 0.99);
+        assert!(report.client_weighted_downtime < 0.01);
+        assert!(
+            report.cache_egress_bytes * 2 < report.cache_egress_full_only_bytes,
+            "diffs must dominate steady-state egress: {} vs {}",
+            report.cache_egress_bytes,
+            report.cache_egress_full_only_bytes
+        );
+        // Refreshes dwarf bootstraps in a healthy steady state.
+        let refreshes: u64 = report.rows.iter().map(|r| r.refresh_fetches).sum();
+        let bootstraps: u64 = report.rows.iter().map(|r| r.bootstrap_attempts).sum();
+        assert!(refreshes > bootstraps * 10);
+    }
+
+    #[test]
+    fn dead_timeline_kills_fleet_after_three_hours() {
+        // No consensus after the baseline: the paper's §2.1 collapse.
+        let t = timeline(&[None; 6]);
+        let m = model(&t);
+        let report = run(
+            &FleetConfig::sized(1_000_000, 3),
+            &t,
+            &m,
+            &prompt_caches(&t),
+        );
+        // Hours 0–2: alive on the baseline document. Hour 3 on: dead.
+        assert!(report.rows[1].dead_fraction < 0.05);
+        let last = report.rows.last().unwrap();
+        assert!(
+            last.dead_fraction > 0.95,
+            "fleet must be dead at the end: {last:?}"
+        );
+        assert_eq!(
+            last.bootstrap_successes, 0,
+            "nothing live to bootstrap from"
+        );
+        assert!(report.client_weighted_downtime > 0.3);
+        assert!(report.peak_stale_fraction > 0.99);
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_scales_without_allocation_blowup() {
+        let t = timeline(&[Some(330.0); 24]);
+        let m = model(&t);
+        let caches = prompt_caches(&t);
+        let start = std::time::Instant::now();
+        let a = run(&FleetConfig::sized(3_000_000, 9), &t, &m, &caches);
+        let elapsed = start.elapsed();
+        let b = run(&FleetConfig::sized(3_000_000, 9), &t, &m, &caches);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seeded runs must agree");
+        // Cohort aggregation: a 3M-client day steps in well under a second.
+        assert!(
+            elapsed.as_millis() < 2_000,
+            "cohort stepping too slow: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn late_caches_delay_bootstrap_success() {
+        let t = timeline(&[Some(330.0); 4]);
+        let m = model(&t);
+        // The cache tier never gets anything after the baseline.
+        let never: Vec<Option<f64>> = t
+            .publications
+            .iter()
+            .map(|p| (p.version == 0).then_some(60.0))
+            .collect();
+        let report = run(&FleetConfig::sized(500_000, 5), &t, &m, &never);
+        // Once the baseline expires, bootstraps fail even though the
+        // authorities kept producing documents.
+        let last = report.rows.last().unwrap();
+        assert_eq!(last.bootstrap_successes, 0);
+        assert!(last.dead_fraction > 0.9);
+    }
+}

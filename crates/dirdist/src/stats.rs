@@ -1,0 +1,115 @@
+//! Deterministic samplers for cohort aggregation.
+//!
+//! The fleet model never walks individual clients; each step it needs
+//! "how many of this cohort's N clients did X this step" — a binomial —
+//! and "how many new clients arrived" — a Poisson. Both samplers switch
+//! to a normal approximation for large cohorts, so stepping a 3-million
+//! client fleet costs the same as stepping a hundred.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A standard normal via Box–Muller (the `rand` shim carries no
+/// distributions).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples how many of `n` independent clients act, each with
+/// probability `p`.
+///
+/// Exact Bernoulli counting for small cohorts; a clamped normal
+/// approximation (mean `np`, variance `np(1−p)`) above 64 — at fleet
+/// scale the approximation error is far below the modelling error.
+pub fn binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        return (0..n).filter(|_| rng.gen_bool(p)).count() as u64;
+    }
+    let mean = n as f64 * p;
+    let sd = (mean * (1.0 - p)).sqrt();
+    let sample = (mean + sd * gaussian(rng)).round();
+    sample.clamp(0.0, n as f64) as u64
+}
+
+/// Samples a Poisson count with the given mean (client arrivals per
+/// step). Knuth's product method below a mean of 32, normal
+/// approximation above.
+pub fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 32.0 {
+        let limit = (-mean).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen_range(0.0..1.0);
+            count += 1;
+        }
+        return count;
+    }
+    let sample = (mean + mean.sqrt() * gaussian(rng)).round();
+    sample.max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        assert!(binomial(&mut rng, 1_000_000, 0.5) <= 1_000_000);
+    }
+
+    #[test]
+    fn binomial_tracks_mean_at_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 3_000_000u64;
+        let p = 0.01;
+        let total: u64 = (0..50).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = total as f64 / 50.0;
+        let expected = n as f64 * p;
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn poisson_tracks_mean_in_both_regimes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for target in [0.5, 4.0, 20.0, 500.0] {
+            let total: u64 = (0..400).map(|_| poisson(&mut rng, target)).sum();
+            let mean = total as f64 / 400.0;
+            assert!(
+                (mean - target).abs() < target.max(1.0) * 0.2,
+                "poisson mean {mean} too far from {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_for_a_seed() {
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20)
+                .map(|i| binomial(&mut rng, 1_000 * (i + 1), 0.1) + poisson(&mut rng, 7.0))
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43));
+    }
+}

@@ -1,0 +1,114 @@
+//! The consensus publication timeline the distribution layer consumes.
+//!
+//! Upstream (the protocol simulations in `partialtor`'s runner) decides
+//! *whether* and *when* each hourly consensus exists; this module turns
+//! that into the sequence of versioned publications that caches fetch and
+//! client fleets live on. The distribution layer deliberately depends
+//! only on this small interface, not on the protocol crates, so any
+//! protocol — deployed, synchronous, ICPS, or something future — can sit
+//! upstream.
+
+use serde::Serialize;
+
+/// One successfully produced consensus.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Publication {
+    /// Index in the produced sequence — the version number the cache
+    /// tier and fleets use to talk about documents.
+    pub version: usize,
+    /// Nominal hour of the run that produced it (its `valid-after` is
+    /// `hour * 3600`).
+    pub hour: u64,
+    /// Absolute simulated second at which the authorities hold the
+    /// signed document (run start + in-run completion offset).
+    pub available_at_secs: f64,
+    /// Absolute second at which the document stops being *fresh*
+    /// (clients start looking for a successor).
+    pub fresh_until_secs: f64,
+    /// Absolute second after which the document no longer validates and
+    /// clients holding it fall off the network.
+    pub valid_until_secs: f64,
+}
+
+/// A day (or any horizon) of hourly consensus outcomes.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConsensusTimeline {
+    /// Number of hourly runs after the baseline (hours `1..=hours`).
+    pub hours: u64,
+    /// The produced documents, in version order.
+    pub publications: Vec<Publication>,
+}
+
+impl ConsensusTimeline {
+    /// Builds a timeline from per-hour outcomes.
+    ///
+    /// `hourly[h - 1]` is the completion offset (seconds into hour `h`'s
+    /// run) of the consensus produced at hour `h`, or `None` when that
+    /// run failed. A baseline pre-attack consensus at `t = 0` (hour 0)
+    /// is always prepended — the paper's §2.1 timeline starts from the
+    /// last document the network produced before the attack.
+    ///
+    /// `fresh_secs` and `valid_secs` are the dir-spec lifetimes measured
+    /// from the nominal hour (3 600 s and 10 800 s for Tor).
+    pub fn from_hourly_outcomes(hourly: &[Option<f64>], fresh_secs: u64, valid_secs: u64) -> Self {
+        let mut publications = vec![Publication {
+            version: 0,
+            hour: 0,
+            available_at_secs: 0.0,
+            fresh_until_secs: fresh_secs as f64,
+            valid_until_secs: valid_secs as f64,
+        }];
+        for (index, outcome) in hourly.iter().enumerate() {
+            let hour = index as u64 + 1;
+            if let Some(offset) = outcome {
+                let nominal = (hour * 3600) as f64;
+                publications.push(Publication {
+                    version: publications.len(),
+                    hour,
+                    available_at_secs: nominal + offset,
+                    fresh_until_secs: nominal + fresh_secs as f64,
+                    valid_until_secs: nominal + valid_secs as f64,
+                });
+            }
+        }
+        ConsensusTimeline {
+            hours: hourly.len() as u64,
+            publications,
+        }
+    }
+
+    /// End of the simulated horizon, seconds (one hour past the last run
+    /// so the final run's client impact is observable).
+    pub fn horizon_secs(&self) -> f64 {
+        ((self.hours + 1) * 3600) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_always_version_zero() {
+        let t = ConsensusTimeline::from_hourly_outcomes(&[None, None], 3_600, 10_800);
+        assert_eq!(t.publications.len(), 1);
+        assert_eq!(t.publications[0].version, 0);
+        assert_eq!(t.publications[0].valid_until_secs, 10_800.0);
+        assert_eq!(t.hours, 2);
+        assert_eq!(t.horizon_secs(), 3.0 * 3600.0);
+    }
+
+    #[test]
+    fn produced_hours_become_versions_in_order() {
+        let t = ConsensusTimeline::from_hourly_outcomes(
+            &[Some(360.0), None, Some(10.0)],
+            3_600,
+            10_800,
+        );
+        let versions: Vec<(usize, u64)> =
+            t.publications.iter().map(|p| (p.version, p.hour)).collect();
+        assert_eq!(versions, vec![(0, 0), (1, 1), (2, 3)]);
+        assert_eq!(t.publications[1].available_at_secs, 3_960.0);
+        assert_eq!(t.publications[2].available_at_secs, 3.0 * 3600.0 + 10.0);
+    }
+}

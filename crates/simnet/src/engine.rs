@@ -125,6 +125,11 @@ enum EventKind<M> {
         up_bps: Option<f64>,
         down_bps: Option<f64>,
     },
+    BackgroundLoadChange {
+        node: NodeId,
+        up_bps: Option<f64>,
+        down_bps: Option<f64>,
+    },
     LocalDeliver {
         node: NodeId,
         from: NodeId,
@@ -406,6 +411,33 @@ impl<N: Node> Simulation<N> {
         );
     }
 
+    /// Schedules a change of a node's aggregate background load (bits/s)
+    /// at an absolute simulated time.
+    ///
+    /// Background load models bulk traffic — a client fleet hammering a
+    /// directory cache, legacy clients fetching straight from an
+    /// authority — without materializing per-flow transfers: the link
+    /// keeps only `rate − load` for simulated messages. It composes with
+    /// [`Simulation::schedule_bandwidth_change`], so a DDoS window and
+    /// fleet load stack on the same link. `None` leaves that direction
+    /// unchanged.
+    pub fn schedule_background_load(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        up_bps: Option<f64>,
+        down_bps: Option<f64>,
+    ) {
+        self.core.push(
+            at,
+            EventKind::BackgroundLoadChange {
+                node,
+                up_bps,
+                down_bps,
+            },
+        );
+    }
+
     /// Runs until the event queue drains, a node calls `stop()`, or
     /// simulated time would exceed `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> RunStats {
@@ -517,6 +549,21 @@ impl<N: Node> Simulation<N> {
                     self.core.apply_downlink_action(node, action);
                 }
             }
+            EventKind::BackgroundLoadChange {
+                node,
+                up_bps,
+                down_bps,
+            } => {
+                let now = self.core.now;
+                if let Some(up) = up_bps {
+                    let action = self.core.uplinks[node.index()].set_background_load(now, up);
+                    self.core.apply_uplink_action(node, action);
+                }
+                if let Some(down) = down_bps {
+                    let action = self.core.downlinks[node.index()].set_background_load(now, down);
+                    self.core.apply_downlink_action(node, action);
+                }
+            }
             EventKind::LocalDeliver { node, from, msg } => {
                 let mut ctx = Context {
                     core: &mut self.core,
@@ -564,6 +611,15 @@ impl<N: Node> Simulation<N> {
     pub fn downlink_state(&self, node: NodeId) -> (f64, usize, f64) {
         let p = &self.core.downlinks[node.index()];
         (p.rate_bits_per_sec(), p.queued(), p.backlog_bytes())
+    }
+
+    /// Current aggregate background load on a node's links, bits/s, as
+    /// `(uplink, downlink)`.
+    pub fn background_load(&self, node: NodeId) -> (f64, f64) {
+        (
+            self.core.uplinks[node.index()].background_bits_per_sec(),
+            self.core.downlinks[node.index()].background_bits_per_sec(),
+        )
     }
 
     /// Captured log lines (empty unless `collect_logs` was set).
@@ -702,6 +758,59 @@ mod tests {
         sim.run();
         let received = &sim.node(NodeId(1)).received;
         assert_eq!(received[0].0, SimTime::from_micros(6_600_000));
+    }
+
+    #[test]
+    fn background_load_delays_transfer_like_contention() {
+        // 125 000 B at 1 Mbit/s with 0.5 Mbit/s background on the uplink
+        // from t = 0: uplink serializes at 0.5 Mbit/s → 2 s, then 0.1 s
+        // latency and a clean 1 s downlink → delivery at 3.1 s.
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
+        let nodes = vec![
+            Recorder::new(vec![(
+                NodeId(1),
+                SizedPayload {
+                    tag: 4,
+                    size: 125_000,
+                },
+            )]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.schedule_background_load(SimTime::ZERO, NodeId(0), Some(0.5e6), None);
+        sim.run();
+        let received = &sim.node(NodeId(1)).received;
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].0, SimTime::from_micros(3_100_000));
+        assert_eq!(sim.background_load(NodeId(0)), (0.5e6, 0.0));
+    }
+
+    #[test]
+    fn background_load_composes_with_ddos_window() {
+        // Uplink carries 0.5 Mbit/s of fleet load throughout; a "DDoS"
+        // drops the raw rate to 0.5 Mbit/s during [0, 10 s], leaving zero
+        // effective bandwidth. After recovery the transfer finishes at
+        // 0.5 Mbit/s effective: 125 000 B → 2 s, so uplink done at 12 s,
+        // delivery at 12 + 0.1 + 1 = 13.1 s.
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
+        let nodes = vec![
+            Recorder::new(vec![(
+                NodeId(1),
+                SizedPayload {
+                    tag: 8,
+                    size: 125_000,
+                },
+            )]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.schedule_background_load(SimTime::ZERO, NodeId(0), Some(0.5e6), None);
+        sim.schedule_bandwidth_change(SimTime::ZERO, NodeId(0), Some(0.5e6), None);
+        sim.schedule_bandwidth_change(SimTime::from_secs(10), NodeId(0), Some(1e6), None);
+        sim.run();
+        let received = &sim.node(NodeId(1)).received;
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].0, SimTime::from_micros(13_100_000));
     }
 
     #[test]

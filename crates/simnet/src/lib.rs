@@ -10,6 +10,11 @@
 //! * **runtime bandwidth changes**: the DDoS injection mechanism — a
 //!   victim's rates drop to the residual-bandwidth value for the attack
 //!   window and recover afterwards, preserving in-flight transfer progress;
+//! * **aggregate background load**: bulk traffic (client fleets fetching
+//!   directory documents, legacy direct fetchers) charged against a link's
+//!   rate without materializing per-flow transfers — the directory
+//!   *distribution* layer (`partialtor-dirdist`) uses this to press
+//!   millions of clients onto cache and authority links;
 //! * **determinism**: one seeded RNG, total event ordering, reproducible
 //!   runs.
 //!

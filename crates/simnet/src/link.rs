@@ -35,8 +35,15 @@ pub(crate) enum PipeAction {
 
 /// One direction of a node's link.
 pub(crate) struct Pipe<M> {
-    /// Rate in bytes per second. Zero means stalled.
+    /// Raw link rate in bytes per second. Zero means stalled.
     rate: f64,
+    /// Bytes per second consumed by *aggregate background traffic* —
+    /// directory load from client fleets and other flows that are modelled
+    /// in bulk rather than as individual [`Transfer`]s. The pipe
+    /// serializes simulated messages at `rate − background` (floored at
+    /// zero), so a link saturated by millions of clients stalls exactly
+    /// like a DDoS victim.
+    background: f64,
     current: Option<Transfer<M>>,
     queue: std::collections::VecDeque<Transfer<M>>,
     /// Bumped whenever the head transfer's completion time changes, so
@@ -49,15 +56,26 @@ impl<M> Pipe<M> {
     pub fn new(rate_bits_per_sec: f64) -> Self {
         Pipe {
             rate: rate_bits_per_sec.max(0.0) / 8.0,
+            background: 0.0,
             current: None,
             queue: std::collections::VecDeque::new(),
             generation: 0,
         }
     }
 
-    /// Current rate in bits per second.
+    /// Current raw rate in bits per second.
     pub fn rate_bits_per_sec(&self) -> f64 {
         self.rate * 8.0
+    }
+
+    /// Current background load in bits per second.
+    pub fn background_bits_per_sec(&self) -> f64 {
+        self.background * 8.0
+    }
+
+    /// Bytes per second left for simulated transfers after background load.
+    fn effective_rate(&self) -> f64 {
+        (self.rate - self.background).max(0.0)
     }
 
     /// Number of transfers queued behind the in-flight one.
@@ -100,8 +118,8 @@ impl<M> Pipe<M> {
     /// is flowing.
     fn completion_action(&self, now: SimTime) -> PipeAction {
         match &self.current {
-            Some(t) if self.rate > 0.0 => {
-                let secs = t.bytes_left / self.rate;
+            Some(t) if self.effective_rate() > 0.0 => {
+                let secs = t.bytes_left / self.effective_rate();
                 PipeAction::Schedule {
                     at: now + SimDuration::from_secs_f64(secs),
                     generation: self.generation,
@@ -126,12 +144,32 @@ impl<M> Pipe<M> {
     /// Changes the pipe rate (bits/s), crediting progress made so far.
     pub fn set_rate(&mut self, now: SimTime, rate_bits_per_sec: f64) -> PipeAction {
         let new_rate = rate_bits_per_sec.max(0.0) / 8.0;
+        let background = self.background;
+        self.retune(now, new_rate, background)
+    }
+
+    /// Changes the background load (bits/s), crediting progress made so
+    /// far. Background load models aggregate traffic (e.g. a client
+    /// fleet's directory fetches) without materializing per-flow
+    /// transfers; it composes with [`Pipe::set_rate`] so a DDoS window and
+    /// fleet load stack on the same link.
+    pub fn set_background_load(&mut self, now: SimTime, load_bits_per_sec: f64) -> PipeAction {
+        let rate = self.rate;
+        let new_background = load_bits_per_sec.max(0.0) / 8.0;
+        self.retune(now, rate, new_background)
+    }
+
+    /// Applies a new `(rate, background)` pair at `now`, preserving the
+    /// in-flight transfer's progress at the *old* effective rate.
+    fn retune(&mut self, now: SimTime, rate: f64, background: f64) -> PipeAction {
+        let old_effective = self.effective_rate();
         if let Some(t) = &mut self.current {
             let elapsed = now.since(t.last_update).as_secs_f64();
-            t.bytes_left = (t.bytes_left - elapsed * self.rate).max(0.0);
+            t.bytes_left = (t.bytes_left - elapsed * old_effective).max(0.0);
             t.last_update = now;
         }
-        self.rate = new_rate;
+        self.rate = rate;
+        self.background = background;
         if self.current.is_some() {
             self.generation += 1;
             self.completion_action(now)
@@ -218,6 +256,42 @@ mod tests {
         // Restore 8 Mbit/s at t = 10 s; the transfer finishes 1 s later.
         let action = pipe.set_rate(SimTime::from_secs(10), 8e6);
         assert_eq!(at(action), SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn background_load_slows_serialization() {
+        // 8 Mbit/s raw, 6 Mbit/s background → 2 Mbit/s = 0.25 MB/s left.
+        let mut pipe: Pipe<u8> = Pipe::new(8e6);
+        pipe.set_background_load(SimTime::ZERO, 6e6);
+        let a = pipe.enqueue(SimTime::ZERO, transfer(1_000_000));
+        assert_eq!(at(a), SimTime::from_secs(4));
+        assert_eq!(pipe.rate_bits_per_sec(), 8e6, "raw rate unchanged");
+        assert_eq!(pipe.background_bits_per_sec(), 6e6);
+    }
+
+    #[test]
+    fn background_saturation_stalls_and_composes_with_rate() {
+        let mut pipe: Pipe<u8> = Pipe::new(8e6);
+        // Background exceeding the link rate stalls the pipe outright.
+        let a = pipe.enqueue(SimTime::ZERO, transfer(1_000_000));
+        assert_eq!(at(a), SimTime::from_secs(1));
+        let stalled = pipe.set_background_load(SimTime::from_millis(500), 10e6);
+        assert_eq!(stalled, PipeAction::None);
+        // Raising the raw rate above the load resumes from the half-sent
+        // point: 0.5 MB left at (16 − 10) Mbit/s = 0.75 MB/s.
+        let resumed = pipe.set_rate(SimTime::from_secs(10), 16e6);
+        let expect = SimTime::from_secs(10) + SimDuration::from_secs_f64(500_000.0 / 750_000.0);
+        assert_eq!(at(resumed), expect);
+    }
+
+    #[test]
+    fn background_change_credits_progress() {
+        // 1 MB at 1 MB/s for 0.5 s, then background eats half the link:
+        // 0.5 MB left at 0.5 MB/s → done at 1.5 s.
+        let mut pipe: Pipe<u8> = Pipe::new(8e6);
+        pipe.enqueue(SimTime::ZERO, transfer(1_000_000));
+        let action = pipe.set_background_load(SimTime::from_millis(500), 4e6);
+        assert_eq!(at(action), SimTime::from_micros(1_500_000));
     }
 
     #[test]

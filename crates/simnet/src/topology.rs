@@ -130,7 +130,7 @@ pub fn authority_topology(seed: u64) -> LatencyMatrix {
 /// Builds an `n`-node topology by cycling the authority regions, for
 /// experiments that scale the committee size (Table 1).
 pub fn scaled_topology(n: usize, seed: u64) -> LatencyMatrix {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7363_616c_6564_21);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0073_6361_6c65_6421);
     LatencyMatrix::from_fn(n, |a, b| {
         let ra = AUTHORITY_REGIONS[a % 9];
         let rb = AUTHORITY_REGIONS[b % 9];

@@ -10,7 +10,11 @@
 //!   aggregation algorithm of the paper, carrying Ed25519 authority
 //!   signatures, valid only with a majority of them;
 //! * deterministic **population generation** ([`generator`]) standing in
-//!   for the tornettools-derived network of the paper's evaluation.
+//!   for the tornettools-derived network of the paper's evaluation;
+//! * **diff serving** ([`serve`]) — the cache-side store that answers
+//!   consensus fetches with the full document or a proposal-140
+//!   [`ConsensusDiff`], feeding the `partialtor-dirdist` distribution
+//!   layer.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@ pub mod consensus;
 pub mod diff;
 pub mod generator;
 pub mod relay;
+pub mod serve;
 pub mod vote;
 
 pub use authority::{Authority, AuthorityId, AuthoritySet};
@@ -52,6 +57,7 @@ pub use consensus::{aggregate, Consensus, ConsensusEntry, ConsensusMeta};
 pub use diff::ConsensusDiff;
 pub use generator::{authority_view, generate_population, PopulationConfig, ViewConfig};
 pub use relay::{ExitPolicySummary, RelayFlags, RelayId, RelayInfo, TorVersion};
+pub use serve::{DiffStore, Served};
 pub use vote::{DocError, Vote, VoteMeta};
 
 /// One-stop imports.
@@ -61,5 +67,6 @@ pub mod prelude {
     pub use crate::diff::ConsensusDiff;
     pub use crate::generator::{authority_view, generate_population, PopulationConfig, ViewConfig};
     pub use crate::relay::{ExitPolicySummary, RelayFlags, RelayId, RelayInfo, TorVersion};
+    pub use crate::serve::{DiffStore, Served};
     pub use crate::vote::{DocError, Vote, VoteMeta};
 }

@@ -1,0 +1,250 @@
+//! Serving consensus documents and diffs (the cache side of proposal
+//! 140).
+//!
+//! A directory cache (or authority dirport) keeps the latest consensus
+//! plus a short history, and answers each fetch with either the full
+//! document or a [`ConsensusDiff`] from the digest the requester already
+//! holds. This module is the piece the distribution layer
+//! (`partialtor-dirdist`) sits on: it decides *what* goes on the wire,
+//! the simulator decides how long the bytes take.
+
+use crate::consensus::Consensus;
+use crate::diff::ConsensusDiff;
+use partialtor_crypto::Digest32;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// What a directory server sends back for one consensus fetch.
+#[derive(Clone, Debug)]
+pub enum Served<'a> {
+    /// The requester's base was unknown or too old: the full document.
+    Full(&'a Consensus),
+    /// The requester holds a retained predecessor: a diff to the latest.
+    Diff(&'a ConsensusDiff),
+}
+
+impl Served<'_> {
+    /// Bytes this response occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Served::Full(c) => c.wire_size(),
+            Served::Diff(d) => d.wire_size(),
+        }
+    }
+
+    /// Whether the response is a diff.
+    pub fn is_diff(&self) -> bool {
+        matches!(self, Served::Diff(_))
+    }
+}
+
+/// A serving store: the latest consensus, a bounded history of
+/// predecessors, and precomputed diffs from each retained predecessor to
+/// the latest document.
+///
+/// # Examples
+///
+/// ```
+/// use partialtor_tordoc::prelude::*;
+/// use partialtor_tordoc::serve::DiffStore;
+///
+/// let population = generate_population(&PopulationConfig { seed: 1, count: 50 });
+/// let committee = AuthoritySet::live(1);
+/// let make = |valid_after: u64| {
+///     let votes: Vec<Vote> = committee
+///         .iter()
+///         .map(|auth| {
+///             let view = authority_view(&population, auth.id, 1, &ViewConfig::default());
+///             Vote::new(
+///                 VoteMeta::standard(auth.id, &auth.name, auth.fingerprint_hex(), valid_after),
+///                 view,
+///             )
+///         })
+///         .collect();
+///     let refs: Vec<&Vote> = votes.iter().collect();
+///     aggregate(&refs)
+/// };
+///
+/// let mut store = DiffStore::new(3);
+/// let first = make(3_600);
+/// let first_digest = first.digest();
+/// store.publish(first);
+/// store.publish(make(7_200));
+///
+/// // A client on the previous consensus gets a (much smaller) diff.
+/// let served = store.serve(Some(&first_digest)).unwrap();
+/// assert!(served.is_diff());
+/// // A bootstrapping client gets the full document.
+/// assert!(!store.serve(None).unwrap().is_diff());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DiffStore {
+    /// How many predecessor documents to keep diffs for.
+    retain: usize,
+    /// Retained documents, oldest first; the last element is the latest.
+    history: VecDeque<Consensus>,
+    /// Diffs keyed by the *from* digest, all targeting the latest document.
+    diffs: BTreeMap<Digest32, ConsensusDiff>,
+}
+
+impl DiffStore {
+    /// Creates a store retaining diffs from up to `retain` predecessors
+    /// (Tor's `consdiff` cache keeps a handful of recent bases).
+    pub fn new(retain: usize) -> Self {
+        DiffStore {
+            retain,
+            history: VecDeque::new(),
+            diffs: BTreeMap::new(),
+        }
+    }
+
+    /// Publishes a new latest consensus, recomputing the diff set.
+    ///
+    /// Cost is `retain` diff computations over sorted entry lists — the
+    /// proposal-140 hot path measured by the `diff` bench.
+    pub fn publish(&mut self, consensus: Consensus) {
+        self.history.push_back(consensus);
+        while self.history.len() > self.retain + 1 {
+            self.history.pop_front();
+        }
+        let latest = self.history.back().expect("just pushed");
+        self.diffs = self
+            .history
+            .iter()
+            .take(self.history.len() - 1)
+            .map(|base| (base.digest(), ConsensusDiff::compute(base, latest)))
+            .collect();
+    }
+
+    /// The latest published consensus.
+    pub fn latest(&self) -> Option<&Consensus> {
+        self.history.back()
+    }
+
+    /// Number of predecessor documents currently diffable against.
+    pub fn diffable_bases(&self) -> usize {
+        self.diffs.len()
+    }
+
+    /// Answers a fetch from a requester holding `have` (its current
+    /// consensus digest, if any). Returns `None` when nothing has been
+    /// published yet; a diff when `have` is a retained predecessor; the
+    /// full latest document otherwise. A requester already holding the
+    /// latest gets the full document back (real caches answer 304; the
+    /// distribution layer never asks in that state).
+    pub fn serve(&self, have: Option<&Digest32>) -> Option<Served<'_>> {
+        let latest = self.history.back()?;
+        if let Some(digest) = have {
+            if let Some(diff) = self.diffs.get(digest) {
+                return Some(Served::Diff(diff));
+            }
+        }
+        Some(Served::Full(latest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::AuthorityId;
+    use crate::consensus::{aggregate, ConsensusMeta};
+    use crate::generator::{authority_view, generate_population, PopulationConfig, ViewConfig};
+    use crate::vote::{Vote, VoteMeta};
+
+    fn consensus_at(seed: u64, count: usize, valid_after: u64) -> Consensus {
+        let population = generate_population(&PopulationConfig { seed, count });
+        let votes: Vec<Vote> = (0..9u8)
+            .map(|i| {
+                let view =
+                    authority_view(&population, AuthorityId(i), seed, &ViewConfig::default());
+                Vote::new(
+                    VoteMeta::standard(AuthorityId(i), "a", String::new(), valid_after),
+                    view,
+                )
+            })
+            .collect();
+        let refs: Vec<&Vote> = votes.iter().collect();
+        aggregate(&refs)
+    }
+
+    /// The "next hour": drop a few relays, tweak one, bump the window.
+    fn churned(base: &Consensus, drop: usize, valid_after: u64) -> Consensus {
+        let mut entries = base.entries.clone();
+        entries.drain(..drop.min(entries.len()));
+        if let Some(e) = entries.first_mut() {
+            e.bandwidth = e.bandwidth.map(|b| b + 1);
+        }
+        Consensus {
+            meta: ConsensusMeta {
+                valid_after,
+                fresh_until: valid_after + 3600,
+                valid_until: valid_after + 3 * 3600,
+            },
+            entries,
+            signatures: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_store_serves_nothing() {
+        let store = DiffStore::new(3);
+        assert!(store.serve(None).is_none());
+        assert!(store.latest().is_none());
+    }
+
+    #[test]
+    fn serves_full_to_bootstrapping_and_diff_to_recent() {
+        let mut store = DiffStore::new(3);
+        let v0 = consensus_at(11, 60, 3_600);
+        let d0 = v0.digest();
+        let v1 = churned(&v0, 2, 7_200);
+        store.publish(v0.clone());
+        store.publish(v1.clone());
+
+        let full = store.serve(None).unwrap();
+        assert!(!full.is_diff());
+        assert_eq!(full.wire_bytes(), v1.wire_size());
+
+        let diff = store.serve(Some(&d0)).unwrap();
+        assert!(diff.is_diff());
+        assert!(diff.wire_bytes() < full.wire_bytes() / 4);
+        // The served diff genuinely reconstructs the latest document.
+        match diff {
+            Served::Diff(d) => {
+                assert_eq!(d.apply(&v0).unwrap().digest(), v1.digest());
+            }
+            Served::Full(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unknown_base_falls_back_to_full() {
+        let mut store = DiffStore::new(3);
+        store.publish(consensus_at(12, 40, 3_600));
+        let stranger = consensus_at(99, 40, 3_600).digest();
+        assert!(!store.serve(Some(&stranger)).unwrap().is_diff());
+    }
+
+    #[test]
+    fn history_is_bounded_and_diffs_track_latest() {
+        let mut store = DiffStore::new(2);
+        let mut doc = consensus_at(13, 50, 3_600);
+        let mut digests = vec![doc.digest()];
+        store.publish(doc.clone());
+        for hour in 1..=4u64 {
+            doc = churned(&doc, 1, 3_600 * (hour + 1));
+            digests.push(doc.digest());
+            store.publish(doc.clone());
+        }
+        assert_eq!(store.diffable_bases(), 2, "only `retain` bases kept");
+        // The two most recent predecessors diff; older ones get full docs.
+        assert!(store.serve(Some(&digests[3])).unwrap().is_diff());
+        assert!(store.serve(Some(&digests[2])).unwrap().is_diff());
+        assert!(!store.serve(Some(&digests[1])).unwrap().is_diff());
+        // Every diff targets the current latest.
+        match store.serve(Some(&digests[3])).unwrap() {
+            Served::Diff(d) => assert_eq!(d.to_digest, doc.digest()),
+            Served::Full(_) => unreachable!(),
+        }
+    }
+}

@@ -264,7 +264,7 @@ where
     let mut entries = Vec::new();
     let mut current: Option<RelayInfo> = None;
 
-    while let Some((idx, line)) = lines.next() {
+    for (idx, line) in lines.by_ref() {
         let ln = idx + 1;
         if line == "directory-footer" {
             break;

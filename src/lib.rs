@@ -8,6 +8,8 @@
 //! * [`simnet`] — the deterministic discrete-event network simulator;
 //! * [`tordoc`] — votes, consensus documents and the Fig. 2 aggregation;
 //! * [`consensus`] — the view-based BFT agreement engine;
+//! * [`dirdist`] — the distribution layer: directory caches and
+//!   cohort-aggregated client fleets downstream of any protocol run;
 //! * [`core`] — the three directory protocols, the attack and the
 //!   experiment drivers.
 //!
@@ -24,5 +26,6 @@
 pub use partialtor as core;
 pub use partialtor_consensus as consensus;
 pub use partialtor_crypto as crypto;
+pub use partialtor_dirdist as dirdist;
 pub use partialtor_simnet as simnet;
 pub use partialtor_tordoc as tordoc;
