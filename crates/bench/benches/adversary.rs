@@ -1,0 +1,84 @@
+//! Benchmarks of adversary-plan evaluation: how many candidate
+//! campaigns per second the strategy search can push through plan
+//! normalization and through the fleet scorer (the distribution-layer
+//! simulation that turns a plan into client-weighted downtime). The
+//! protocol runs the search memoizes away are benchmarked separately in
+//! `end_to_end`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use partialtor::adversary::{AttackPlan, AttackWindow, Target};
+use partialtor_dirdist::{simulate, ConsensusTimeline, DistConfig};
+use partialtor_simnet::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// A mixed day-long campaign: five authorities per run plus a rotating
+/// cache set — the shape of a mid-search candidate.
+fn candidate_plan(hours: u64) -> AttackPlan {
+    let per_hour = AttackPlan::new(
+        (0..5)
+            .map(|i| {
+                AttackWindow::new(
+                    Target::Authority(i),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(300),
+                    240.0,
+                )
+            })
+            .chain((0..8).map(|i| {
+                AttackWindow::new(
+                    Target::Cache(i),
+                    SimTime::from_secs(300),
+                    SimDuration::from_secs(900),
+                    100.0,
+                )
+            }))
+            .collect(),
+    );
+    per_hour.sustained_hourly(hours)
+}
+
+fn bench_plan_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_normalize");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("24h_13_targets", |b| {
+        b.iter(|| black_box(candidate_plan(black_box(24))))
+    });
+    group.bench_function("slice_and_lower_24h", |b| {
+        let plan = candidate_plan(24);
+        b.iter(|| {
+            let slices: usize = (1..=24)
+                .map(|h| plan.run_slice(h * 3_600, 3_600).windows().len())
+                .sum();
+            (black_box(slices), black_box(plan.dist_windows()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fleet_scorer(c: &mut Criterion) {
+    // The attacked timeline the deployed protocol produces under the
+    // candidate: no consensus after the baseline.
+    let outcomes: Vec<Option<f64>> = vec![None; 24];
+    let timeline = ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800);
+    let plan = candidate_plan(24);
+
+    let mut group = c.benchmark_group("fleet_scorer");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("plan_eval_100k_clients_20_caches", |b| {
+        b.iter(|| {
+            let config = DistConfig {
+                seed: 7,
+                clients: 100_000,
+                n_caches: 20,
+                link_windows: plan.dist_windows(),
+                ..DistConfig::default()
+            };
+            black_box(simulate(&config, &timeline).fleet.client_weighted_downtime)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_normalization, bench_fleet_scorer);
+criterion_main!(benches);

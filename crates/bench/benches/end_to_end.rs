@@ -40,7 +40,7 @@ fn bench_attack_run(c: &mut Criterion) {
             let scenario = Scenario {
                 seed: 5,
                 relays: 8_000,
-                attacks: vec![partialtor::DdosAttack::five_of_nine_five_minutes()],
+                attack: partialtor::AttackPlan::five_of_nine(),
                 ..Scenario::default()
             };
             black_box(run(ProtocolKind::Icps, &scenario))

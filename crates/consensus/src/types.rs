@@ -98,7 +98,7 @@ pub struct TcEntry {
     pub node: usize,
     /// The round of its highest known QC (`None` if it has none).
     pub high_qc_round: Option<u64>,
-    /// Signature over [`timeout_digest`].
+    /// Signature over `timeout_digest`.
     pub signature: Signature,
 }
 
@@ -167,7 +167,7 @@ pub struct Block<V> {
     pub tc: Option<Tc>,
     /// The proposing node.
     pub proposer: usize,
-    /// Proposer's signature over [`proposal_digest`].
+    /// Proposer's signature over `proposal_digest`.
     pub signature: Signature,
 }
 
@@ -215,7 +215,7 @@ pub struct VoteMsg {
     pub value: Digest32,
     /// The voting node.
     pub voter: usize,
-    /// Signature over [`vote_digest`].
+    /// Signature over `vote_digest`.
     pub signature: Signature,
 }
 
@@ -228,7 +228,7 @@ pub struct TimeoutMsg {
     pub high_qc: Option<Qc>,
     /// The sender.
     pub node: usize,
-    /// Signature over [`timeout_digest`].
+    /// Signature over `timeout_digest`.
     pub signature: Signature,
 }
 

@@ -1,93 +1,13 @@
-//! The DDoS attack model and its cost (§4 of the paper).
+//! Stressor-service pricing and the §4.3 attack-cost arithmetic.
 //!
-//! The attack is modelled the way the paper models it in Shadow: a victim
-//! authority's available bandwidth drops to the residual value for the
-//! attack window and recovers afterwards. The cost model reproduces the
-//! §4.3 arithmetic: stressor services amortize to $0.00074 per Mbit/s of
-//! attack traffic per hour.
+//! The attack *shape* lives in [`crate::adversary`] as a typed
+//! [`AttackPlan`](crate::adversary::AttackPlan); this module prices it.
+//! The cost model reproduces the §4.3 arithmetic: stressor services
+//! amortize to $0.00074 per Mbit/s of attack traffic per hour, so the
+//! paper's five-of-nine five-minute campaign costs $0.074 per breached
+//! run and $53.28 per month of sustained outage.
 
-use partialtor_simnet::{NodeId, SimDuration, SimTime};
-
-/// A bandwidth-exhaustion DDoS against a set of authorities.
-#[derive(Clone, Debug)]
-pub struct DdosAttack {
-    /// Victim authority indices.
-    pub targets: Vec<usize>,
-    /// Attack start.
-    pub start: SimTime,
-    /// Attack duration.
-    pub duration: SimDuration,
-    /// Victim bandwidth during the attack, bits/s (0 = knocked offline;
-    /// 0.5 Mbit/s = the Jansen et al. residual estimate).
-    pub residual_bps: f64,
-}
-
-impl DdosAttack {
-    /// The paper's headline attack: five authorities for five minutes
-    /// starting at protocol start, with the Jansen et al. residual.
-    pub fn five_of_nine_five_minutes() -> Self {
-        DdosAttack {
-            targets: vec![0, 1, 2, 3, 4],
-            start: SimTime::ZERO,
-            duration: SimDuration::from_secs(300),
-            residual_bps: crate::calibration::ATTACK_RESIDUAL_BPS,
-        }
-    }
-
-    /// End of the attack window.
-    pub fn end(&self) -> SimTime {
-        self.start + self.duration
-    }
-
-    /// This attack as a distribution-layer window, shifted so the
-    /// protocol run it disrupts starts at absolute `run_start_secs`
-    /// (protocol runs simulate from t = 0; the cache tier lives on the
-    /// whole day's clock).
-    pub fn window_at(&self, run_start_secs: f64) -> partialtor_dirdist::AttackWindow {
-        partialtor_dirdist::AttackWindow {
-            targets: self.targets.clone(),
-            start_secs: run_start_secs + self.start.as_secs_f64(),
-            duration_secs: self.duration.as_secs_f64(),
-            residual_bps: self.residual_bps,
-        }
-    }
-
-    /// The sustained form of this attack: one window per hourly run,
-    /// hours `1..=hours` (the §2.1 timeline the availability and clients
-    /// experiments share).
-    pub fn hourly_windows(&self, hours: u64) -> Vec<partialtor_dirdist::AttackWindow> {
-        (1..=hours)
-            .map(|hour| self.window_at((hour * 3600) as f64))
-            .collect()
-    }
-
-    /// Applies the attack to a simulation by scheduling bandwidth drops
-    /// and restorations on every victim. `restore_bps(target)` gives the
-    /// bandwidth each victim returns to when the attack ends.
-    pub fn schedule<N: partialtor_simnet::Node>(
-        &self,
-        sim: &mut partialtor_simnet::Simulation<N>,
-        restore_bps: impl Fn(usize) -> f64,
-    ) {
-        for &target in &self.targets {
-            sim.schedule_bandwidth_change(
-                self.start,
-                NodeId(target),
-                Some(self.residual_bps),
-                Some(self.residual_bps),
-            );
-            let restored = restore_bps(target);
-            sim.schedule_bandwidth_change(
-                self.end(),
-                NodeId(target),
-                Some(restored),
-                Some(restored),
-            );
-        }
-    }
-}
-
-/// Stressor-service pricing (§4.3, from Jansen et al. [22]).
+/// Stressor-service pricing (§4.3, from Jansen et al. \[22\]).
 #[derive(Clone, Copy, Debug)]
 pub struct StressorPricing {
     /// Dollars per Mbit/s of attack traffic per hour, amortized.
@@ -124,7 +44,7 @@ impl AttackCostModel {
     pub fn paper() -> Self {
         AttackCostModel {
             targets: 5,
-            flood_mbps: 240.0,
+            flood_mbps: crate::calibration::ATTACK_FLOOD_MBPS,
             minutes_per_run: 5.0,
             runs_per_hour: 1.0,
             pricing: StressorPricing::default(),
@@ -171,9 +91,10 @@ mod tests {
     }
 
     #[test]
-    fn headline_attack_window() {
-        let attack = DdosAttack::five_of_nine_five_minutes();
-        assert_eq!(attack.targets.len(), 5);
-        assert_eq!(attack.end(), SimTime::from_secs(300));
+    fn model_and_typed_plan_price_the_headline_campaign_identically() {
+        let model = AttackCostModel::paper();
+        let plan = crate::adversary::AttackPlan::five_of_nine();
+        assert!((model.cost_per_run() - plan.cost()).abs() < 1e-12);
+        assert!((model.cost_per_month() - plan.cost_per_month()).abs() < 1e-9);
     }
 }

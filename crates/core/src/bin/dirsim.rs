@@ -1,65 +1,174 @@
 //! `dirsim` — command-line front end for the directory-protocol simulator.
 //!
 //! ```text
-//! dirsim run     [--protocol current|synchronous|icps] [--relays N]
-//!                [--bandwidth MBPS] [--seed N] [--real-docs]
-//! dirsim attack  [--protocol ...] [--targets K] [--duration SECS]
-//!                [--residual MBPS] [--relays N] [--seed N]
-//! dirsim sweep   [--protocol ...] [--relays N] [--seed N]
-//! dirsim clients [--clients N] [--hours H] [--caches K] [--relays N] [--seed N]
-//! dirsim cost    [--targets K] [--flood MBPS] [--minutes M]
-//! dirsim monitor [--relays N] [--seed N]
+//! dirsim run       [--protocol current|synchronous|icps] [--relays N]
+//!                  [--bandwidth MBPS] [--seed N] [--real-docs]
+//! dirsim attack    [--protocol ...] [--targets K] [--duration SECS]
+//!                  [--flood MBPS] [--relays N] [--seed N]
+//! dirsim sweep     [--protocol ...] [--relays N] [--seed N]
+//! dirsim clients   [--clients N] [--hours H] [--caches K] [--relays N] [--seed N]
+//! dirsim adversary [--budget USD] [--hours H] [--beam K] [--clients N]
+//!                  [--caches K] [--relays N] [--seed N]
+//! dirsim cost      [--targets K] [--flood MBPS] [--minutes M]
+//! dirsim monitor   [--relays N] [--seed N]
 //! ```
 //!
-//! Every subcommand accepts `--threads N` to pin the sweep worker count
-//! (overrides `PARTIALTOR_SWEEP_THREADS`).
+//! Every subcommand accepts `--threads N` (pins the sweep worker count,
+//! overriding `PARTIALTOR_SWEEP_THREADS`) and `--help`/`-h`. Unknown
+//! flags and malformed values are rejected with an error and the
+//! subcommand's usage — never silently defaulted.
 
-use partialtor::attack::{AttackCostModel, DdosAttack};
-use partialtor::experiments::clients;
+use partialtor::adversary::{AttackPlan, AttackWindow, Target};
+use partialtor::attack::AttackCostModel;
+use partialtor::calibration::ATTACK_FLOOD_MBPS;
+use partialtor::experiments::{adversary, clients};
 use partialtor::monitor;
 use partialtor::protocols::ProtocolKind;
 use partialtor::runner::{set_sweep_threads, sweep, sweep_one, RunReport, Scenario, SweepJob};
 use partialtor_simnet::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
-fn arg_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// One flag a subcommand accepts.
+struct FlagSpec {
+    /// Flag name, including the leading dashes.
+    name: &'static str,
+    /// Metavariable shown in usage; `None` marks a boolean flag.
+    metavar: Option<&'static str>,
+    /// One-line description for `--help`.
+    help: &'static str,
 }
 
-fn arg_f64(args: &[String], name: &str, default: f64) -> f64 {
-    arg_value(args, name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+const fn value_flag(name: &'static str, metavar: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        metavar: Some(metavar),
+        help,
+    }
 }
 
-fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
-    arg_value(args, name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+const fn bool_flag(name: &'static str, help: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        metavar: None,
+        help,
+    }
 }
 
-fn arg_protocol(args: &[String]) -> ProtocolKind {
-    match arg_value(args, "--protocol").as_deref() {
-        Some("current") => ProtocolKind::Current,
-        Some("synchronous") | Some("sync") => ProtocolKind::Synchronous,
-        Some("icps") | Some("ours") | None => ProtocolKind::Icps,
-        Some(other) => {
-            eprintln!("unknown protocol {other:?}; using icps");
-            ProtocolKind::Icps
+/// Flags every subcommand accepts.
+const GLOBAL_FLAGS: &[FlagSpec] = &[value_flag(
+    "--threads",
+    "N",
+    "sweep worker count (overrides PARTIALTOR_SWEEP_THREADS; 1 = serial)",
+)];
+
+/// Parsed arguments of one subcommand: flag name → raw value ("" for
+/// boolean flags).
+struct Args {
+    values: BTreeMap<&'static str, String>,
+}
+
+fn usage_for(sub: &'static str, about: &str, spec: &[FlagSpec]) -> String {
+    let mut out = format!("usage: dirsim {sub} [options]\n  {about}\n  options:\n");
+    for flag in spec.iter().chain(GLOBAL_FLAGS) {
+        let left = match flag.metavar {
+            Some(metavar) => format!("{} {}", flag.name, metavar),
+            None => flag.name.to_string(),
+        };
+        out.push_str(&format!("    {left:<18} {}\n", flag.help));
+    }
+    out.push_str("    -h, --help         show this help");
+    out
+}
+
+/// Strictly parses `raw` against `spec`: every token must be a known
+/// flag (with its value, if it takes one). `-h`/`--help` prints the
+/// usage and exits.
+fn parse_args(
+    sub: &'static str,
+    about: &str,
+    spec: &'static [FlagSpec],
+    raw: &[String],
+) -> Result<Args, String> {
+    let mut values = BTreeMap::new();
+    let mut tokens = raw.iter();
+    while let Some(token) = tokens.next() {
+        if token == "-h" || token == "--help" {
+            println!("{}", usage_for(sub, about, spec));
+            std::process::exit(0);
+        }
+        let Some(flag) = spec
+            .iter()
+            .chain(GLOBAL_FLAGS)
+            .find(|f| f.name == token.as_str())
+        else {
+            return Err(format!("unknown argument {token:?}"));
+        };
+        let value = match flag.metavar {
+            None => String::new(),
+            Some(metavar) => match tokens.next() {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => return Err(format!("{} expects a value <{metavar}>", flag.name)),
+            },
+        };
+        values.insert(flag.name, value);
+    }
+    Ok(Args { values })
+}
+
+impl Args {
+    fn present(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    fn u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("{name} expects an integer, got {raw:?}")),
         }
     }
+
+    fn f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("{name} expects a number, got {raw:?}")),
+        }
+    }
+
+    fn protocol(&self) -> Result<ProtocolKind, String> {
+        match self.values.get("--protocol").map(String::as_str) {
+            None | Some("icps") | Some("ours") => Ok(ProtocolKind::Icps),
+            Some("current") => Ok(ProtocolKind::Current),
+            Some("synchronous") | Some("sync") => Ok(ProtocolKind::Synchronous),
+            Some(other) => Err(format!(
+                "--protocol expects current|synchronous|icps, got {other:?}"
+            )),
+        }
+    }
+
+    fn apply_threads(&self) -> Result<(), String> {
+        if self.present("--threads") {
+            set_sweep_threads(Some(self.u64("--threads", 0)? as usize));
+        }
+        Ok(())
+    }
 }
 
-fn base_scenario(args: &[String]) -> Scenario {
-    Scenario {
-        seed: arg_u64(args, "--seed", 1),
-        relays: arg_u64(args, "--relays", 8_000),
-        bandwidth_bps: arg_f64(args, "--bandwidth", 250.0) * 1e6,
-        real_docs: args.iter().any(|a| a == "--real-docs"),
+const PROTOCOL_FLAG: FlagSpec = value_flag("--protocol", "P", "current | synchronous | icps");
+const RELAYS_FLAG: FlagSpec = value_flag("--relays", "N", "relay population size");
+const SEED_FLAG: FlagSpec = value_flag("--seed", "N", "simulation seed");
+
+fn base_scenario(args: &Args) -> Result<Scenario, String> {
+    Ok(Scenario {
+        seed: args.u64("--seed", 1)?,
+        relays: args.u64("--relays", 8_000)?,
+        bandwidth_bps: args.f64("--bandwidth", 250.0)? * 1e6,
+        real_docs: args.present("--real-docs"),
         ..Scenario::default()
-    }
+    })
 }
 
 fn print_report(report: &RunReport) {
@@ -91,23 +200,49 @@ fn print_report(report: &RunReport) {
     }
 }
 
-fn cmd_run(args: &[String]) {
-    let scenario = base_scenario(args);
-    let report = sweep_one(arg_protocol(args), scenario);
+const RUN_SPEC: &[FlagSpec] = &[
+    PROTOCOL_FLAG,
+    RELAYS_FLAG,
+    value_flag("--bandwidth", "MBPS", "authority link rate, Mbit/s"),
+    SEED_FLAG,
+    bool_flag("--real-docs", "generate real tordoc votes (small N only)"),
+];
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let report = sweep_one(args.protocol()?, base_scenario(args)?);
     print_report(&report);
+    Ok(())
 }
 
-fn cmd_attack(args: &[String]) {
-    let mut scenario = base_scenario(args);
-    let targets = arg_u64(args, "--targets", 5) as usize;
-    scenario.attacks = vec![DdosAttack {
-        targets: (0..targets.min(scenario.n)).collect(),
-        start: SimTime::ZERO,
-        duration: SimDuration::from_secs(arg_u64(args, "--duration", 300)),
-        residual_bps: arg_f64(args, "--residual", 0.5) * 1e6,
-    }];
-    let report = sweep_one(arg_protocol(args), scenario);
+const ATTACK_SPEC: &[FlagSpec] = &[
+    PROTOCOL_FLAG,
+    RELAYS_FLAG,
+    value_flag("--bandwidth", "MBPS", "authority link rate, Mbit/s"),
+    SEED_FLAG,
+    bool_flag("--real-docs", "generate real tordoc votes (small N only)"),
+    value_flag("--targets", "K", "authorities flooded (default 5)"),
+    value_flag("--duration", "SECS", "attack window length (default 300)"),
+    value_flag(
+        "--flood",
+        "MBPS",
+        "flood rate per victim (default 240, the §4.3 rate)",
+    ),
+];
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let mut scenario = base_scenario(args)?;
+    let targets = args.u64("--targets", 5)? as usize;
+    let duration = SimDuration::from_secs(args.u64("--duration", 300)?);
+    let flood_mbps = args.f64("--flood", ATTACK_FLOOD_MBPS)?;
+    scenario.attack = AttackPlan::new(
+        (0..targets.min(scenario.n))
+            .map(|i| AttackWindow::new(Target::Authority(i), SimTime::ZERO, duration, flood_mbps))
+            .collect(),
+    );
+    let cost = scenario.attack.cost();
+    let report = sweep_one(args.protocol()?, scenario);
     print_report(&report);
+    println!("attack cost   : ${cost:.4} for this window set");
     println!("\nmonitor alerts:");
     let alerts = monitor::analyze(&report);
     if alerts.is_empty() {
@@ -116,11 +251,14 @@ fn cmd_attack(args: &[String]) {
     for alert in alerts {
         println!("  {alert}");
     }
+    Ok(())
 }
 
-fn cmd_sweep(args: &[String]) {
-    let protocol = arg_protocol(args);
-    let base = base_scenario(args);
+const SWEEP_SPEC: &[FlagSpec] = &[PROTOCOL_FLAG, RELAYS_FLAG, SEED_FLAG];
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let protocol = args.protocol()?;
+    let base = base_scenario(args)?;
     let bandwidths = [250.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.5];
     // The whole bandwidth sweep is one parallel batch.
     let jobs: Vec<SweepJob> = bandwidths
@@ -145,22 +283,32 @@ fn cmd_sweep(args: &[String]) {
             .unwrap_or_else(|| "FAIL".into());
         println!("{mbps:>10} {cell:>12}");
     }
+    Ok(())
 }
 
-fn cmd_cost(args: &[String]) {
+const COST_SPEC: &[FlagSpec] = &[
+    value_flag("--targets", "K", "authorities flooded (default 5)"),
+    value_flag("--flood", "MBPS", "flood rate per victim (default 240)"),
+    value_flag("--minutes", "M", "minutes per hourly run (default 5)"),
+];
+
+fn cmd_cost(args: &Args) -> Result<(), String> {
     let model = AttackCostModel {
-        targets: arg_u64(args, "--targets", 5) as usize,
-        flood_mbps: arg_f64(args, "--flood", 240.0),
-        minutes_per_run: arg_f64(args, "--minutes", 5.0),
+        targets: args.u64("--targets", 5)? as usize,
+        flood_mbps: args.f64("--flood", ATTACK_FLOOD_MBPS)?,
+        minutes_per_run: args.f64("--minutes", 5.0)?,
         runs_per_hour: 1.0,
         pricing: Default::default(),
     };
     println!("cost per breached run : ${:.4}", model.cost_per_run());
     println!("cost per month        : ${:.2}", model.cost_per_month());
+    Ok(())
 }
 
-fn cmd_monitor(args: &[String]) {
-    let scenario = base_scenario(args);
+const MONITOR_SPEC: &[FlagSpec] = &[RELAYS_FLAG, SEED_FLAG];
+
+fn cmd_monitor(args: &Args) -> Result<(), String> {
+    let scenario = base_scenario(args)?;
     let protocols = [
         ProtocolKind::Current,
         ProtocolKind::Synchronous,
@@ -182,57 +330,129 @@ fn cmd_monitor(args: &[String]) {
             println!("  {alert}");
         }
     }
+    Ok(())
 }
 
-fn cmd_clients(args: &[String]) {
+const CLIENTS_SPEC: &[FlagSpec] = &[
+    value_flag("--clients", "N", "client fleet size (default 3000000)"),
+    value_flag("--hours", "H", "attacked hours simulated (default 24)"),
+    value_flag("--caches", "K", "directory caches (default 200)"),
+    RELAYS_FLAG,
+    SEED_FLAG,
+];
+
+fn cmd_clients(args: &Args) -> Result<(), String> {
     let params = clients::ClientsParams {
-        hours: arg_u64(args, "--hours", 24),
-        clients: arg_u64(args, "--clients", 3_000_000),
-        caches: arg_u64(args, "--caches", 200) as usize,
-        relays: arg_u64(args, "--relays", 8_000),
-        seed: arg_u64(args, "--seed", 1),
+        hours: args.u64("--hours", 24)?,
+        clients: args.u64("--clients", 3_000_000)?,
+        caches: args.u64("--caches", 200)? as usize,
+        relays: args.u64("--relays", 8_000)?,
+        seed: args.u64("--seed", 1)?,
     };
     print!("{}", clients::render(&clients::run_experiment(&params)));
+    Ok(())
 }
 
-const USAGE: &str = "usage: dirsim <run|attack|sweep|clients|cost|monitor> [options]
-  run     one protocol run
-          --protocol current|synchronous|icps --relays N --bandwidth MBPS --seed N [--real-docs]
-  attack  one run under a bandwidth-DDoS window
-          …run options… --targets K --duration SECS --residual MBPS
-  sweep   latency across a bandwidth grid
-          --protocol P --relays N --seed N
-  clients client-visible availability through the distribution layer
-          (cache tier + cohort-aggregated fleet), current vs. ICPS
-          --clients N --hours H --caches K --relays N --seed N
-  cost    the §4.3 DDoS-for-hire price arithmetic
-          --targets K --flood MBPS --minutes M
-  monitor run all three protocols through the bandwidth monitor
-          --relays N --seed N
-global: --threads N  explicit sweep worker count
-        (overrides PARTIALTOR_SWEEP_THREADS; 1 = serial)";
+const ADVERSARY_SPEC: &[FlagSpec] = &[
+    value_flag("--budget", "USD", "attack budget, $/month (default 55)"),
+    value_flag("--hours", "H", "scored horizon, hours (default 24)"),
+    value_flag("--beam", "K", "beam width (default 4)"),
+    value_flag("--clients", "N", "scoring fleet size (default 200000)"),
+    value_flag("--caches", "K", "directory caches (default 50)"),
+    RELAYS_FLAG,
+    SEED_FLAG,
+];
+
+fn cmd_adversary(args: &Args) -> Result<(), String> {
+    let defaults = adversary::AdversaryParams::default();
+    let params = adversary::AdversaryParams {
+        budget_usd_month: args.f64("--budget", defaults.budget_usd_month)?,
+        hours: args.u64("--hours", defaults.hours)?,
+        beam: args.u64("--beam", defaults.beam as u64)? as usize,
+        clients: args.u64("--clients", defaults.clients)?,
+        caches: args.u64("--caches", defaults.caches as u64)? as usize,
+        relays: args.u64("--relays", defaults.relays)?,
+        seed: args.u64("--seed", defaults.seed)?,
+    };
+    print!("{}", adversary::render(&adversary::run_experiment(&params)));
+    Ok(())
+}
+
+const USAGE: &str = "usage: dirsim <run|attack|sweep|clients|adversary|cost|monitor> [options]
+  run       one protocol run
+  attack    one run under a bandwidth-DDoS window set
+  sweep     latency across a bandwidth grid
+  clients   client-visible availability through the distribution layer
+  adversary budget-constrained strategy search over authorities + caches
+  cost      the §4.3 DDoS-for-hire price arithmetic
+  monitor   run all three protocols through the bandwidth monitor
+run `dirsim <subcommand> --help` for the subcommand's options;
+every subcommand also accepts --threads N (1 = serial sweeps)";
+
+/// Subcommand table: name, one-line description, flag spec, handler.
+type Handler = fn(&Args) -> Result<(), String>;
+const SUBCOMMANDS: &[(&str, &str, &[FlagSpec], Handler)] = &[
+    ("run", "one protocol run", RUN_SPEC, cmd_run),
+    (
+        "attack",
+        "one run under a bandwidth-DDoS window set",
+        ATTACK_SPEC,
+        cmd_attack,
+    ),
+    (
+        "sweep",
+        "latency across a bandwidth grid",
+        SWEEP_SPEC,
+        cmd_sweep,
+    ),
+    (
+        "clients",
+        "client-visible availability through the distribution layer",
+        CLIENTS_SPEC,
+        cmd_clients,
+    ),
+    (
+        "adversary",
+        "budget-constrained strategy search over authorities + caches",
+        ADVERSARY_SPEC,
+        cmd_adversary,
+    ),
+    (
+        "cost",
+        "the §4.3 DDoS-for-hire price arithmetic",
+        COST_SPEC,
+        cmd_cost,
+    ),
+    (
+        "monitor",
+        "run all three protocols through the bandwidth monitor",
+        MONITOR_SPEC,
+        cmd_monitor,
+    ),
+];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(threads) = arg_value(&args, "--threads") {
-        match threads.parse::<usize>() {
-            Ok(t) => set_sweep_threads(Some(t)),
-            Err(_) => {
-                eprintln!("--threads expects a number, got {threads:?}");
-                std::process::exit(2);
-            }
-        }
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(first) = raw.first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    if first == "-h" || first == "--help" {
+        println!("{USAGE}");
+        return;
     }
-    match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args),
-        Some("attack") => cmd_attack(&args),
-        Some("sweep") => cmd_sweep(&args),
-        Some("clients") => cmd_clients(&args),
-        Some("cost") => cmd_cost(&args),
-        Some("monitor") => cmd_monitor(&args),
-        _ => {
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
+    let Some((sub, about, spec, handler)) =
+        SUBCOMMANDS.iter().find(|(name, ..)| name == first).copied()
+    else {
+        eprintln!("unknown subcommand {first:?}\n{USAGE}");
+        std::process::exit(2);
+    };
+    let outcome = parse_args(sub, about, spec, &raw[1..])
+        .and_then(|args| args.apply_threads().map(|()| args))
+        .and_then(|args| handler(&args));
+    if let Err(error) = outcome {
+        eprintln!("dirsim {sub}: {error}");
+        eprintln!("{}", usage_for(sub, about, spec));
+        std::process::exit(2);
     }
 }

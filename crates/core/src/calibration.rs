@@ -27,6 +27,58 @@ pub const AUTHORITY_LINK_BPS: f64 = 250e6;
 /// al.): 0.5 Mbit/s.
 pub const ATTACK_RESIDUAL_BPS: f64 = 0.5e6;
 
+/// The paper's flood rate against one authority (§4.3): 240 Mbit/s — the
+/// 250 Mbit/s link minus the ~10 Mbit/s the directory protocol needs.
+pub const ATTACK_FLOOD_MBPS: f64 = 240.0;
+
+/// A flood rate that exceeds every link class the simulations model
+/// (authority 250 Mbit/s, cache 100 Mbit/s, the 1 Gbit/s sensitivity
+/// row): [`flooded_residual_bps`] maps it to a fully dead link.
+pub const OFFLINE_FLOOD_MBPS: f64 = 1_000.0;
+
+/// Directory-cache link rate, bits/s. Must stay in sync with
+/// `partialtor_dirdist::CacheSimConfig::default().cache_bps` — the
+/// adversary model lowers cache-targeted windows with this capacity.
+pub const CACHE_LINK_BPS: f64 = 100e6;
+
+/// Flood rate that saturates a directory-cache link (equal to the cache
+/// link rate, so the victim drops to zero).
+pub const CACHE_FLOOD_MBPS: f64 = 100.0;
+
+/// Fraction of a link's rate a flood must reach before queue collapse
+/// leaves the victim only the Jansen et al. residual. Calibrated so the
+/// paper's 240 Mbit/s flood on a 250 Mbit/s link (96 %) yields the
+/// 0.5 Mbit/s residual rather than the naive 10 Mbit/s remainder.
+pub const FLOOD_SATURATION_FRACTION: f64 = 0.95;
+
+/// Bandwidth left to a victim whose `link_bps` uplink is flooded at
+/// `flood_bps` (§4.3): a flood at or above the link rate kills the link;
+/// one past the saturation knee leaves the Jansen et al. residual;
+/// a smaller flood just subtracts.
+///
+/// # Examples
+///
+/// ```
+/// use partialtor::calibration::flooded_residual_bps;
+/// // The paper's 240 Mbit/s flood leaves a 250 Mbit/s authority 0.5 Mbit/s.
+/// assert_eq!(flooded_residual_bps(250e6, 240e6), 0.5e6);
+/// // An over-the-top flood kills the link outright.
+/// assert_eq!(flooded_residual_bps(250e6, 1_000e6), 0.0);
+/// // A weak flood merely subtracts.
+/// assert_eq!(flooded_residual_bps(250e6, 100e6), 150e6);
+/// ```
+pub fn flooded_residual_bps(link_bps: f64, flood_bps: f64) -> f64 {
+    if flood_bps <= 0.0 {
+        link_bps
+    } else if flood_bps >= link_bps {
+        0.0
+    } else if flood_bps >= FLOOD_SATURATION_FRACTION * link_bps {
+        ATTACK_RESIDUAL_BPS.min(link_bps)
+    } else {
+        link_bps - flood_bps
+    }
+}
+
 /// Fixed overhead of a vote document (header, authority certs), bytes.
 pub const VOTE_BASE_BYTES: u64 = 20 * 1024;
 

@@ -17,7 +17,7 @@
 //!    endorsers versus from every authority (the literal §5.2.3 text) —
 //!    same outcome, ~n/(f+1) times the fetch traffic.
 
-use crate::attack::DdosAttack;
+use crate::adversary::{AttackPlan, AttackWindow, Target};
 use crate::calibration::{self, vote_size_bytes};
 use crate::document::DirDocument;
 use crate::protocols::{FetchPolicy, IcpsAuthority, IcpsByzantineMode, IcpsConfig, ProtocolKind};
@@ -53,13 +53,19 @@ pub fn timeout_scaling(seed: u64) -> Vec<TimeoutRow> {
                     seed,
                     relays: 8_000,
                     round_secs,
-                    attacks: vec![DdosAttack {
-                        targets: vec![0, 1, 2, 3, 4],
-                        start: SimTime::ZERO,
-                        // The attacker matches the enlarged vote window.
-                        duration: SimDuration::from_secs(2 * round_secs),
-                        residual_bps: calibration::ATTACK_RESIDUAL_BPS,
-                    }],
+                    // The attacker matches the enlarged vote window.
+                    attack: AttackPlan::new(
+                        (0..5)
+                            .map(|i| {
+                                AttackWindow::new(
+                                    Target::Authority(i),
+                                    SimTime::ZERO,
+                                    SimDuration::from_secs(2 * round_secs),
+                                    calibration::ATTACK_FLOOD_MBPS,
+                                )
+                            })
+                            .collect(),
+                    ),
                     ..Scenario::default()
                 },
             )
@@ -118,16 +124,22 @@ pub struct PulseRow {
     pub icps_latency_secs: f64,
 }
 
-/// Builds the attack windows of a pulsed flood.
-pub fn pulsed_attack(on_secs: u64, off_secs: u64, cycles: u64) -> Vec<DdosAttack> {
-    (0..cycles)
-        .map(|k| DdosAttack {
-            targets: vec![0, 1, 2, 3, 4],
-            start: SimTime::from_secs(k * (on_secs + off_secs)),
-            duration: SimDuration::from_secs(on_secs),
-            residual_bps: calibration::ATTACK_RESIDUAL_BPS,
-        })
-        .collect()
+/// Builds the attack plan of a pulsed flood against five victims.
+pub fn pulsed_attack(on_secs: u64, off_secs: u64, cycles: u64) -> AttackPlan {
+    AttackPlan::new(
+        (0..cycles)
+            .flat_map(|k| {
+                (0..5).map(move |i| {
+                    AttackWindow::new(
+                        Target::Authority(i),
+                        SimTime::from_secs(k * (on_secs + off_secs)),
+                        SimDuration::from_secs(on_secs),
+                        calibration::ATTACK_FLOOD_MBPS,
+                    )
+                })
+            })
+            .collect(),
+    )
 }
 
 /// Sweeps pulse shapes at 8 000 relays. The `(300, 0, 1)` row is the
@@ -146,7 +158,7 @@ pub fn pulse_sweep(seed: u64) -> Vec<PulseRow> {
             let scenario = Scenario {
                 seed,
                 relays: 8_000,
-                attacks: pulsed_attack(on_secs, off_secs, cycles),
+                attack: pulsed_attack(on_secs, off_secs, cycles),
                 ..Scenario::default()
             };
             [

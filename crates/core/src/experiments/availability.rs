@@ -8,7 +8,7 @@
 //! protocol regenerates a document a few seconds after every attack
 //! window, so the network never goes down.
 
-use crate::attack::DdosAttack;
+use crate::adversary::AttackPlan;
 use crate::calibration::CONSENSUS_VALID_SECS;
 use crate::protocols::ProtocolKind;
 use crate::runner::sweep;
@@ -62,8 +62,8 @@ pub fn timeline(protocol: ProtocolKind, hours: u64, seed: u64) -> AvailabilityRe
     // Each hourly run is an independent simulation, so the whole day
     // sweeps in parallel; only the validity bookkeeping below is
     // sequential.
-    let attack = DdosAttack::five_of_nine_five_minutes();
-    let jobs = super::sustained::hourly_jobs(protocol, &attack, hours, seed, 8_000);
+    let plan = AttackPlan::five_of_nine().sustained_hourly(hours);
+    let jobs = super::sustained::hourly_jobs(protocol, &plan, hours, seed, 8_000);
     let reports = sweep(&jobs);
     let hourly_outcomes = super::sustained::hourly_outcomes(&reports);
 
@@ -101,13 +101,13 @@ pub fn timeline(protocol: ProtocolKind, hours: u64, seed: u64) -> AvailabilityRe
     // distribution layer with a reference fleet — cache fetches see the
     // same hourly attack windows the protocol runs did — then fold its
     // per-hour staleness back into the rows.
-    let (dist_timeline, windows) = super::sustained::dist_view(&attack, &hourly_outcomes);
+    let (dist_timeline, windows) = super::sustained::dist_view(&plan, &hourly_outcomes);
     let dist = simulate(
         &DistConfig {
             seed,
             clients: REFERENCE_FLEET_CLIENTS,
             n_caches: REFERENCE_FLEET_CACHES,
-            attacks: windows,
+            link_windows: windows,
             ..DistConfig::default()
         },
         &dist_timeline,

@@ -11,7 +11,7 @@
 //! current protocol's fleet dies three hours after the last valid
 //! consensus; the ICPS fleet barely notices.
 
-use crate::attack::DdosAttack;
+use crate::adversary::AttackPlan;
 use crate::calibration::N_AUTHORITIES;
 use crate::protocols::ProtocolKind;
 use crate::runner::{sweep, SweepJob};
@@ -63,17 +63,11 @@ pub struct ClientsResult {
 /// the same fleet and cache tier.
 pub fn run_experiment(params: &ClientsParams) -> Vec<ClientsResult> {
     let protocols = [ProtocolKind::Current, ProtocolKind::Icps];
-    let attack = DdosAttack::five_of_nine_five_minutes();
+    let plan = AttackPlan::five_of_nine().sustained_hourly(params.hours);
     let jobs: Vec<SweepJob> = protocols
         .iter()
         .flat_map(|&protocol| {
-            super::sustained::hourly_jobs(
-                protocol,
-                &attack,
-                params.hours,
-                params.seed,
-                params.relays,
-            )
+            super::sustained::hourly_jobs(protocol, &plan, params.hours, params.seed, params.relays)
         })
         .collect();
     let reports = sweep(&jobs);
@@ -84,14 +78,14 @@ pub fn run_experiment(params: &ClientsParams) -> Vec<ClientsResult> {
         .map(|(index, &protocol)| {
             let slice = &reports[index * params.hours as usize..][..params.hours as usize];
             let hourly = super::sustained::hourly_outcomes(slice);
-            let (timeline, windows) = super::sustained::dist_view(&attack, &hourly);
+            let (timeline, windows) = super::sustained::dist_view(&plan, &hourly);
             let config = DistConfig {
                 seed: params.seed,
                 clients: params.clients,
                 relays: params.relays,
                 n_authorities: N_AUTHORITIES,
                 n_caches: params.caches,
-                attacks: windows,
+                link_windows: windows,
                 ..DistConfig::default()
             };
             ClientsResult {

@@ -4,6 +4,7 @@
 //! Mbit/s for 5 minutes per hourly run → $0.074 per breached run, $53.28
 //! per month of sustained outage.
 
+use crate::adversary::AttackPlan;
 use crate::attack::AttackCostModel;
 use serde::Serialize;
 
@@ -27,6 +28,10 @@ pub struct CostRow {
 pub struct CostResult {
     /// Rows, headline first.
     pub rows: Vec<CostRow>,
+    /// The same headline campaign priced through the typed
+    /// [`AttackPlan`] API, dollars per month — must equal the first
+    /// row's `per_month_usd` (the two cost paths cannot drift apart).
+    pub plan_cross_check_usd_month: f64,
 }
 
 fn row(scenario: &str, model: AttackCostModel) -> CostRow {
@@ -59,6 +64,7 @@ pub fn run_experiment() -> CostResult {
             row("1 Gbit/s authority links", gigabit),
             row("10-minute attack window", longer),
         ],
+        plan_cross_check_usd_month: AttackPlan::five_of_nine().cost_per_month(),
     }
 }
 
@@ -76,6 +82,10 @@ pub fn render(result: &CostResult) -> String {
             row.scenario, row.targets, row.flood_mbps, row.per_run_usd, row.per_month_usd
         ));
     }
+    out.push_str(&format!(
+        "\ntyped AttackPlan::five_of_nine() prices the headline at ${:.2}/month\n",
+        result.plan_cross_check_usd_month
+    ));
     out
 }
 
@@ -89,5 +99,9 @@ mod tests {
         let headline = &result.rows[0];
         assert!((headline.per_run_usd - 0.074).abs() < 1e-9);
         assert!((headline.per_month_usd - 53.28).abs() < 1e-6);
+        assert!(
+            (result.plan_cross_check_usd_month - headline.per_month_usd).abs() < 1e-9,
+            "the typed plan and the cost model must price the campaign identically"
+        );
     }
 }

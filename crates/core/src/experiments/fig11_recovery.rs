@@ -5,7 +5,7 @@
 //! generation (~10 s), against the 2 100 s the lock-step protocols need
 //! (25 minutes until the post-attack rerun plus the 10-minute run).
 
-use crate::attack::DdosAttack;
+use crate::adversary::{AttackPlan, AttackWindow, Target};
 use crate::calibration::{FALLBACK_RETRY_SECS, LOCKSTEP_ROUNDS, ROUND_SECS};
 use crate::protocols::ProtocolKind;
 use crate::runner::{run, sweep, RunReport, Scenario, SweepJob};
@@ -31,26 +31,31 @@ pub struct Fig11Result {
 }
 
 /// Attack used by the figure: five authorities fully offline for 300 s.
-pub fn figure_attack() -> DdosAttack {
-    DdosAttack {
-        targets: vec![0, 1, 2, 3, 4],
-        start: SimTime::ZERO,
-        duration: SimDuration::from_secs(300),
-        residual_bps: 0.0,
-    }
+pub fn figure_attack() -> AttackPlan {
+    AttackPlan::new(
+        (0..5)
+            .map(|i| {
+                AttackWindow::offline(
+                    Target::Authority(i),
+                    SimTime::ZERO,
+                    SimDuration::from_secs(300),
+                )
+            })
+            .collect(),
+    )
 }
 
 fn attacked_scenario(relays: u64, seed: u64) -> Scenario {
     Scenario {
         seed,
         relays,
-        attacks: vec![figure_attack()],
+        attack: figure_attack(),
         ..Scenario::default()
     }
 }
 
 fn recovery_from_report(report: &RunReport) -> Option<f64> {
-    let attack_end = figure_attack().end().as_secs_f64();
+    let attack_end = figure_attack().end_secs();
     report
         .success
         .then(|| report.last_valid_secs.map(|t| (t - attack_end).max(0.0)))

@@ -7,11 +7,11 @@
 //! every other authority for copies, gives up, and fails the consensus
 //! with fewer votes than the required five.
 
-use crate::attack::DdosAttack;
+use crate::adversary::AttackPlan;
 use crate::authority_log::render_authority;
 use crate::protocols::ProtocolKind;
 use crate::runner::{sweep_one, Scenario};
-use partialtor_simnet::{NodeId, SimDuration, SimTime};
+use partialtor_simnet::NodeId;
 
 /// Result of the Fig. 1 reproduction.
 #[derive(Clone, Debug)]
@@ -29,12 +29,7 @@ pub fn run_experiment(seed: u64) -> Fig1Result {
     let scenario = Scenario {
         seed,
         relays: 8_000,
-        attacks: vec![DdosAttack {
-            targets: vec![0, 1, 2, 3, 4],
-            start: SimTime::ZERO,
-            duration: SimDuration::from_secs(300),
-            residual_bps: crate::calibration::ATTACK_RESIDUAL_BPS,
-        }],
+        attack: AttackPlan::five_of_nine(),
         collect_logs: true,
         ..Scenario::default()
     };

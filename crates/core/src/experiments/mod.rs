@@ -6,42 +6,46 @@
 //! The `partialtor-bench` crate wraps each driver in a binary.
 
 pub mod ablations;
+pub mod adversary;
 pub mod availability;
 pub mod clients;
 pub mod cost;
 
 /// Shared plumbing for the §2.1 sustained-attack experiments
-/// (`availability`, `clients`): one [`DdosAttack`] shape drives both the
-/// hourly protocol sweep jobs and the distribution layer's view of the
-/// same windows, and the report-to-timeline mapping lives in one place —
-/// the two sides cannot silently drift onto different scenarios.
+/// (`availability`, `clients`, `adversary`): one day-clock
+/// [`AttackPlan`](crate::adversary::AttackPlan) drives both the hourly
+/// protocol sweep jobs and the distribution layer's view of the same
+/// windows, and the report-to-timeline mapping lives in one place — the
+/// two sides cannot silently drift onto different scenarios.
 pub(crate) mod sustained {
-    use crate::attack::DdosAttack;
+    use crate::adversary::AttackPlan;
     use crate::calibration::CONSENSUS_VALID_SECS;
     use crate::protocols::ProtocolKind;
     use crate::runner::{RunReport, Scenario, SweepJob};
-    use partialtor_dirdist::{AttackWindow, ConsensusTimeline};
+    use partialtor_dirdist::{ConsensusTimeline, LinkWindow};
 
-    /// One attacked run per hour (`1..=hours`) under `attack`.
+    /// The scenario of hour `hour` under the day-clock `plan`: its
+    /// authority windows for that hour, rebased to the run's own clock.
+    pub fn hourly_scenario(plan: &AttackPlan, hour: u64, seed: u64, relays: u64) -> Scenario {
+        Scenario {
+            seed: seed.wrapping_add(hour),
+            relays,
+            attack: plan.run_slice(hour * 3_600, 3_600),
+            ..Scenario::default()
+        }
+    }
+
+    /// One attacked run per hour (`1..=hours`) under the day-clock
+    /// `plan`.
     pub fn hourly_jobs(
         protocol: ProtocolKind,
-        attack: &DdosAttack,
+        plan: &AttackPlan,
         hours: u64,
         seed: u64,
         relays: u64,
     ) -> Vec<SweepJob> {
         (1..=hours)
-            .map(|hour| {
-                SweepJob::new(
-                    protocol,
-                    Scenario {
-                        seed: seed.wrapping_add(hour),
-                        relays,
-                        attacks: vec![attack.clone()],
-                        ..Scenario::default()
-                    },
-                )
-            })
+            .map(|hour| SweepJob::new(protocol, hourly_scenario(plan, hour, seed, relays)))
             .collect()
     }
 
@@ -58,16 +62,16 @@ pub(crate) mod sustained {
             .collect()
     }
 
-    /// The same scenario as the distribution layer sees it: the
-    /// publication timeline plus the attack windows on the day's clock.
+    /// The same campaign as the distribution layer sees it: the
+    /// publication timeline plus every plan window — authorities *and*
+    /// caches — lowered onto tier links on the day's clock.
     pub fn dist_view(
-        attack: &DdosAttack,
+        plan: &AttackPlan,
         outcomes: &[Option<f64>],
-    ) -> (ConsensusTimeline, Vec<AttackWindow>) {
+    ) -> (ConsensusTimeline, Vec<LinkWindow>) {
         let timeline =
             ConsensusTimeline::from_hourly_outcomes(outcomes, 3_600, CONSENSUS_VALID_SECS);
-        let windows = attack.hourly_windows(outcomes.len() as u64);
-        (timeline, windows)
+        (timeline, plan.dist_windows())
     }
 }
 pub mod diff_savings;

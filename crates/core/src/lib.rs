@@ -13,10 +13,13 @@
 //! * [`document`] — vote documents in transit (real or synthetic);
 //! * [`signing`] — signature domains shared by the protocols;
 //! * [`protocols`] — the three directory protocols as simulation nodes;
-//! * [`attack`] — the bandwidth-DDoS model and the §4.3 cost arithmetic;
+//! * [`adversary`] — the typed attack model ([`AttackPlan`] over
+//!   authorities *and* caches) every layer consumes;
+//! * [`attack`] — stressor pricing and the §4.3 cost arithmetic;
 //! * [`monitor`] — the consensus-health monitor of Table 1's footnote;
 //! * [`runner`] — scenario orchestration returning uniform reports;
-//! * [`experiments`] — one driver per paper table/figure (plus ablations).
+//! * [`experiments`] — one driver per paper table/figure (plus ablations
+//!   and the budgeted adversary strategy search).
 //!
 //! # Examples
 //!
@@ -25,19 +28,20 @@
 //! the attack ending:
 //!
 //! ```
-//! use partialtor::attack::DdosAttack;
+//! use partialtor::adversary::AttackPlan;
 //! use partialtor::protocols::ProtocolKind;
 //! use partialtor::runner::{run, Scenario};
 //!
 //! let scenario = Scenario {
 //!     relays: 8_000,
-//!     attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+//!     attack: AttackPlan::five_of_nine(),
 //!     ..Scenario::default()
 //! };
 //! assert!(!run(ProtocolKind::Current, &scenario).success);
 //! assert!(run(ProtocolKind::Icps, &scenario).success);
 //! ```
 
+pub mod adversary;
 pub mod attack;
 pub mod authority_log;
 pub mod calibration;
@@ -48,7 +52,8 @@ pub mod protocols;
 pub mod runner;
 pub mod signing;
 
-pub use attack::{AttackCostModel, DdosAttack, StressorPricing};
+pub use adversary::{AttackPlan, AttackWindow, Target};
+pub use attack::{AttackCostModel, StressorPricing};
 pub use document::DirDocument;
 pub use protocols::ProtocolKind;
 pub use runner::{run, AuthorityReport, RunReport, Scenario};

@@ -2,7 +2,7 @@
 //!
 //! Table 1 of the paper notes: "An emergency fix by Luo et al. that uses a
 //! monitor to detect the attack on the current protocol has been applied
-//! to the current Tor consensus health monitor [35]." This module
+//! to the current Tor consensus health monitor \[35\]." This module
 //! implements that monitor: it watches the outcome of a directory-protocol
 //! run and raises alerts for the failure signatures the paper discusses —
 //! consensus failure (the DDoS symptom), digest divergence, and the
@@ -144,7 +144,7 @@ pub fn analyze(report: &RunReport) -> Vec<HealthAlert> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attack::DdosAttack;
+    use crate::adversary::AttackPlan;
     use crate::protocols::ProtocolKind;
     use crate::runner::{run, Scenario};
     use partialtor_crypto::sha256;
@@ -167,7 +167,7 @@ mod tests {
     fn ddos_run_raises_consensus_failure() {
         let scenario = Scenario {
             relays: 8_000,
-            attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+            attack: AttackPlan::five_of_nine(),
             ..Scenario::default()
         };
         let report = run(ProtocolKind::Current, &scenario);

@@ -2,8 +2,8 @@
 //!
 //! | Module | Paper name | Network model | Communication |
 //! |---|---|---|---|
-//! | [`current`] | Current [37] | bounded synchrony | O(n²d + n²κ) |
-//! | [`synchronous`] | Synchronous (Luo et al.) [23] | bounded synchrony | O(n³d + n⁴κ) |
+//! | [`current`] | Current \[37\] | bounded synchrony | O(n²d + n²κ) |
+//! | [`synchronous`] | Synchronous (Luo et al.) \[23\] | bounded synchrony | O(n³d + n⁴κ) |
 //! | [`icps`] | Our Work | partial synchrony | O(n²d + n⁴κ) |
 
 pub mod current;

@@ -5,7 +5,7 @@
 //! Every experiment in [`crate::experiments`] is a loop over scenarios fed
 //! through [`run`].
 
-use crate::attack::DdosAttack;
+use crate::adversary::AttackPlan;
 use crate::calibration;
 use crate::document::DirDocument;
 use crate::protocols::current::CurrentByzantineMode;
@@ -37,9 +37,11 @@ pub struct Scenario {
     pub limited: Vec<usize>,
     /// Bandwidth of the limited authorities, bits/s.
     pub limited_bps: f64,
-    /// Attack windows (Fig. 1 / Fig. 11 use one; pulsed-attack ablations
-    /// use several).
-    pub attacks: Vec<DdosAttack>,
+    /// The attack campaign on this run's local clock (Fig. 1 / Fig. 11
+    /// use one window per victim; pulsed-attack ablations use several).
+    /// Only authority windows apply — the protocol simulation has no
+    /// cache nodes.
+    pub attack: AttackPlan,
     /// Generate real `tordoc` votes instead of synthetic sized documents.
     /// Only sensible for small relay counts.
     pub real_docs: bool,
@@ -65,7 +67,7 @@ impl Default for Scenario {
             bandwidth_bps: calibration::AUTHORITY_LINK_BPS,
             limited: Vec::new(),
             limited_bps: calibration::ATTACK_RESIDUAL_BPS,
-            attacks: Vec::new(),
+            attack: AttackPlan::empty(),
             real_docs: false,
             collect_logs: false,
             latency_jitter: 0.0,
@@ -153,11 +155,21 @@ impl Scenario {
                 Some(effective),
             );
         }
-        for attack in &self.attacks {
-            let mut attack = attack.clone();
-            attack.residual_bps = self.effective(attack.residual_bps).min(attack.residual_bps);
-            attack.schedule(sim, |target| self.effective(self.bandwidth_of(target)));
-        }
+        self.attack.schedule(
+            sim,
+            self.n,
+            |target, window| {
+                // The victim's residual is derived from its raw link and
+                // the window's flood rate, then shares the link with the
+                // background directory load like any other rate.
+                let residual = calibration::flooded_residual_bps(
+                    self.bandwidth_of(target),
+                    window.flood_mbps * 1e6,
+                );
+                self.effective(residual).min(residual)
+            },
+            |target| self.effective(self.bandwidth_of(target)),
+        );
     }
 }
 
@@ -537,6 +549,7 @@ fn run_icps(scenario: &Scenario) -> RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::AttackPlan;
 
     /// A mixed batch covering all three protocols, several seeds and
     /// relay counts, and one attacked scenario.
@@ -566,7 +579,7 @@ mod tests {
             Scenario {
                 seed: 3,
                 relays: 2_000,
-                attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+                attack: AttackPlan::five_of_nine(),
                 ..Scenario::default()
             },
         ));
@@ -653,7 +666,7 @@ mod tests {
     fn headline_attack_breaks_current_but_not_icps() {
         let scenario = Scenario {
             relays: 8_000,
-            attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+            attack: AttackPlan::five_of_nine(),
             ..Scenario::default()
         };
         let current = run(ProtocolKind::Current, &scenario);

@@ -1,0 +1,123 @@
+//! Property tests for [`partialtor::adversary::AttackPlan`]
+//! normalization: idempotence, sort stability, and cost invariance
+//! under window splitting/duplication.
+
+use partialtor::adversary::{AttackPlan, AttackWindow, Target};
+use partialtor_simnet::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Flood rates drawn from the calibrated attack vocabulary (exact f64
+/// values, so equal-rate windows are mergeable).
+const FLOODS: [f64; 4] = [96.0, 100.0, 240.0, 1_000.0];
+
+fn sampled_windows(specs: &[(u8, u8, u16, u16, u8)]) -> Vec<AttackWindow> {
+    specs
+        .iter()
+        .map(|&(kind, idx, start_s, dur_s, flood)| {
+            let target = if kind % 2 == 0 {
+                Target::Authority(idx as usize % 9)
+            } else {
+                Target::Cache(idx as usize % 16)
+            };
+            AttackWindow::new(
+                target,
+                SimTime::from_secs(start_s as u64),
+                SimDuration::from_secs(dur_s as u64 % 2_400),
+                FLOODS[flood as usize % FLOODS.len()],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Normalizing a normalized plan changes nothing.
+    #[test]
+    fn normalization_is_idempotent(
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), 0u16..7_200, 0u16..3_600, any::<u8>()),
+            0..12,
+        ),
+    ) {
+        let plan = AttackPlan::new(sampled_windows(&specs));
+        let again = AttackPlan::new(plan.windows().to_vec());
+        prop_assert_eq!(&plan, &again);
+    }
+
+    /// Normalized windows come out sorted by (start, target) with no
+    /// same-target overlap, regardless of input order.
+    #[test]
+    fn windows_are_sorted_and_disjoint_per_target(
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), 0u16..7_200, 0u16..3_600, any::<u8>()),
+            0..12,
+        ),
+    ) {
+        let plan = AttackPlan::new(sampled_windows(&specs));
+        let mut reversed = sampled_windows(&specs);
+        reversed.reverse();
+        prop_assert_eq!(&plan, &AttackPlan::new(reversed), "input order is irrelevant");
+        for pair in plan.windows().windows(2) {
+            prop_assert!(
+                (pair[0].start, pair[0].target) <= (pair[1].start, pair[1].target),
+                "sorted by (start, target)"
+            );
+            if pair[0].target == pair[1].target {
+                prop_assert!(
+                    pair[0].end() <= pair[1].start,
+                    "same-target windows must not overlap after normalization"
+                );
+            }
+        }
+    }
+
+    /// Splitting a window in two and duplicating windows never changes
+    /// the campaign price, and adding a window never lowers it.
+    #[test]
+    fn cost_is_invariant_under_split_and_monotone_under_union(
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), 0u16..7_200, 2u16..3_600, any::<u8>()),
+            1..10,
+        ),
+        pick in any::<proptest::sample::Index>(),
+    ) {
+        let windows = sampled_windows(&specs);
+        let plan = AttackPlan::new(windows.clone());
+
+        // Split one window at its midpoint.
+        let victim = windows[pick.index(windows.len())];
+        let half = SimDuration::from_micros(victim.duration.as_micros() / 2);
+        let mut split = windows.clone();
+        split.retain(|w| w != &victim);
+        split.push(AttackWindow { duration: half, ..victim });
+        split.push(AttackWindow {
+            start: victim.start + half,
+            duration: victim.duration - half,
+            ..victim
+        });
+        let split_plan = AttackPlan::new(split);
+        prop_assert_eq!(&split_plan, &plan, "split halves re-merge");
+        prop_assert!((split_plan.cost() - plan.cost()).abs() < 1e-9);
+
+        // Duplicate a window: the plan and its price are unchanged.
+        let mut duplicated = windows.clone();
+        duplicated.push(victim);
+        prop_assert!((AttackPlan::new(duplicated).cost() - plan.cost()).abs() < 1e-9);
+
+        // Union with more windows never gets cheaper.
+        let extra = AttackPlan::new(vec![AttackWindow::new(
+            Target::Authority(0),
+            SimTime::from_secs(50),
+            SimDuration::from_secs(600),
+            240.0,
+        )]);
+        prop_assert!(plan.union(&extra).cost() + 1e-9 >= plan.cost());
+    }
+}
+
+/// The paper's price pin, via the typed builder (satellite requirement).
+#[test]
+fn five_of_nine_costs_53_28_per_month() {
+    assert!((AttackPlan::five_of_nine().cost_per_month() - 53.28).abs() < 1e-6);
+}

@@ -102,7 +102,7 @@ impl EdwardsPoint {
         self.add(self)
     }
 
-    /// Scalar multiplication [k]P by left-to-right double-and-add.
+    /// Scalar multiplication \[k\]P by left-to-right double-and-add.
     ///
     /// Not constant time; see the crate-level scope note.
     pub fn scalar_mul(&self, k: &Scalar) -> Self {
@@ -117,7 +117,7 @@ impl EdwardsPoint {
         acc
     }
 
-    /// [k]B for the standard base point.
+    /// \[k\]B for the standard base point.
     pub fn basepoint_mul(k: &Scalar) -> Self {
         EdwardsPoint::basepoint().scalar_mul(k)
     }

@@ -22,19 +22,34 @@ use rand::Rng;
 use serde::Serialize;
 use std::sync::Arc;
 
-/// A bandwidth-exhaustion window against a set of authorities (the
-/// distribution layer's own attack shape; `partialtor::attack` converts
-/// its model into this).
-#[derive(Clone, Debug, Serialize)]
-pub struct AttackWindow {
-    /// Victim authority indices (`0..n_authorities`).
-    pub targets: Vec<usize>,
+/// One node of the distribution tier, as the tier's consumers address
+/// it (the simulation's flat `NodeId` space is an internal detail).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TierNode {
+    /// Authority dirport `0..n_authorities`.
+    Authority(usize),
+    /// Directory cache `0..n_caches`.
+    Cache(usize),
+}
+
+/// A scheduled capacity override on one tier link: the node runs at
+/// `bps` for the window and returns to its configured rate afterwards.
+///
+/// This is deliberately mechanism-level — no flood rates, victim
+/// semantics or cost live here. The typed adversary model upstream
+/// (`partialtor::adversary::AttackPlan`) lowers its windows onto this
+/// shape, and anything else (maintenance windows, regional brownouts)
+/// can use it the same way.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkWindow {
+    /// Whose link is overridden.
+    pub node: TierNode,
     /// Window start, absolute seconds.
     pub start_secs: f64,
     /// Window length, seconds.
     pub duration_secs: f64,
-    /// Victim bandwidth during the window, bits/s.
-    pub residual_bps: f64,
+    /// Link bandwidth during the window, bits/s.
+    pub bps: f64,
 }
 
 /// Cache-tier configuration.
@@ -53,8 +68,9 @@ pub struct CacheSimConfig {
     /// Aggregate legacy-client load on each authority's uplink, bits/s
     /// (clients that fetch directly instead of via caches).
     pub direct_client_load_bps: f64,
-    /// Attack windows to apply to authority links.
-    pub attacks: Vec<AttackWindow>,
+    /// Capacity overrides (DDoS windows lowered from the adversary
+    /// model) applied to authority and cache links.
+    pub link_windows: Vec<LinkWindow>,
     /// Caches stagger their fetch of a new document over this window.
     pub poll_spread_secs: u64,
     /// A cache that has not received its document after this long asks a
@@ -77,7 +93,7 @@ impl Default for CacheSimConfig {
             authority_bps: 250e6,
             cache_bps: 100e6,
             direct_client_load_bps: 0.0,
-            attacks: Vec::new(),
+            link_windows: Vec::new(),
             poll_spread_secs: 120,
             retry_secs: 60,
             max_retries: 4,
@@ -394,27 +410,18 @@ pub fn run(
             );
         }
     }
-    for attack in &config.attacks {
-        for &target in &attack.targets {
-            if target >= config.n_authorities {
-                continue;
+    for window in &config.link_windows {
+        let (node, restore_bps) = match window.node {
+            TierNode::Authority(i) if i < config.n_authorities => (NodeId(i), config.authority_bps),
+            TierNode::Cache(i) if i < config.n_caches => {
+                (NodeId(config.n_authorities + i), config.cache_bps)
             }
-            let start = SimTime::from_micros((attack.start_secs * 1e6) as u64);
-            let end =
-                SimTime::from_micros(((attack.start_secs + attack.duration_secs) * 1e6) as u64);
-            sim.schedule_bandwidth_change(
-                start,
-                NodeId(target),
-                Some(attack.residual_bps),
-                Some(attack.residual_bps),
-            );
-            sim.schedule_bandwidth_change(
-                end,
-                NodeId(target),
-                Some(config.authority_bps),
-                Some(config.authority_bps),
-            );
-        }
+            _ => continue,
+        };
+        let start = SimTime::from_micros((window.start_secs * 1e6) as u64);
+        let end = SimTime::from_micros(((window.start_secs + window.duration_secs) * 1e6) as u64);
+        sim.schedule_bandwidth_change(start, node, Some(window.bps), Some(window.bps));
+        sim.schedule_bandwidth_change(end, node, Some(restore_bps), Some(restore_bps));
     }
 
     sim.run_until(SimTime::from_micros(
@@ -531,12 +538,14 @@ mod tests {
         let timeline = healthy_timeline(2);
         let mut cfg = config(30);
         // Five of nine victims saturated across the whole fetch window.
-        cfg.attacks = vec![AttackWindow {
-            targets: vec![0, 1, 2, 3, 4],
-            start_secs: 0.0,
-            duration_secs: timeline.horizon_secs(),
-            residual_bps: 0.5e6,
-        }];
+        cfg.link_windows = (0..5)
+            .map(|i| LinkWindow {
+                node: TierNode::Authority(i),
+                start_secs: 0.0,
+                duration_secs: timeline.horizon_secs(),
+                bps: 0.5e6,
+            })
+            .collect();
         let report = run(&cfg, &timeline, &model_for(&timeline));
         for version in &report.versions {
             assert!(
@@ -544,6 +553,34 @@ mod tests {
                 "retries must reach the four healthy authorities: {version:?}"
             );
         }
+    }
+
+    #[test]
+    fn dead_cache_majority_blocks_the_quorum() {
+        let timeline = healthy_timeline(1);
+        let mut cfg = config(20);
+        let healthy = run(&cfg, &timeline, &model_for(&timeline));
+        assert!(healthy.versions[1].cached_at_secs.is_some());
+        // Knock 16 of 20 cache links fully offline from the publication
+        // until past the end of the simulated horizon (stalled pipes
+        // resume when bandwidth returns, so the window must outlive the
+        // run): at most 4 caches can hold version 1 — under the 50 %
+        // quorum.
+        cfg.link_windows = (0..16)
+            .map(|i| LinkWindow {
+                node: TierNode::Cache(i),
+                start_secs: 3_600.0,
+                duration_secs: 6_000.0,
+                bps: 0.0,
+            })
+            .collect();
+        let attacked = run(&cfg, &timeline, &model_for(&timeline));
+        assert!(
+            attacked.versions[1].cached_at_secs.is_none(),
+            "a dead cache majority must keep the version below quorum: {:?}",
+            attacked.versions[1]
+        );
+        assert!(attacked.versions[1].cache_coverage <= 0.25);
     }
 
     #[test]

@@ -148,19 +148,14 @@ pub fn run(
         let hour = (t / 3600.0) as u64;
 
         // Newest version fetchable from the cache tier right now.
-        let newest_cached = publications
-            .iter()
-            .rev()
-            .find(|p| matches!(cached_at.get(p.version), Some(Some(at)) if *at <= t))
-            .map(|p| p.version);
-        let newest_live = newest_cached.filter(|&v| publications[v].valid_until_secs > t);
+        let newest_live = timeline.newest_live_cached(cached_at, t);
 
         // 1. Expiry: cohorts whose document passed valid-until fall off
         //    the network and start over.
         let expired: Vec<usize> = holding
             .keys()
             .copied()
-            .filter(|&v| publications[v].valid_until_secs <= t)
+            .filter(|&v| !publications[v].live_at(t))
             .collect();
         for v in expired {
             pool += holding.remove(&v).unwrap_or(0);
@@ -213,7 +208,7 @@ pub fn run(
         let total = (held + pool).max(1);
         let fresh: u64 = holding
             .iter()
-            .filter(|(v, _)| publications[**v].fresh_until_secs > t)
+            .filter(|(v, _)| publications[**v].fresh_at(t))
             .map(|(_, count)| *count)
             .sum();
         let dead_fraction = pool as f64 / total as f64;

@@ -51,7 +51,7 @@ pub mod fleet;
 pub mod stats;
 pub mod timeline;
 
-pub use cachesim::{AttackWindow, CacheSimConfig, CacheTierReport, VersionAvailability};
+pub use cachesim::{CacheSimConfig, CacheTierReport, LinkWindow, TierNode, VersionAvailability};
 pub use docmodel::{consensus_size_bytes, DocModel, ResponseSize};
 pub use fleet::{FleetConfig, FleetHourRow, FleetReport};
 pub use timeline::{ConsensusTimeline, Publication};
@@ -80,8 +80,10 @@ pub struct DistConfig {
     /// (legacy behaviour); their load lands on authority links as
     /// aggregate background traffic.
     pub direct_fetch_fraction: f64,
-    /// Attack windows applied to authority links during cache fetches.
-    pub attacks: Vec<AttackWindow>,
+    /// Capacity overrides on authority and cache links during the
+    /// horizon — DDoS windows lowered from the typed adversary model
+    /// upstream (`partialtor::adversary::AttackPlan::dist_windows`).
+    pub link_windows: Vec<LinkWindow>,
 }
 
 impl Default for DistConfig {
@@ -95,7 +97,7 @@ impl Default for DistConfig {
             churn_per_hour: 0.02,
             retain_hours: 3,
             direct_fetch_fraction: 0.01,
-            attacks: Vec::new(),
+            link_windows: Vec::new(),
         }
     }
 }
@@ -148,7 +150,7 @@ pub fn simulate_with_model(
         n_authorities: config.n_authorities,
         n_caches: config.n_caches,
         direct_client_load_bps: config.direct_client_load_bps(),
-        attacks: config.attacks.clone(),
+        link_windows: config.link_windows.clone(),
         ..CacheSimConfig::default()
     };
     let cache = cachesim::run(&cache_config, timeline, model);
@@ -174,13 +176,15 @@ mod tests {
         ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800)
     }
 
-    fn hourly_attacks(hours: u64) -> Vec<AttackWindow> {
+    fn hourly_attacks(hours: u64) -> Vec<LinkWindow> {
         (1..=hours)
-            .map(|h| AttackWindow {
-                targets: vec![0, 1, 2, 3, 4],
-                start_secs: (h * 3600) as f64,
-                duration_secs: 300.0,
-                residual_bps: 0.5e6,
+            .flat_map(|h| {
+                (0..5).map(move |i| LinkWindow {
+                    node: TierNode::Authority(i),
+                    start_secs: (h * 3600) as f64,
+                    duration_secs: 300.0,
+                    bps: 0.5e6,
+                })
             })
             .collect()
     }
@@ -191,7 +195,7 @@ mod tests {
         let config = DistConfig {
             clients: 200_000,
             n_caches: 40,
-            attacks: hourly_attacks(6),
+            link_windows: hourly_attacks(6),
             ..DistConfig::default()
         };
         let report = simulate(&config, &timeline);
@@ -208,7 +212,7 @@ mod tests {
         let config = DistConfig {
             clients: 200_000,
             n_caches: 40,
-            attacks: hourly_attacks(6),
+            link_windows: hourly_attacks(6),
             ..DistConfig::default()
         };
         let report = simulate(&config, &timeline);
@@ -224,7 +228,7 @@ mod tests {
         let config = DistConfig {
             clients: 150_000,
             n_caches: 30,
-            attacks: hourly_attacks(3),
+            link_windows: hourly_attacks(3),
             ..DistConfig::default()
         };
         let a = simulate(&config, &timeline);

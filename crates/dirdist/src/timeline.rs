@@ -30,6 +30,20 @@ pub struct Publication {
     pub valid_until_secs: f64,
 }
 
+impl Publication {
+    /// Whether the document still validates at `t` (holders can build
+    /// circuits).
+    pub fn live_at(&self, t: f64) -> bool {
+        self.valid_until_secs > t
+    }
+
+    /// Whether the document is still *fresh* at `t` (holders are not
+    /// yet looking for a successor).
+    pub fn fresh_at(&self, t: f64) -> bool {
+        self.fresh_until_secs > t
+    }
+}
+
 /// A day (or any horizon) of hourly consensus outcomes.
 #[derive(Clone, Debug, Serialize)]
 pub struct ConsensusTimeline {
@@ -82,6 +96,19 @@ impl ConsensusTimeline {
     pub fn horizon_secs(&self) -> f64 {
         ((self.hours + 1) * 3600) as f64
     }
+
+    /// The newest version that is fetchable *and* still valid at `t`,
+    /// given when each version became available at the cache tier
+    /// (`cached_at[version]`, `None` = never) — what a client asking the
+    /// tier for a document right now would get.
+    pub fn newest_live_cached(&self, cached_at: &[Option<f64>], t: f64) -> Option<usize> {
+        self.publications
+            .iter()
+            .rev()
+            .find(|p| matches!(cached_at.get(p.version), Some(Some(at)) if *at <= t))
+            .map(|p| p.version)
+            .filter(|&v| self.publications[v].live_at(t))
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +137,18 @@ mod tests {
         assert_eq!(versions, vec![(0, 0), (1, 1), (2, 3)]);
         assert_eq!(t.publications[1].available_at_secs, 3_960.0);
         assert_eq!(t.publications[2].available_at_secs, 3.0 * 3600.0 + 10.0);
+    }
+
+    #[test]
+    fn newest_live_cached_respects_cache_arrival_and_validity() {
+        let t = ConsensusTimeline::from_hourly_outcomes(&[Some(360.0), Some(10.0)], 3_600, 10_800);
+        // Version 1 reaches the caches at 4 200 s; version 2 never does.
+        let cached_at = vec![Some(300.0), Some(4_200.0), None];
+        assert_eq!(t.newest_live_cached(&cached_at, 0.0), None);
+        assert_eq!(t.newest_live_cached(&cached_at, 1_000.0), Some(0));
+        assert_eq!(t.newest_live_cached(&cached_at, 5_000.0), Some(1));
+        // The baseline expires at 10 800 s; version 1 at 3 600 + 10 800.
+        assert_eq!(t.newest_live_cached(&cached_at, 14_000.0), Some(1));
+        assert_eq!(t.newest_live_cached(&cached_at, 15_000.0), None);
     }
 }

@@ -1,6 +1,6 @@
 //! Fluid-flow link model.
 //!
-//! Every node owns two [`Pipe`]s — an uplink and a downlink. A pipe
+//! Every node owns two `Pipe`s — an uplink and a downlink. A pipe
 //! serializes messages FIFO at its current rate; the rate can change at any
 //! simulated instant (that is how DDoS windows are modelled) and the bytes
 //! already transmitted for the in-flight message are preserved across the

@@ -6,7 +6,8 @@
 //! cargo run --release --example ddos_attack
 //! ```
 
-use partialtor::attack::{AttackCostModel, DdosAttack};
+use partialtor::adversary::AttackPlan;
+use partialtor::attack::AttackCostModel;
 use partialtor::authority_log::render_authority;
 use partialtor::protocols::ProtocolKind;
 use partialtor::runner::{run, Scenario};
@@ -16,7 +17,7 @@ fn main() {
     let scenario = Scenario {
         seed: 99,
         relays: 8_000,
-        attacks: vec![DdosAttack::five_of_nine_five_minutes()],
+        attack: AttackPlan::five_of_nine(),
         collect_logs: true,
         ..Scenario::default()
     };

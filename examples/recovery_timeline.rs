@@ -14,7 +14,7 @@ fn main() {
     let scenario = Scenario {
         seed: 21,
         relays: 8_000,
-        attacks: vec![attack.clone()],
+        attack: attack.clone(),
         ..Scenario::default()
     };
 
@@ -35,7 +35,7 @@ fn main() {
     let last = report.last_valid_secs.expect("run succeeds");
     println!(
         "\nfull network recovered {:.1} s after the attack ended",
-        last - attack.end().as_secs_f64()
+        last - attack.end_secs()
     );
     println!("(the lock-step protocols would wait for the next run: ~2100 s)");
     assert!(report.success);

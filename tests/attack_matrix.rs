@@ -1,31 +1,46 @@
 //! Attack-scenario matrix across protocols: which attacks break which
 //! protocol, and how each recovers.
 
-use partialtor_repro::core::attack::DdosAttack;
+use partialtor_repro::core::adversary::{AttackPlan, AttackWindow, Target};
+use partialtor_repro::core::calibration::ATTACK_FLOOD_MBPS;
 use partialtor_repro::core::{run, ProtocolKind, Scenario};
 use partialtor_repro::simnet::{SimDuration, SimTime};
 
-fn attack(targets: Vec<usize>, start_s: u64, duration_s: u64, residual_bps: f64) -> DdosAttack {
-    DdosAttack {
-        targets,
-        start: SimTime::from_secs(start_s),
-        duration: SimDuration::from_secs(duration_s),
-        residual_bps,
-    }
+/// A flood of `targets` at `flood_mbps` (`None` = fully offline).
+fn attack(
+    targets: Vec<usize>,
+    start_s: u64,
+    duration_s: u64,
+    flood_mbps: Option<f64>,
+) -> AttackPlan {
+    AttackPlan::new(
+        targets
+            .into_iter()
+            .map(|t| {
+                let target = Target::Authority(t);
+                let start = SimTime::from_secs(start_s);
+                let duration = SimDuration::from_secs(duration_s);
+                match flood_mbps {
+                    Some(flood) => AttackWindow::new(target, start, duration, flood),
+                    None => AttackWindow::offline(target, start, duration),
+                }
+            })
+            .collect(),
+    )
 }
 
-fn scenario_with(attack: DdosAttack) -> Scenario {
+fn scenario_with(attack: AttackPlan) -> Scenario {
     Scenario {
         seed: 77,
         relays: 8_000,
-        attacks: vec![attack],
+        attack,
         ..Scenario::default()
     }
 }
 
 #[test]
 fn five_minutes_five_victims_breaks_both_lockstep_protocols() {
-    let scenario = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 300, 0.5e6));
+    let scenario = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 300, Some(ATTACK_FLOOD_MBPS)));
     assert!(!run(ProtocolKind::Current, &scenario).success);
     assert!(!run(ProtocolKind::Synchronous, &scenario).success);
     assert!(run(ProtocolKind::Icps, &scenario).success);
@@ -35,7 +50,7 @@ fn five_minutes_five_victims_breaks_both_lockstep_protocols() {
 fn four_victims_are_not_enough_against_current() {
     // 4 < ⌈9/2⌉: the remaining five authorities still hold a majority of
     // votes among themselves, so the current protocol survives.
-    let scenario = scenario_with(attack(vec![0, 1, 2, 3], 0, 300, 0.5e6));
+    let scenario = scenario_with(attack(vec![0, 1, 2, 3], 0, 300, Some(ATTACK_FLOOD_MBPS)));
     assert!(
         run(ProtocolKind::Current, &scenario).success,
         "a minority attack must not break the current protocol"
@@ -46,7 +61,12 @@ fn four_victims_are_not_enough_against_current() {
 fn attack_outside_vote_rounds_is_harmless_to_current() {
     // §4.2: the attack must cover the first two rounds. Starting it after
     // the votes are exchanged (t = 310 s) leaves the run unharmed.
-    let scenario = scenario_with(attack(vec![0, 1, 2, 3, 4], 310, 300, 0.5e6));
+    let scenario = scenario_with(attack(
+        vec![0, 1, 2, 3, 4],
+        310,
+        300,
+        Some(ATTACK_FLOOD_MBPS),
+    ));
     assert!(run(ProtocolKind::Current, &scenario).success);
 }
 
@@ -54,13 +74,13 @@ fn attack_outside_vote_rounds_is_harmless_to_current() {
 fn icps_tolerates_attack_beyond_f_but_only_while_it_lasts() {
     // Five victims exceed f = 2, so ICPS cannot finish *during* the
     // attack — but unlike the lock-step protocols it finishes right after.
-    let a = attack(vec![0, 1, 2, 3, 4], 0, 300, 0.0);
+    let a = attack(vec![0, 1, 2, 3, 4], 0, 300, None);
     let scenario = scenario_with(a.clone());
     let report = run(ProtocolKind::Icps, &scenario);
     assert!(report.success);
     let first = report.first_valid_secs.expect("success");
     assert!(
-        first >= a.end().as_secs_f64(),
+        first >= a.end_secs(),
         "no consensus can complete during the outage (first at {first})"
     );
     let last = report.last_valid_secs.expect("success");
@@ -74,7 +94,7 @@ fn icps_with_up_to_f_victims_succeeds_during_the_attack() {
     let scenario = Scenario {
         seed: 78,
         relays: 2_000,
-        attacks: vec![attack(vec![0, 1], 0, 4 * 3600, 0.0)],
+        attack: attack(vec![0, 1], 0, 4 * 3600, None),
         ..Scenario::default()
     };
     let report = run(ProtocolKind::Icps, &scenario);
@@ -93,8 +113,8 @@ fn icps_with_up_to_f_victims_succeeds_during_the_attack() {
 
 #[test]
 fn longer_attacks_delay_icps_proportionally() {
-    let short = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 300, 0.0));
-    let long = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 1_200, 0.0));
+    let short = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 300, None));
+    let long = scenario_with(attack(vec![0, 1, 2, 3, 4], 0, 1_200, None));
     let t_short = run(ProtocolKind::Icps, &short).last_valid_secs.unwrap();
     let t_long = run(ProtocolKind::Icps, &long).last_valid_secs.unwrap();
     assert!(t_short < 400.0);

@@ -122,19 +122,24 @@ proptest! {
     /// the victims never come back.
     #[test]
     fn icps_tolerates_any_f_subset(seed in 0u64..500, v1 in 0usize..9, v2 in 0usize..9) {
-        use partialtor_repro::core::attack::DdosAttack;
+        use partialtor_repro::core::adversary::{AttackPlan, AttackWindow, Target};
         use partialtor_repro::simnet::{SimDuration, SimTime};
-        let mut targets = vec![v1, v2];
-        targets.dedup();
+        // Duplicate victims coalesce during plan normalization.
         let scenario = Scenario {
             seed,
             relays: 500,
-            attacks: vec![DdosAttack {
-                targets,
-                start: SimTime::ZERO,
-                duration: SimDuration::from_secs(4 * 3600),
-                residual_bps: 0.0,
-            }],
+            attack: AttackPlan::new(
+                [v1, v2]
+                    .into_iter()
+                    .map(|v| {
+                        AttackWindow::offline(
+                            Target::Authority(v),
+                            SimTime::ZERO,
+                            SimDuration::from_secs(4 * 3600),
+                        )
+                    })
+                    .collect(),
+            ),
             ..Scenario::default()
         };
         let report = run(ProtocolKind::Icps, &scenario);
