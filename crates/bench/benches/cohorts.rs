@@ -1,22 +1,35 @@
 //! Benchmarks of the distribution layer's cohort machinery: stepping a
-//! multi-million-client fleet through a full day, and the cache-tier
-//! fetch simulation it feeds on. The fleet number is the one that makes
-//! `dirsim clients --clients 3000000 --hours 24` feasible — per-client
-//! event objects would be six orders of magnitude more work.
+//! multi-million-client fleet through a full day, the cache-tier fetch
+//! simulation it feeds on, and the hour-stepped `DistSession` that
+//! interleaves the two with the fetch-feedback loop closed. The fleet
+//! number is the one that makes `dirsim clients --clients 3000000
+//! --hours 24` feasible — per-client event objects would be six orders
+//! of magnitude more work.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use partialtor_dirdist::{cachesim, fleet, ConsensusTimeline, DocModel, FleetConfig};
+use partialtor_dirdist::{
+    cachesim, fleet, ConsensusTimeline, DistConfig, DistSession, DocModel, DocTable, FleetConfig,
+    HourInput,
+};
 use std::hint::black_box;
-use std::sync::Arc;
 
 fn healthy_day() -> ConsensusTimeline {
     let outcomes: Vec<Option<f64>> = (0..24).map(|_| Some(330.0)).collect();
     ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800)
 }
 
+fn table_for(timeline: &ConsensusTimeline) -> DocTable {
+    let model = DocModel::synthetic(8_000);
+    let mut table = DocTable::new();
+    for p in &timeline.publications {
+        table.push_version(&model, p.hour, 0.02 * p.hour as f64, 3);
+    }
+    table
+}
+
 fn bench_fleet_stepping(c: &mut Criterion) {
     let timeline = healthy_day();
-    let model = DocModel::synthetic(&timeline.publications, 8_000, 0.02, 3);
+    let table = table_for(&timeline);
     let cached_at: Vec<Option<f64>> = timeline
         .publications
         .iter()
@@ -32,7 +45,7 @@ fn bench_fleet_stepping(c: &mut Criterion) {
                 fleet::run(
                     &FleetConfig::sized(black_box(clients), 7),
                     &timeline,
-                    &model,
+                    &table,
                     &cached_at,
                 )
             })
@@ -43,7 +56,7 @@ fn bench_fleet_stepping(c: &mut Criterion) {
 
 fn bench_cache_tier(c: &mut Criterion) {
     let timeline = healthy_day();
-    let model = Arc::new(DocModel::synthetic(&timeline.publications, 8_000, 0.02, 3));
+    let table = table_for(&timeline);
 
     let mut group = c.benchmark_group("cache_tier_day");
     group.sample_size(10);
@@ -55,11 +68,41 @@ fn bench_cache_tier(c: &mut Criterion) {
         };
         group.throughput(Throughput::Elements(caches as u64));
         group.bench_function(format!("{caches}_caches_24h"), |b| {
-            b.iter(|| cachesim::run(black_box(&config), &timeline, &model))
+            b.iter(|| cachesim::run(black_box(&config), &timeline, &table))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_stepping, bench_cache_tier);
+fn bench_session_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_day");
+    group.sample_size(10);
+    for feedback in [false, true] {
+        let config = DistConfig {
+            clients: 3_000_000,
+            n_caches: 100,
+            feedback,
+            ..DistConfig::default()
+        };
+        let label = if feedback { "feedback" } else { "open_loop" };
+        group.bench_function(format!("3000000_clients_24h_{label}"), |b| {
+            b.iter(|| {
+                let mut session =
+                    DistSession::new(black_box(&config), DocModel::synthetic(config.relays));
+                for _ in 0..24 {
+                    session.step_hour(HourInput::produced(330.0));
+                }
+                session.into_report().fleet.client_weighted_downtime
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_stepping,
+    bench_cache_tier,
+    bench_session_day
+);
 criterion_main!(benches);

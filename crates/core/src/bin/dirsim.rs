@@ -6,9 +6,10 @@
 //! dirsim attack    [--protocol ...] [--targets K] [--duration SECS]
 //!                  [--flood MBPS] [--relays N] [--seed N]
 //! dirsim sweep     [--protocol ...] [--relays N] [--seed N]
-//! dirsim clients   [--clients N] [--hours H] [--caches K] [--relays N] [--seed N]
+//! dirsim clients   [--clients N] [--hours H | --days N] [--caches K] [--relays N]
+//!                  [--seed N] [--feedback] [--churn C|weekly] [--real-docs] [--json]
 //! dirsim adversary [--budget USD] [--hours H] [--beam K] [--clients N]
-//!                  [--caches K] [--relays N] [--seed N]
+//!                  [--caches K] [--relays N] [--seed N] [--defender H] [--json]
 //! dirsim cost      [--targets K] [--flood MBPS] [--minutes M]
 //! dirsim monitor   [--relays N] [--seed N]
 //! ```
@@ -336,20 +337,78 @@ fn cmd_monitor(args: &Args) -> Result<(), String> {
 const CLIENTS_SPEC: &[FlagSpec] = &[
     value_flag("--clients", "N", "client fleet size (default 3000000)"),
     value_flag("--hours", "H", "attacked hours simulated (default 24)"),
+    value_flag(
+        "--days",
+        "N",
+        "attacked days simulated (sets --hours to 24 N)",
+    ),
     value_flag("--caches", "K", "directory caches (default 200)"),
     RELAYS_FLAG,
     SEED_FLAG,
+    bool_flag(
+        "--feedback",
+        "close the fetch-feedback loop (hour h's client load hits hour h+1's links)",
+    ),
+    value_flag(
+        "--churn",
+        "C",
+        "hourly relay churn: a rate (default 0.02) or 'weekly' (Fig. 6 series)",
+    ),
+    bool_flag(
+        "--real-docs",
+        "measure document sizes from real tordoc consensuses (small --relays only)",
+    ),
+    bool_flag("--json", "emit machine-readable JSON instead of tables"),
 ];
 
+/// Parses `--churn`: a bare rate, or `weekly` for the Fig. 6 schedule.
+fn churn_schedule(args: &Args) -> Result<partialtor_dirdist::ChurnSchedule, String> {
+    use partialtor_dirdist::ChurnSchedule;
+    match args.values.get("--churn").map(String::as_str) {
+        None => Ok(ChurnSchedule::default()),
+        Some("weekly") => Ok(ChurnSchedule::weekly()),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(rate) if (0.0..=1.0).contains(&rate) => Ok(ChurnSchedule::Constant(rate)),
+            _ => Err(format!(
+                "--churn expects 'weekly' or a rate in [0, 1], got {raw:?}"
+            )),
+        },
+    }
+}
+
 fn cmd_clients(args: &Args) -> Result<(), String> {
+    let hours = match args.u64("--days", 0)? {
+        0 => args.u64("--hours", 24)?,
+        days => {
+            if args.present("--hours") {
+                return Err("--days and --hours are mutually exclusive".into());
+            }
+            24 * days
+        }
+    };
+    let relays = args.u64("--relays", 8_000)?;
+    if args.present("--real-docs") && relays > clients::REAL_DOCS_MAX_RELAYS {
+        return Err(format!(
+            "--real-docs builds real documents; use --relays {} or fewer",
+            clients::REAL_DOCS_MAX_RELAYS
+        ));
+    }
     let params = clients::ClientsParams {
-        hours: args.u64("--hours", 24)?,
+        hours,
         clients: args.u64("--clients", 3_000_000)?,
         caches: args.u64("--caches", 200)? as usize,
-        relays: args.u64("--relays", 8_000)?,
+        relays,
         seed: args.u64("--seed", 1)?,
+        feedback: args.present("--feedback"),
+        churn: churn_schedule(args)?,
+        real_docs: args.present("--real-docs"),
     };
-    print!("{}", clients::render(&clients::run_experiment(&params)));
+    let results = clients::run_experiment(&params);
+    if args.present("--json") {
+        println!("{}", clients::to_json(&results).render());
+    } else {
+        print!("{}", clients::render(&results));
+    }
     Ok(())
 }
 
@@ -361,6 +420,12 @@ const ADVERSARY_SPEC: &[FlagSpec] = &[
     value_flag("--caches", "K", "directory caches (default 50)"),
     RELAYS_FLAG,
     SEED_FLAG,
+    value_flag(
+        "--defender",
+        "H",
+        "blocklist victims flooded H consecutive hours (0 = no defender)",
+    ),
+    bool_flag("--json", "emit machine-readable JSON instead of tables"),
 ];
 
 fn cmd_adversary(args: &Args) -> Result<(), String> {
@@ -373,8 +438,17 @@ fn cmd_adversary(args: &Args) -> Result<(), String> {
         caches: args.u64("--caches", defaults.caches as u64)? as usize,
         relays: args.u64("--relays", defaults.relays)?,
         seed: args.u64("--seed", defaults.seed)?,
+        defender_trigger_hours: match args.u64("--defender", 0)? {
+            0 => None,
+            trigger => Some(trigger),
+        },
     };
-    print!("{}", adversary::render(&adversary::run_experiment(&params)));
+    let result = adversary::run_experiment(&params);
+    if args.present("--json") {
+        println!("{}", adversary::to_json(&result).render());
+    } else {
+        print!("{}", adversary::render(&result));
+    }
     Ok(())
 }
 

@@ -25,7 +25,7 @@
 //! whenever the budget affords it, so the search result is always at
 //! least as good as the fixed baseline at equal cost.
 
-use crate::adversary::{AttackPlan, AttackWindow, Target};
+use crate::adversary::{AttackPlan, AttackWindow, BlocklistDefender, Target};
 use crate::calibration::{ATTACK_FLOOD_MBPS, CACHE_FLOOD_MBPS, N_AUTHORITIES};
 use crate::protocols::ProtocolKind;
 use crate::runner::{par_map, sweep, RunReport, SweepJob};
@@ -52,6 +52,10 @@ pub struct AdversaryParams {
     pub relays: u64,
     /// Base seed (protocol runs, cache tier, fleet).
     pub seed: u64,
+    /// A stable-victim blocklist defender: targets flooded this many
+    /// consecutive hours get their later floods filtered (`None` = no
+    /// defender). Rotating campaigns exist to evade exactly this.
+    pub defender_trigger_hours: Option<u64>,
 }
 
 impl Default for AdversaryParams {
@@ -64,6 +68,7 @@ impl Default for AdversaryParams {
             caches: 50,
             relays: 8_000,
             seed: 1,
+            defender_trigger_hours: None,
         }
     }
 }
@@ -85,6 +90,10 @@ struct CampaignShape {
     caches: usize,
     /// Cache window length, seconds.
     cache_window_secs: u64,
+    /// Rotate the victim indices by one position each hour (same cost,
+    /// same per-hour pattern size — but no victim is ever attacked in
+    /// enough consecutive hours to trip a blocklist defender).
+    rotate: bool,
 }
 
 impl CampaignShape {
@@ -93,6 +102,7 @@ impl CampaignShape {
         auth_window_secs: 300,
         caches: 0,
         cache_window_secs: 900,
+        rotate: false,
     };
 
     /// The paper's fixed baseline as a shape.
@@ -101,14 +111,23 @@ impl CampaignShape {
         auth_window_secs: 300,
         caches: 0,
         cache_window_secs: 900,
+        rotate: false,
     };
 
-    /// The per-hour window pattern of this shape (hour-0 clock).
-    fn hour_pattern(&self) -> AttackPlan {
+    /// The rotating variant of the paper's baseline.
+    const FIVE_OF_NINE_ROTATING: CampaignShape = CampaignShape {
+        rotate: true,
+        ..CampaignShape::FIVE_OF_NINE
+    };
+
+    /// The window pattern of the run at `hour` (hour-0 clock): rotating
+    /// shapes shift every victim index by the hour.
+    fn windows_for_hour(&self, hour: u64) -> Vec<AttackWindow> {
+        let shift = if self.rotate { hour as usize } else { 0 };
         let mut windows: Vec<AttackWindow> = (0..self.authorities)
             .map(|i| {
                 AttackWindow::new(
-                    Target::Authority(i),
+                    Target::Authority((i + shift) % N_AUTHORITIES),
                     SimTime::ZERO,
                     SimDuration::from_secs(self.auth_window_secs),
                     ATTACK_FLOOD_MBPS,
@@ -123,22 +142,36 @@ impl CampaignShape {
                 CACHE_FLOOD_MBPS,
             )
         }));
-        AttackPlan::new(windows)
+        windows
     }
 
     /// The full campaign over `hours` hourly runs, on the day's clock.
     fn plan(&self, hours: u64) -> AttackPlan {
-        self.hour_pattern().sustained_hourly(hours)
+        AttackPlan::new(
+            (1..=hours)
+                .flat_map(|hour| {
+                    let offset = SimDuration::from_secs(hour * 3_600);
+                    self.windows_for_hour(hour)
+                        .into_iter()
+                        .map(move |w| AttackWindow {
+                            start: w.start + offset,
+                            ..w
+                        })
+                })
+                .collect(),
+        )
     }
 
-    /// Monthly price of sustaining this shape (independent of `hours`).
+    /// Monthly price of sustaining this shape (independent of `hours`
+    /// and of rotation — the hourly pattern's size is what the stressor
+    /// bills for).
     fn cost_usd_month(&self) -> f64 {
-        self.hour_pattern().cost_per_month()
+        AttackPlan::new(self.windows_for_hour(0)).cost_per_month()
     }
 
     /// Human-readable shape summary.
     fn label(&self) -> String {
-        match (self.authorities, self.caches) {
+        let base = match (self.authorities, self.caches) {
             (0, 0) => "no attack".to_string(),
             (a, 0) => format!("{a} auth × {} s", self.auth_window_secs),
             (0, c) => format!("{c} caches × {} s", self.cache_window_secs),
@@ -146,6 +179,11 @@ impl CampaignShape {
                 "{a} auth × {} s + {c} caches × {} s",
                 self.auth_window_secs, self.cache_window_secs
             ),
+        };
+        if self.rotate && self.authorities > 0 {
+            format!("{base} (rotating)")
+        } else {
+            base
         }
     }
 
@@ -176,6 +214,12 @@ impl CampaignShape {
                 ..*self
             });
         }
+        if self.authorities > 0 && !self.rotate {
+            out.push(CampaignShape {
+                rotate: true,
+                ..*self
+            });
+        }
         out
     }
 }
@@ -193,6 +237,8 @@ pub struct PlanScore {
     pub auth_window_secs: u64,
     /// Cache window length, seconds.
     pub cache_window_secs: u64,
+    /// Whether victim indices rotate hourly.
+    pub rotate: bool,
     /// Windows in the full-horizon plan.
     pub windows: usize,
     /// Monthly price of sustaining the campaign, dollars.
@@ -212,6 +258,9 @@ pub struct AdversaryResult {
     pub hours: u64,
     /// Beam width used.
     pub beam: usize,
+    /// The stable-victim blocklist defender the campaigns were scored
+    /// against, if any.
+    pub defender_trigger_hours: Option<u64>,
     /// The best plan found (highest downtime; ties broken toward lower
     /// cost).
     pub best: PlanScore,
@@ -265,12 +314,14 @@ fn frontier_rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
                 a.caches,
                 a.auth_window_secs,
                 a.cache_window_secs,
+                a.rotate,
             )
                 .cmp(&(
                     b.authorities,
                     b.caches,
                     b.auth_window_secs,
                     b.cache_window_secs,
+                    b.rotate,
                 )),
         )
 }
@@ -293,14 +344,26 @@ fn rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
                 a.caches,
                 a.auth_window_secs,
                 a.cache_window_secs,
+                a.rotate,
             )
                 .cmp(&(
                     b.authorities,
                     b.caches,
                     b.auth_window_secs,
                     b.cache_window_secs,
+                    b.rotate,
                 )),
         )
+}
+
+/// The plan a shape's victims actually experience: the raw campaign,
+/// filtered through the configured defender.
+fn effective_plan(params: &AdversaryParams, shape: &CampaignShape) -> AttackPlan {
+    let plan = shape.plan(params.hours);
+    match params.defender_trigger_hours {
+        Some(trigger_hours) => BlocklistDefender { trigger_hours }.apply(&plan),
+        None => plan,
+    }
 }
 
 /// Runs all protocol simulations the given shapes still need (one sweep
@@ -310,7 +373,7 @@ fn fill_memo(params: &AdversaryParams, shapes: &[CampaignShape], memo: &mut Outc
     let mut keys: Vec<(u64, SliceKey)> = Vec::new();
     let mut jobs: Vec<SweepJob> = Vec::new();
     for shape in shapes {
-        let plan = shape.plan(params.hours);
+        let plan = effective_plan(params, shape);
         for hour in 1..=params.hours {
             let scenario =
                 super::sustained::hourly_scenario(&plan, hour, params.seed, params.relays);
@@ -336,7 +399,7 @@ fn fill_memo(params: &AdversaryParams, shapes: &[CampaignShape], memo: &mut Outc
 /// Scores one shape against the memoized protocol outcomes (pure
 /// lookup + distribution simulation; no protocol runs).
 fn score_shape(params: &AdversaryParams, shape: &CampaignShape, memo: &OutcomeMemo) -> PlanScore {
-    let plan = shape.plan(params.hours);
+    let plan = effective_plan(params, shape);
     let outcomes: Vec<Option<f64>> = (1..=params.hours)
         .map(|hour| {
             let scenario =
@@ -364,6 +427,7 @@ fn score_shape(params: &AdversaryParams, shape: &CampaignShape, memo: &OutcomeMe
         caches: shape.caches,
         auth_window_secs: shape.auth_window_secs,
         cache_window_secs: shape.cache_window_secs,
+        rotate: shape.rotate,
         windows: plan.windows().len(),
         cost_usd_month: shape.cost_usd_month(),
         produced_hours: outcomes.iter().flatten().count() as u64,
@@ -392,11 +456,14 @@ pub fn run_experiment(params: &AdversaryParams) -> AdversaryResult {
     let mut evaluated: BTreeMap<CampaignShape, PlanScore> = BTreeMap::new();
 
     // Seed the beam with the do-nothing shape and — whenever affordable
-    // — the paper's baseline, so the search never reports worse than
-    // the fixed five-of-nine campaign at equal cost.
+    // — the paper's baseline (plus its rotating twin, which costs the
+    // same), so the search never reports worse than the fixed
+    // five-of-nine campaign at equal cost and always knows whether
+    // rotation pays under the configured defender.
     let mut generation = vec![CampaignShape::EMPTY];
     if affordable(&CampaignShape::FIVE_OF_NINE) {
         generation.push(CampaignShape::FIVE_OF_NINE);
+        generation.push(CampaignShape::FIVE_OF_NINE_ROTATING);
     }
 
     // Each round expands the beam by one move per shape; the budget and
@@ -457,10 +524,51 @@ pub fn run_experiment(params: &AdversaryParams) -> AdversaryResult {
         budget_usd_month: params.budget_usd_month,
         hours: params.hours,
         beam: params.beam,
+        defender_trigger_hours: params.defender_trigger_hours,
         best,
         baseline,
         evaluated: scores,
     }
+}
+
+/// Serializes one scored campaign for `dirsim adversary --json`.
+fn score_json(score: &PlanScore) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        ("label", Json::str(score.label.clone())),
+        ("authorities", Json::from(score.authorities)),
+        ("caches", Json::from(score.caches)),
+        ("auth_window_secs", Json::from(score.auth_window_secs)),
+        ("cache_window_secs", Json::from(score.cache_window_secs)),
+        ("rotate", Json::from(score.rotate)),
+        ("windows", Json::from(score.windows)),
+        ("cost_usd_month", Json::from(score.cost_usd_month)),
+        ("produced_hours", Json::from(score.produced_hours)),
+        (
+            "client_weighted_downtime",
+            Json::from(score.client_weighted_downtime),
+        ),
+    ])
+}
+
+/// Serializes the search result for `dirsim adversary --json`.
+pub fn to_json(result: &AdversaryResult) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        ("budget_usd_month", Json::from(result.budget_usd_month)),
+        ("hours", Json::from(result.hours)),
+        ("beam", Json::from(result.beam)),
+        (
+            "defender_trigger_hours",
+            Json::from(result.defender_trigger_hours),
+        ),
+        ("best", score_json(&result.best)),
+        ("baseline", score_json(&result.baseline)),
+        (
+            "evaluated",
+            Json::arr(result.evaluated.iter().map(score_json)),
+        ),
+    ])
 }
 
 /// Renders the search result.
@@ -471,7 +579,13 @@ pub fn render(result: &AdversaryResult) -> String {
         result.budget_usd_month, result.hours, result.beam
     ));
     out.push_str("(hourly campaigns over authorities and directory caches, scored by\n");
-    out.push_str(" client-weighted downtime through the distribution layer)\n\n");
+    out.push_str(" client-weighted downtime through the distribution layer)\n");
+    match result.defender_trigger_hours {
+        Some(trigger) => out.push_str(&format!(
+            "(defender: blocklists any victim flooded {trigger} consecutive hours)\n\n"
+        )),
+        None => out.push('\n'),
+    }
     out.push_str(&format!(
         "{:<38} {:>10} {:>9} {:>10}\n",
         "campaign (per hour)", "$/month", "runs ok", "downtime"
@@ -510,6 +624,27 @@ pub fn render(result: &AdversaryResult) -> String {
     } else {
         out.push_str("verdict: the fixed baseline was not affordable within the budget\n");
     }
+    if result.defender_trigger_hours.is_some() {
+        let rotating = result.evaluated.iter().find(|s| {
+            s.rotate
+                && s.authorities == result.baseline.authorities
+                && s.caches == result.baseline.caches
+                && s.auth_window_secs == result.baseline.auth_window_secs
+        });
+        if let Some(rotating) = rotating {
+            let gain = rotating.client_weighted_downtime - result.baseline.client_weighted_downtime;
+            if gain > 1e-9 {
+                out.push_str(&format!(
+                    "rotation : rotating the five victims beats the static set under the defender (+{:.1} pp downtime at equal ${:.2}/month)\n",
+                    100.0 * gain, rotating.cost_usd_month
+                ));
+            } else {
+                out.push_str(
+                    "rotation : rotating the victims buys nothing over the static set here\n",
+                );
+            }
+        }
+    }
     out
 }
 
@@ -546,8 +681,15 @@ mod tests {
             auth_window_secs: 3_600,
             caches: 10,
             cache_window_secs: 2_700,
+            rotate: true,
         };
         assert!(full.expansions(10).is_empty());
+        // A non-rotating maxed shape can still toggle rotation.
+        let static_full = CampaignShape {
+            rotate: false,
+            ..full
+        };
+        assert_eq!(static_full.expansions(10), vec![full]);
     }
 
     /// A miniature end-to-end search: one attacked hour, a tight budget
@@ -560,11 +702,12 @@ mod tests {
         let params = AdversaryParams {
             budget_usd_month: 54.0,
             hours: 1,
-            beam: 2,
+            beam: 3,
             clients: 30_000,
             caches: 12,
             relays: 8_000,
             seed: 31,
+            defender_trigger_hours: None,
         };
         let result = run_experiment(&params);
         assert!(
@@ -590,8 +733,54 @@ mod tests {
         let minority = result
             .evaluated
             .iter()
-            .find(|s| s.authorities == 1 && s.caches == 0)
+            .find(|s| s.authorities == 1 && s.caches == 0 && !s.rotate)
             .expect("the first expansion is always evaluated");
         assert_eq!(minority.produced_hours, 1);
+    }
+
+    /// Under a stable-victim blocklist defender, the static five-of-nine
+    /// stops working once its victims are filtered — rotating the victim
+    /// set each hour caps every victim's consecutive-attack stint at
+    /// five hours (it then rests for four), staying under a trigger of
+    /// six and sustaining the outage at identical cost. The search must
+    /// find and report this.
+    #[test]
+    fn rotation_beats_static_five_of_nine_under_blocklist_defender() {
+        let params = AdversaryParams {
+            budget_usd_month: 54.0,
+            hours: 8,
+            beam: 1,
+            clients: 30_000,
+            caches: 8,
+            relays: 8_000,
+            seed: 31,
+            defender_trigger_hours: Some(6),
+        };
+        let result = run_experiment(&params);
+        let rotating = result
+            .evaluated
+            .iter()
+            .find(|s| s.rotate && s.authorities == 5 && s.caches == 0 && s.auth_window_secs == 300)
+            .expect("the rotating five-of-nine is always seeded with the baseline");
+
+        // The defender filters the static campaign after six hours, so
+        // runs succeed again; the rotation keeps breaking every run.
+        assert!(
+            result.baseline.produced_hours >= params.hours - 6,
+            "the blocklisted static campaign must stop breaking runs: {:?}",
+            result.baseline
+        );
+        assert_eq!(rotating.produced_hours, 0, "rotation evades the defender");
+        assert!(
+            rotating.client_weighted_downtime > result.baseline.client_weighted_downtime + 0.1,
+            "rotation must beat the static baseline: {} vs {}",
+            rotating.client_weighted_downtime,
+            result.baseline.client_weighted_downtime
+        );
+        assert!((rotating.cost_usd_month - result.baseline.cost_usd_month).abs() < 1e-9);
+        // The report surfaces the comparison.
+        let text = render(&result);
+        assert!(text.contains("defender: blocklists"));
+        assert!(text.contains("rotation : rotating the five victims beats"));
     }
 }

@@ -10,18 +10,40 @@
 //! when their document expires. Under the $53.28/month attack, the
 //! current protocol's fleet dies three hours after the last valid
 //! consensus; the ICPS fleet barely notices.
+//!
+//! Three switches extend the basic day-long run:
+//!
+//! * **`feedback`** closes the §2.1 fetch-storm loop: each hour's
+//!   realized client egress (bootstrap retry storms included) becomes
+//!   the next hour's background load on cache and authority links;
+//! * **`churn`** drives hourly relay churn — and with it proposal-140
+//!   diff sizes — from the Fig. 6 weekly series instead of a constant,
+//!   which matters on multi-day horizons (`--days`);
+//! * **`real_docs`** replaces the synthetic size model with real
+//!   `tordoc` consensuses served through a verified `DiffStore`, so the
+//!   proposal-140 numbers come from measured diffs (small populations
+//!   only).
 
 use crate::adversary::AttackPlan;
 use crate::calibration::N_AUTHORITIES;
 use crate::protocols::ProtocolKind;
 use crate::runner::{sweep, SweepJob};
-use partialtor_dirdist::{simulate, DistConfig, DistReport};
+use partialtor_dirdist::{
+    simulate_with_model, ChurnSchedule, ConsensusTimeline, DistConfig, DistReport, DocModel,
+};
+use partialtor_tordoc::prelude::*;
 use serde::Serialize;
+
+/// Largest relay population `real_docs` mode accepts: building and
+/// diffing real documents is quadratic-ish work meant for validation
+/// runs, not production-scale sweeps.
+pub const REAL_DOCS_MAX_RELAYS: u64 = 2_000;
 
 /// Experiment parameters (the `dirsim clients` surface).
 #[derive(Clone, Debug)]
 pub struct ClientsParams {
-    /// Hourly attacked runs to simulate after the baseline.
+    /// Hourly attacked runs to simulate after the baseline (`--days N`
+    /// sets this to `24 × N`).
     pub hours: u64,
     /// Client fleet size.
     pub clients: u64,
@@ -31,6 +53,13 @@ pub struct ClientsParams {
     pub relays: u64,
     /// Base seed.
     pub seed: u64,
+    /// Close the fetch-feedback loop in the distribution layer.
+    pub feedback: bool,
+    /// Hourly churn schedule driving diff sizes.
+    pub churn: ChurnSchedule,
+    /// Measure document sizes from real `tordoc` consensuses instead of
+    /// the synthetic model.
+    pub real_docs: bool,
 }
 
 impl Default for ClientsParams {
@@ -41,6 +70,9 @@ impl Default for ClientsParams {
             caches: 200,
             relays: 8_000,
             seed: 1,
+            feedback: false,
+            churn: ChurnSchedule::default(),
+            real_docs: false,
         }
     }
 }
@@ -54,6 +86,55 @@ pub struct ClientsResult {
     pub produced_hours: u64,
     /// The distribution-layer report (cache tier + fleet).
     pub dist: DistReport,
+}
+
+/// Builds one real consensus per timeline version: a relay-population
+/// window that slides with the cumulative churn of the schedule, voted
+/// on by a majority committee and aggregated — the same documents the
+/// `tordoc` protocol path produces, so every diff the caches serve is a
+/// genuine, verified `ConsensusDiff`.
+fn measured_model(params: &ClientsParams, timeline: &ConsensusTimeline) -> DocModel {
+    assert!(
+        params.relays <= REAL_DOCS_MAX_RELAYS,
+        "real-docs mode is for small populations (≤ {REAL_DOCS_MAX_RELAYS} relays)"
+    );
+    let relays = params.relays as usize;
+    let max_hour = timeline.publications.last().map_or(0, |p| p.hour);
+    let cum_at = |hour: u64| -> f64 { (1..=hour).map(|h| params.churn.churn_at(h)).sum() };
+    let max_offset = (cum_at(max_hour) * relays as f64).ceil() as usize;
+    let population = generate_population(&PopulationConfig {
+        seed: params.seed ^ 0x0000_d0c5_eed5,
+        count: relays + max_offset,
+    });
+    let committee = AuthoritySet::with_size(params.seed, N_AUTHORITIES);
+    let docs: Vec<Consensus> = timeline
+        .publications
+        .iter()
+        .map(|publication| {
+            let offset = (cum_at(publication.hour) * relays as f64).round() as usize;
+            let subset = &population[offset..offset + relays];
+            // A majority committee suffices to aggregate a consensus.
+            let votes: Vec<Vote> = committee
+                .iter()
+                .take(crate::calibration::majority(N_AUTHORITIES))
+                .map(|auth| {
+                    let view = authority_view(subset, auth.id, params.seed, &ViewConfig::default());
+                    Vote::new(
+                        VoteMeta::standard(
+                            auth.id,
+                            &auth.name,
+                            auth.fingerprint_hex(),
+                            (publication.hour + 1) * 3_600,
+                        ),
+                        view,
+                    )
+                })
+                .collect();
+            let refs: Vec<&Vote> = votes.iter().collect();
+            aggregate(&refs)
+        })
+        .collect();
+    DocModel::from_consensuses(&docs, 3)
 }
 
 /// Runs the client-visible timeline for the current and ICPS protocols.
@@ -85,16 +166,35 @@ pub fn run_experiment(params: &ClientsParams) -> Vec<ClientsResult> {
                 relays: params.relays,
                 n_authorities: N_AUTHORITIES,
                 n_caches: params.caches,
+                churn: params.churn.clone(),
+                feedback: params.feedback,
                 link_windows: windows,
                 ..DistConfig::default()
+            };
+            let model = if params.real_docs {
+                measured_model(params, &timeline)
+            } else {
+                DocModel::synthetic(params.relays)
             };
             ClientsResult {
                 protocol: protocol.to_string(),
                 produced_hours: hourly.iter().flatten().count() as u64,
-                dist: simulate(&config, &timeline),
+                dist: simulate_with_model(&config, &timeline, &model),
             }
         })
         .collect()
+}
+
+/// Serializes the per-protocol results for `dirsim clients --json`.
+pub fn to_json(results: &[ClientsResult]) -> crate::json::Json {
+    use crate::json::Json;
+    Json::arr(results.iter().map(|result| {
+        Json::obj([
+            ("protocol", Json::str(result.protocol.clone())),
+            ("produced_hours", Json::from(result.produced_hours)),
+            ("dist", super::dist_report_json(&result.dist)),
+        ])
+    }))
 }
 
 /// Renders the per-protocol hourly tables and the comparison summary.
@@ -105,10 +205,15 @@ pub fn render(results: &[ClientsResult]) -> String {
     out.push_str(" layer: directory caches + cohort-aggregated client fleet)\n");
     for result in results {
         out.push_str(&format!(
-            "\n--- {} ({} of {} hourly runs produced a consensus) ---\n",
+            "\n--- {} ({} of {} hourly runs produced a consensus{}) ---\n",
             result.protocol,
             result.produced_hours,
             result.dist.fleet.rows.len().saturating_sub(1),
+            if result.dist.feedback.enabled {
+                "; fetch feedback ON"
+            } else {
+                ""
+            },
         ));
         out.push_str(&format!(
             "{:>5} {:>13} {:>13} {:>9} {:>9} {:>14}\n",
@@ -130,7 +235,7 @@ pub fn render(results: &[ClientsResult]) -> String {
                 rate,
                 100.0 * row.stale_fraction,
                 100.0 * row.dead_fraction,
-                row.cache_egress_bytes as f64 / 1e6,
+                (row.cache_egress_bytes + row.descriptor_egress_bytes) as f64 / 1e6,
             ));
         }
         let fleet = &result.dist.fleet;
@@ -143,12 +248,27 @@ pub fn render(results: &[ClientsResult]) -> String {
             100.0 * fleet.peak_stale_fraction,
         ));
         out.push_str(&format!(
-            "authority egress {:.1} MB (diffs) vs {:.1} MB (full-only); cache egress {:.1} GB vs {:.1} GB\n",
+            "authority egress {:.1} MB consensus (diffs) vs {:.1} MB (full-only) + {:.1} MB descriptors\n",
             cache.authority_egress_bytes as f64 / 1e6,
             cache.authority_egress_full_only_bytes as f64 / 1e6,
+            cache.authority_descriptor_egress_bytes as f64 / 1e6,
+        ));
+        out.push_str(&format!(
+            "cache egress {:.1} GB consensus vs {:.1} GB (full-only) + {:.1} GB descriptors\n",
             fleet.cache_egress_bytes as f64 / 1e9,
             fleet.cache_egress_full_only_bytes as f64 / 1e9,
+            fleet.descriptor_egress_bytes as f64 / 1e9,
         ));
+        if result.dist.feedback.enabled {
+            let feedback = &result.dist.feedback;
+            out.push_str(&format!(
+                "feedback load: authority {:.2} Mbit/s mean / {:.2} peak; cache {:.2} Mbit/s mean / {:.2} peak\n",
+                feedback.mean_authority_bg_bps / 1e6,
+                feedback.peak_authority_bg_bps / 1e6,
+                feedback.mean_cache_bg_bps / 1e6,
+                feedback.peak_cache_bg_bps / 1e6,
+            ));
+        }
     }
     if let [current, icps] = results {
         out.push_str(&format!(
@@ -175,6 +295,7 @@ mod tests {
             caches: 30,
             relays: 8_000,
             seed: 31,
+            ..ClientsParams::default()
         }
     }
 
@@ -227,9 +348,74 @@ mod tests {
             caches: 20,
             relays: 2_000,
             seed: 9,
+            ..ClientsParams::default()
         };
         let a = run_experiment(&params);
         let b = run_experiment(&params);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// `real_docs` swaps in measured proposal-140 diffs without changing
+    /// the story: the ICPS fleet still lives on diffs whose sizes come
+    /// from verified `ConsensusDiff` reconstructions.
+    #[test]
+    fn real_docs_mode_serves_measured_diffs() {
+        let params = ClientsParams {
+            hours: 2,
+            clients: 20_000,
+            caches: 10,
+            relays: 80,
+            seed: 7,
+            real_docs: true,
+            ..ClientsParams::default()
+        };
+        let results = run_experiment(&params);
+        let icps = &results[1];
+        assert_eq!(icps.produced_hours, 2);
+        assert!(
+            icps.dist.cache.diff_responses > 0,
+            "measured diffs must flow through the cache tier: {:?}",
+            icps.dist.cache
+        );
+        assert!(icps.dist.fleet.bootstrap_success_rate > 0.9);
+        // Weekly churn composes with real docs (smoke: just runs).
+        let weekly = ClientsParams {
+            churn: ChurnSchedule::weekly(),
+            ..params
+        };
+        let results = run_experiment(&weekly);
+        assert_eq!(results.len(), 2);
+    }
+
+    /// The feedback switch closes the loop end to end through the
+    /// experiment driver: the closed-loop run reports the storm load
+    /// and at least as much client-weighted downtime.
+    #[test]
+    fn feedback_switch_amplifies_the_current_protocol_outage() {
+        // Smaller than the divergence test: the dev-profile suite runs
+        // on small machines and this steps the experiment twice.
+        let params = ClientsParams {
+            hours: 3,
+            clients: 50_000,
+            caches: 20,
+            ..small_params()
+        };
+        let open = run_experiment(&params);
+        let closed = run_experiment(&ClientsParams {
+            feedback: true,
+            ..params
+        });
+        let (open_current, closed_current) = (&open[0], &closed[0]);
+        assert!(closed_current.dist.feedback.enabled);
+        assert!(
+            closed_current.dist.feedback.peak_authority_bg_bps
+                > open_current.dist.feedback.peak_authority_bg_bps,
+            "the dead fleet's probes must land on the authorities"
+        );
+        assert!(
+            closed_current.dist.fleet.client_weighted_downtime + 1e-12
+                >= open_current.dist.fleet.client_weighted_downtime,
+            "closing the loop can only hurt clients"
+        );
     }
 }

@@ -74,6 +74,111 @@ pub(crate) mod sustained {
         (timeline, plan.dist_windows())
     }
 }
+/// Serializes a distribution-layer report as a [`Json`](crate::json::Json)
+/// tree (the machine-readable half of `dirsim clients --json` and
+/// friends; the serde in the tree is a no-op shim, so this is built by
+/// hand).
+pub(crate) fn dist_report_json(dist: &partialtor_dirdist::DistReport) -> crate::json::Json {
+    use crate::json::Json;
+    let cache = &dist.cache;
+    let fleet = &dist.fleet;
+    let feedback = &dist.feedback;
+    Json::obj([
+        (
+            "cache",
+            Json::obj([
+                (
+                    "versions",
+                    Json::arr(cache.versions.iter().map(|v| {
+                        Json::obj([
+                            ("version", Json::from(v.version)),
+                            ("cached_at_secs", Json::from(v.cached_at_secs)),
+                            ("cache_coverage", Json::from(v.cache_coverage)),
+                        ])
+                    })),
+                ),
+                (
+                    "authority_egress_bytes",
+                    Json::from(cache.authority_egress_bytes),
+                ),
+                (
+                    "authority_egress_full_only_bytes",
+                    Json::from(cache.authority_egress_full_only_bytes),
+                ),
+                (
+                    "authority_descriptor_egress_bytes",
+                    Json::from(cache.authority_descriptor_egress_bytes),
+                ),
+                ("full_responses", Json::from(cache.full_responses)),
+                ("diff_responses", Json::from(cache.diff_responses)),
+            ]),
+        ),
+        (
+            "fleet",
+            Json::obj([
+                (
+                    "rows",
+                    Json::arr(fleet.rows.iter().map(|row| {
+                        Json::obj([
+                            ("hour", Json::from(row.hour)),
+                            ("bootstrap_attempts", Json::from(row.bootstrap_attempts)),
+                            ("bootstrap_successes", Json::from(row.bootstrap_successes)),
+                            ("refresh_fetches", Json::from(row.refresh_fetches)),
+                            ("dead_fraction", Json::from(row.dead_fraction)),
+                            ("stale_fraction", Json::from(row.stale_fraction)),
+                            ("cache_egress_bytes", Json::from(row.cache_egress_bytes)),
+                            (
+                                "cache_egress_full_only_bytes",
+                                Json::from(row.cache_egress_full_only_bytes),
+                            ),
+                            (
+                                "descriptor_egress_bytes",
+                                Json::from(row.descriptor_egress_bytes),
+                            ),
+                            ("request_bytes", Json::from(row.request_bytes)),
+                        ])
+                    })),
+                ),
+                (
+                    "bootstrap_success_rate",
+                    Json::from(fleet.bootstrap_success_rate),
+                ),
+                (
+                    "client_weighted_downtime",
+                    Json::from(fleet.client_weighted_downtime),
+                ),
+                ("mean_stale_fraction", Json::from(fleet.mean_stale_fraction)),
+                ("peak_stale_fraction", Json::from(fleet.peak_stale_fraction)),
+                ("cache_egress_bytes", Json::from(fleet.cache_egress_bytes)),
+                (
+                    "cache_egress_full_only_bytes",
+                    Json::from(fleet.cache_egress_full_only_bytes),
+                ),
+                (
+                    "descriptor_egress_bytes",
+                    Json::from(fleet.descriptor_egress_bytes),
+                ),
+            ]),
+        ),
+        (
+            "feedback",
+            Json::obj([
+                ("enabled", Json::from(feedback.enabled)),
+                (
+                    "mean_authority_bg_bps",
+                    Json::from(feedback.mean_authority_bg_bps),
+                ),
+                (
+                    "peak_authority_bg_bps",
+                    Json::from(feedback.peak_authority_bg_bps),
+                ),
+                ("mean_cache_bg_bps", Json::from(feedback.mean_cache_bg_bps)),
+                ("peak_cache_bg_bps", Json::from(feedback.peak_cache_bg_bps)),
+            ]),
+        ),
+    ])
+}
+
 pub mod diff_savings;
 pub mod fig10_latency;
 pub mod fig11_recovery;

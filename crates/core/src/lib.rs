@@ -47,6 +47,7 @@ pub mod authority_log;
 pub mod calibration;
 pub mod document;
 pub mod experiments;
+pub mod json;
 pub mod monitor;
 pub mod protocols;
 pub mod runner;

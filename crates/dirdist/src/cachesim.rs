@@ -6,21 +6,31 @@
 //! per-cache jitter), asking for the newest document and advertising the
 //! version it already holds; the authority answers with a proposal-140
 //! diff when the base is within the retain window, the full document
-//! otherwise. Slow authorities — DDoS victims, or links ground down by
-//! the aggregate load of legacy clients fetching directly — trigger
-//! timeout-driven retries against other authorities, exactly the fetch
-//! storm the January 2021 outage report describes.
+//! otherwise, plus the descriptors of the relays that churned since the
+//! cache's base. Slow authorities — DDoS victims, or links ground down
+//! by aggregate client load — trigger timeout-driven retries against
+//! other authorities, exactly the fetch storm the January 2021 outage
+//! report describes.
+//!
+//! The tier is a *stepped* co-simulation citizen: [`CacheTier`] keeps
+//! one `simnet` engine alive across hours, and the session driving it
+//! injects each hour's publication ([`CacheTier::publish`]), attack
+//! windows ([`CacheTier::apply_windows`]) and fetch-feedback background
+//! load ([`CacheTier::set_background_load`]) before advancing simulated
+//! time with [`CacheTier::run_to`]. The one-shot [`run`] wrapper
+//! replays a whole timeline through the same machinery.
 //!
 //! Client fleets never appear here as nodes; their load arrives in bulk
 //! via `simnet`'s background-load mechanism, and their behaviour lives
 //! in [`crate::fleet`].
 
-use crate::docmodel::DocModel;
+use crate::docmodel::{DocClass, DocTable};
 use crate::timeline::ConsensusTimeline;
 use partialtor_simnet::prelude::*;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use std::sync::Arc;
+use std::collections::BTreeMap;
 
 /// One node of the distribution tier, as the tier's consumers address
 /// it (the simulation's flat `NodeId` space is an internal detail).
@@ -102,16 +112,57 @@ impl Default for CacheSimConfig {
     }
 }
 
+/// The serving sizes an authority needs for one published version: the
+/// full documents of both classes, and the incremental cost from every
+/// earlier base. Computed by the session from its [`DocTable`] and
+/// injected at publication time, so the tier itself stays
+/// mechanism-level.
+#[derive(Clone, Debug)]
+pub struct ServeSizes {
+    /// Full consensus bytes.
+    pub consensus_full: u64,
+    /// Full descriptor-set bytes.
+    pub descriptors_full: u64,
+    /// `base version → (consensus diff bytes if diffable, descriptor
+    /// delta bytes)`.
+    pub from_base: BTreeMap<usize, (Option<u64>, u64)>,
+}
+
+impl ServeSizes {
+    /// The serving entry for `version` out of a grown [`DocTable`].
+    pub fn for_version(table: &DocTable, version: usize) -> Self {
+        let from_base = (0..version)
+            .map(|base| {
+                let consensus = table.response(DocClass::Consensus, Some(base), version);
+                let descriptors = table.response(DocClass::Descriptors, Some(base), version);
+                (
+                    base,
+                    (
+                        consensus.is_diff.then_some(consensus.bytes),
+                        descriptors.bytes,
+                    ),
+                )
+            })
+            .collect();
+        ServeSizes {
+            consensus_full: table.full_bytes(DocClass::Consensus, version),
+            descriptors_full: table.full_bytes(DocClass::Descriptors, version),
+            from_base,
+        }
+    }
+}
+
 /// Messages on the directory distribution wire.
 #[derive(Clone, Debug)]
 enum DirMsg {
     /// Cache → authority: "send me the newest consensus; I hold `have`".
     Request { have: Option<usize> },
-    /// Authority → cache: a document (full or diff) bringing the cache
-    /// to `version`.
+    /// Authority → cache: a consensus (full or diff) bringing the cache
+    /// to `version`, plus the descriptors it lacks.
     Response {
         version: usize,
         bytes: u64,
+        desc_bytes: u64,
         is_diff: bool,
     },
     /// Authority → cache: nothing newer than what you hold.
@@ -125,7 +176,9 @@ impl Payload for DirMsg {
     fn wire_size(&self) -> u64 {
         match self {
             DirMsg::Request { .. } | DirMsg::NotModified => CONTROL_BYTES,
-            DirMsg::Response { bytes, .. } => *bytes,
+            DirMsg::Response {
+                bytes, desc_bytes, ..
+            } => *bytes + *desc_bytes,
         }
     }
 
@@ -140,14 +193,15 @@ impl Payload for DirMsg {
 }
 
 struct AuthorityState {
-    /// `(version, available_at)` publication schedule.
-    schedule: Vec<(usize, SimTime)>,
     latest: Option<usize>,
-    model: Arc<DocModel>,
-    /// Actual payload bytes served.
+    /// Per-version serving sizes, injected at publication time.
+    serving: Vec<ServeSizes>,
+    /// Consensus payload bytes served.
     egress_bytes: u64,
-    /// What the same responses would have cost served as full documents.
+    /// What the same consensus responses would have cost served full.
     egress_full_only_bytes: u64,
+    /// Descriptor payload bytes served.
+    descriptor_egress_bytes: u64,
     full_responses: u64,
     diff_responses: u64,
 }
@@ -157,10 +211,6 @@ struct CacheState {
     /// rotation.
     ordinal: usize,
     n_authorities: usize,
-    /// `(version, available_at)` publication schedule (the hourly cadence
-    /// caches poll on).
-    schedule: Vec<(usize, SimTime)>,
-    poll_spread_secs: u64,
     retry: SimDuration,
     max_retries: u32,
     /// Newest version held.
@@ -171,7 +221,8 @@ struct CacheState {
     attempts: Vec<u32>,
 }
 
-/// Timer tags: `2 * version` polls, `2 * version + 1` retries.
+/// Timer tags: `2 * version` polls (cache) / publications (authority),
+/// `2 * version + 1` retries.
 fn poll_tag(version: usize) -> u64 {
     2 * version as u64
 }
@@ -203,24 +254,9 @@ impl CacheState {
 impl Node for DistNode {
     type Msg = DirMsg;
 
-    fn on_start(&mut self, ctx: &mut Context<'_, DirMsg>) {
-        match self {
-            DistNode::Authority(auth) => {
-                for (version, at) in auth.schedule.clone() {
-                    ctx.set_timer(at.since(SimTime::ZERO), poll_tag(version));
-                }
-            }
-            DistNode::Cache(cache) => {
-                // One poll per publication, staggered per cache so the
-                // tier does not stampede the authorities the instant a
-                // document appears.
-                for (version, at) in cache.schedule.clone() {
-                    let jitter = ctx.rng().gen_range(5..=cache.poll_spread_secs.max(6));
-                    let delay = at.since(SimTime::ZERO) + SimDuration::from_secs(jitter);
-                    ctx.set_timer(delay, poll_tag(version));
-                }
-            }
-        }
+    fn on_start(&mut self, _ctx: &mut Context<'_, DirMsg>) {
+        // Publications are injected by the driving session; nothing is
+        // known at construction time.
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, DirMsg>, _timer: TimerId, tag: u64) {
@@ -251,10 +287,17 @@ impl Node for DistNode {
         match (self, msg) {
             (DistNode::Authority(auth), DirMsg::Request { have }) => match auth.latest {
                 Some(latest) if have.is_none_or(|h| h < latest) => {
-                    let response = auth.model.response(have, latest);
-                    auth.egress_bytes += response.bytes;
-                    auth.egress_full_only_bytes += auth.model.full_bytes(latest);
-                    if response.is_diff {
+                    let entry = &auth.serving[latest];
+                    let (bytes, desc_bytes, is_diff) =
+                        match have.and_then(|h| entry.from_base.get(&h)) {
+                            Some(&(Some(diff), desc)) => (diff, desc, true),
+                            Some(&(None, desc)) => (entry.consensus_full, desc, false),
+                            None => (entry.consensus_full, entry.descriptors_full, false),
+                        };
+                    auth.egress_bytes += bytes;
+                    auth.egress_full_only_bytes += entry.consensus_full;
+                    auth.descriptor_egress_bytes += desc_bytes;
+                    if is_diff {
                         auth.diff_responses += 1;
                     } else {
                         auth.full_responses += 1;
@@ -263,8 +306,9 @@ impl Node for DistNode {
                         from,
                         DirMsg::Response {
                             version: latest,
-                            bytes: response.bytes,
-                            is_diff: response.is_diff,
+                            bytes,
+                            desc_bytes,
+                            is_diff,
                         },
                     );
                 }
@@ -302,176 +346,329 @@ pub struct VersionAvailability {
 pub struct CacheTierReport {
     /// Per-version availability at the cache tier.
     pub versions: Vec<VersionAvailability>,
-    /// Payload bytes served by all authorities (requests answered with
-    /// diffs where possible).
+    /// Consensus payload bytes served by all authorities (requests
+    /// answered with diffs where possible).
     pub authority_egress_bytes: u64,
     /// What the same responses would have cost without proposal 140.
     pub authority_egress_full_only_bytes: u64,
+    /// Descriptor payload bytes served by all authorities.
+    pub authority_descriptor_egress_bytes: u64,
     /// Responses served as full documents.
     pub full_responses: u64,
     /// Responses served as diffs.
     pub diff_responses: u64,
 }
 
-/// Runs the cache tier against a timeline and document model.
-pub fn run(
-    config: &CacheSimConfig,
-    timeline: &ConsensusTimeline,
-    model: &Arc<DocModel>,
-) -> CacheTierReport {
-    assert!(config.n_authorities > 0, "need at least one authority");
-    let versions = timeline.publications.len();
-    let n = config.n_authorities + config.n_caches;
+/// The stepped cache tier: one live `simnet` engine, driven hour by
+/// hour by a [`DistSession`](crate::DistSession) (or in one shot by
+/// [`run`]).
+pub struct CacheTier {
+    sim: Simulation<DistNode>,
+    config: CacheSimConfig,
+    versions: usize,
+    /// Per-cache poll jitter draws, owned by the tier so publication
+    /// injection stays deterministic regardless of when hours step.
+    jitter_rng: StdRng,
+}
 
-    let schedule: Vec<(usize, SimTime)> = timeline
-        .publications
-        .iter()
-        .map(|p| {
-            (
-                p.version,
-                SimTime::from_micros((p.available_at_secs * 1e6) as u64),
-            )
-        })
-        .collect();
+impl CacheTier {
+    /// Builds the tier: authorities in the measured authority topology,
+    /// caches at a uniform mid-range latency, static legacy-client load
+    /// on the authority uplinks, and any up-front link windows applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_authorities` is zero.
+    pub fn new(config: &CacheSimConfig) -> Self {
+        assert!(config.n_authorities > 0, "need at least one authority");
+        let n = config.n_authorities + config.n_caches;
 
-    let nodes: Vec<DistNode> = (0..n)
-        .map(|index| {
-            if index < config.n_authorities {
-                DistNode::Authority(AuthorityState {
-                    schedule: schedule.clone(),
-                    latest: None,
-                    model: Arc::clone(model),
-                    egress_bytes: 0,
-                    egress_full_only_bytes: 0,
-                    full_responses: 0,
-                    diff_responses: 0,
-                })
-            } else {
-                DistNode::Cache(CacheState {
-                    ordinal: index - config.n_authorities,
-                    n_authorities: config.n_authorities,
-                    schedule: schedule.clone(),
-                    poll_spread_secs: config.poll_spread_secs,
-                    retry: SimDuration::from_secs(config.retry_secs),
-                    max_retries: config.max_retries,
-                    held: None,
-                    received_at: vec![None; versions],
-                    attempts: vec![0; versions],
-                })
-            }
-        })
-        .collect();
+        let nodes: Vec<DistNode> = (0..n)
+            .map(|index| {
+                if index < config.n_authorities {
+                    DistNode::Authority(AuthorityState {
+                        latest: None,
+                        serving: Vec::new(),
+                        egress_bytes: 0,
+                        egress_full_only_bytes: 0,
+                        descriptor_egress_bytes: 0,
+                        full_responses: 0,
+                        diff_responses: 0,
+                    })
+                } else {
+                    DistNode::Cache(CacheState {
+                        ordinal: index - config.n_authorities,
+                        n_authorities: config.n_authorities,
+                        retry: SimDuration::from_secs(config.retry_secs),
+                        max_retries: config.max_retries,
+                        held: None,
+                        received_at: Vec::new(),
+                        attempts: Vec::new(),
+                    })
+                }
+            })
+            .collect();
 
-    // Authorities sit in the measured authority topology; caches get a
-    // mid-range latency to everyone (they are spread worldwide).
-    let auth_topo = if config.n_authorities == 9 {
-        authority_topology(config.seed)
-    } else {
-        scaled_topology(config.n_authorities, config.seed)
-    };
-    let cache_latency = SimDuration::from_millis(60);
-    let topo = LatencyMatrix::from_fn(n, |a, b| {
-        if a < config.n_authorities && b < config.n_authorities {
-            auth_topo.get(NodeId(a), NodeId(b))
+        // Authorities sit in the measured authority topology; caches get
+        // a mid-range latency to everyone (they are spread worldwide).
+        let auth_topo = if config.n_authorities == 9 {
+            authority_topology(config.seed)
         } else {
-            cache_latency
-        }
-    });
+            scaled_topology(config.n_authorities, config.seed)
+        };
+        let cache_latency = SimDuration::from_millis(60);
+        let topo = LatencyMatrix::from_fn(n, |a, b| {
+            if a < config.n_authorities && b < config.n_authorities {
+                auth_topo.get(NodeId(a), NodeId(b))
+            } else {
+                cache_latency
+            }
+        });
 
-    let mut sim = Simulation::new(
-        topo,
-        nodes,
-        SimConfig {
-            seed: config.seed,
-            default_up_bps: config.cache_bps,
-            default_down_bps: config.cache_bps,
-            wire_overhead_bytes: 64,
-            collect_logs: false,
-            latency_jitter: 0.0,
-        },
-    );
-
-    // Authority links are wider than cache links; set them explicitly,
-    // then layer legacy-client background load and the attack windows on
-    // top.
-    for a in 0..config.n_authorities {
-        sim.schedule_bandwidth_change(
-            SimTime::ZERO,
-            NodeId(a),
-            Some(config.authority_bps),
-            Some(config.authority_bps),
+        let mut sim = Simulation::new(
+            topo,
+            nodes,
+            SimConfig {
+                seed: config.seed,
+                default_up_bps: config.cache_bps,
+                default_down_bps: config.cache_bps,
+                wire_overhead_bytes: 64,
+                collect_logs: false,
+                latency_jitter: 0.0,
+            },
         );
-        if config.direct_client_load_bps > 0.0 {
-            sim.schedule_background_load(
+
+        // Authority links are wider than cache links; set them
+        // explicitly, then layer legacy-client background load and the
+        // up-front attack windows on top.
+        for a in 0..config.n_authorities {
+            sim.schedule_bandwidth_change(
                 SimTime::ZERO,
                 NodeId(a),
-                Some(config.direct_client_load_bps),
-                None,
+                Some(config.authority_bps),
+                Some(config.authority_bps),
+            );
+            if config.direct_client_load_bps > 0.0 {
+                sim.schedule_background_load(
+                    SimTime::ZERO,
+                    NodeId(a),
+                    Some(config.direct_client_load_bps),
+                    None,
+                );
+            }
+        }
+
+        let mut tier = CacheTier {
+            sim,
+            config: config.clone(),
+            versions: 0,
+            jitter_rng: StdRng::seed_from_u64(config.seed ^ 0x00ca_c4e5_7a66),
+        };
+        let windows = tier.config.link_windows.clone();
+        tier.apply_windows(&windows);
+        tier
+    }
+
+    /// Injects a publication: from `available_at_secs` on, every
+    /// authority serves `version` with `sizes`, and each cache polls for
+    /// it at a jittered offset (retries are the caches' own business).
+    ///
+    /// Versions must be published in order, at times not earlier than
+    /// the tier's current simulated time.
+    pub fn publish(&mut self, version: usize, available_at_secs: f64, sizes: ServeSizes) {
+        assert_eq!(
+            version, self.versions,
+            "versions must be published in order"
+        );
+        self.versions += 1;
+        let at = SimTime::from_micros((available_at_secs * 1e6) as u64);
+        let n_authorities = self.config.n_authorities;
+        for index in 0..n_authorities + self.config.n_caches {
+            match self.sim.node_mut(NodeId(index)) {
+                DistNode::Authority(auth) => {
+                    debug_assert_eq!(auth.serving.len(), version);
+                    auth.serving.push(sizes.clone());
+                }
+                DistNode::Cache(cache) => {
+                    cache.received_at.push(None);
+                    cache.attempts.push(0);
+                }
+            }
+        }
+        for a in 0..n_authorities {
+            self.sim.schedule_timer(at, NodeId(a), poll_tag(version));
+        }
+        // One poll per cache, staggered so the tier does not stampede
+        // the authorities the instant a document appears.
+        let spread = self.config.poll_spread_secs.max(6);
+        for c in 0..self.config.n_caches {
+            let jitter = self.jitter_rng.gen_range(5..=spread);
+            self.sim.schedule_timer(
+                at + SimDuration::from_secs(jitter),
+                NodeId(n_authorities + c),
+                poll_tag(version),
             );
         }
     }
-    for window in &config.link_windows {
-        let (node, restore_bps) = match window.node {
-            TierNode::Authority(i) if i < config.n_authorities => (NodeId(i), config.authority_bps),
-            TierNode::Cache(i) if i < config.n_caches => {
-                (NodeId(config.n_authorities + i), config.cache_bps)
-            }
-            _ => continue,
-        };
-        let start = SimTime::from_micros((window.start_secs * 1e6) as u64);
-        let end = SimTime::from_micros(((window.start_secs + window.duration_secs) * 1e6) as u64);
-        sim.schedule_bandwidth_change(start, node, Some(window.bps), Some(window.bps));
-        sim.schedule_bandwidth_change(end, node, Some(restore_bps), Some(restore_bps));
+
+    /// Applies capacity-override windows (attack windows lowered from
+    /// the adversary model, maintenance, brownouts) to tier links.
+    /// Windows may start in the simulated future; windows for nodes the
+    /// tier does not have are ignored.
+    pub fn apply_windows(&mut self, windows: &[LinkWindow]) {
+        for window in windows {
+            let (node, restore_bps) = match window.node {
+                TierNode::Authority(i) if i < self.config.n_authorities => {
+                    (NodeId(i), self.config.authority_bps)
+                }
+                TierNode::Cache(i) if i < self.config.n_caches => {
+                    (NodeId(self.config.n_authorities + i), self.config.cache_bps)
+                }
+                _ => continue,
+            };
+            let start = SimTime::from_micros((window.start_secs * 1e6) as u64);
+            let end =
+                SimTime::from_micros(((window.start_secs + window.duration_secs) * 1e6) as u64);
+            self.sim
+                .schedule_bandwidth_change(start, node, Some(window.bps), Some(window.bps));
+            self.sim
+                .schedule_bandwidth_change(end, node, Some(restore_bps), Some(restore_bps));
+        }
     }
 
-    sim.run_until(SimTime::from_micros(
-        ((timeline.horizon_secs() + 1_800.0) * 1e6) as u64,
-    ));
+    /// Schedules the fetch-feedback background load that takes effect at
+    /// `at_secs`: `authority_bps` lands on each authority uplink *on
+    /// top of* the static legacy-client load, `cache_up_bps` on each
+    /// cache uplink (the fleet downloading from the caches) and
+    /// `cache_down_bps` on each cache downlink (the fleet's request
+    /// traffic arriving).
+    pub fn set_background_load(
+        &mut self,
+        at_secs: f64,
+        authority_bps: f64,
+        cache_up_bps: f64,
+        cache_down_bps: f64,
+    ) {
+        let at = SimTime::from_micros((at_secs * 1e6) as u64);
+        for a in 0..self.config.n_authorities {
+            self.sim.schedule_background_load(
+                at,
+                NodeId(a),
+                Some(self.config.direct_client_load_bps + authority_bps),
+                None,
+            );
+        }
+        for c in 0..self.config.n_caches {
+            self.sim.schedule_background_load(
+                at,
+                NodeId(self.config.n_authorities + c),
+                Some(cache_up_bps),
+                Some(cache_down_bps),
+            );
+        }
+    }
 
-    let mut availability = vec![Vec::new(); versions];
-    let mut egress = 0u64;
-    let mut egress_full_only = 0u64;
-    let mut full_responses = 0u64;
-    let mut diff_responses = 0u64;
-    for index in 0..n {
-        match sim.node(NodeId(index)) {
-            DistNode::Authority(auth) => {
-                egress += auth.egress_bytes;
-                egress_full_only += auth.egress_full_only_bytes;
-                full_responses += auth.full_responses;
-                diff_responses += auth.diff_responses;
-            }
-            DistNode::Cache(cache) => {
+    /// Advances the tier's simulated time to `t_secs`.
+    pub fn run_to(&mut self, t_secs: f64) {
+        self.sim
+            .run_until(SimTime::from_micros((t_secs * 1e6) as u64));
+    }
+
+    /// When each version reached the cache quorum, as of the tier's
+    /// current simulated time (`None` = not yet).
+    pub fn cached_at(&self) -> Vec<Option<f64>> {
+        self.availability()
+            .into_iter()
+            .map(|v| v.cached_at_secs)
+            .collect()
+    }
+
+    /// Per-version availability as of the tier's current simulated time.
+    fn availability(&self) -> Vec<VersionAvailability> {
+        let mut times: Vec<Vec<f64>> = vec![Vec::new(); self.versions];
+        for index in 0..self.config.n_caches {
+            if let DistNode::Cache(cache) = self.sim.node(NodeId(self.config.n_authorities + index))
+            {
                 for (version, at) in cache.received_at.iter().enumerate() {
                     if let Some(at) = at {
-                        availability[version].push(*at);
+                        times[version].push(*at);
                     }
                 }
             }
         }
+        let quorum_count =
+            ((self.config.n_caches as f64 * self.config.quorum).ceil() as usize).max(1);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(version, mut times)| {
+                times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                VersionAvailability {
+                    version,
+                    cached_at_secs: (times.len() >= quorum_count).then(|| times[quorum_count - 1]),
+                    cache_coverage: times.len() as f64 / self.config.n_caches.max(1) as f64,
+                }
+            })
+            .collect()
     }
 
-    let quorum_count = ((config.n_caches as f64 * config.quorum).ceil() as usize).max(1);
-    let versions_report = availability
-        .into_iter()
-        .enumerate()
-        .map(|(version, mut times)| {
-            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-            VersionAvailability {
-                version,
-                cached_at_secs: (times.len() >= quorum_count).then(|| times[quorum_count - 1]),
-                cache_coverage: times.len() as f64 / config.n_caches.max(1) as f64,
+    /// The tier's cumulative report as of its current simulated time.
+    pub fn report(&self) -> CacheTierReport {
+        let mut egress = 0u64;
+        let mut egress_full_only = 0u64;
+        let mut desc_egress = 0u64;
+        let mut full_responses = 0u64;
+        let mut diff_responses = 0u64;
+        for index in 0..self.config.n_authorities {
+            if let DistNode::Authority(auth) = self.sim.node(NodeId(index)) {
+                egress += auth.egress_bytes;
+                egress_full_only += auth.egress_full_only_bytes;
+                desc_egress += auth.descriptor_egress_bytes;
+                full_responses += auth.full_responses;
+                diff_responses += auth.diff_responses;
             }
-        })
-        .collect();
-
-    CacheTierReport {
-        versions: versions_report,
-        authority_egress_bytes: egress,
-        authority_egress_full_only_bytes: egress_full_only,
-        full_responses,
-        diff_responses,
+        }
+        CacheTierReport {
+            versions: self.availability(),
+            authority_egress_bytes: egress,
+            authority_egress_full_only_bytes: egress_full_only,
+            authority_descriptor_egress_bytes: desc_egress,
+            full_responses,
+            diff_responses,
+        }
     }
+}
+
+/// Runs the cache tier against a whole timeline and document table in
+/// one shot: the batch view of the same stepped machinery. Publications
+/// are injected at hour boundaries exactly as a stepping session would
+/// inject them, so batch and stepped runs are event-for-event
+/// identical.
+pub fn run(
+    config: &CacheSimConfig,
+    timeline: &ConsensusTimeline,
+    table: &DocTable,
+) -> CacheTierReport {
+    let mut tier = CacheTier::new(config);
+    let hours = (timeline.horizon_secs() / 3_600.0).ceil() as u64;
+    let mut published = 0;
+    for hour in 0..hours {
+        let hour_end = ((hour + 1) * 3_600) as f64;
+        while published < timeline.publications.len()
+            && timeline.publications[published].available_at_secs < hour_end
+        {
+            let publication = &timeline.publications[published];
+            tier.publish(
+                publication.version,
+                publication.available_at_secs,
+                ServeSizes::for_version(table, publication.version),
+            );
+            published += 1;
+        }
+        tier.run_to(hour_end);
+    }
+    tier.run_to(timeline.horizon_secs() + 1_800.0);
+    tier.report()
 }
 
 #[cfg(test)]
@@ -493,14 +690,19 @@ mod tests {
         }
     }
 
-    fn model_for(timeline: &ConsensusTimeline) -> Arc<DocModel> {
-        Arc::new(DocModel::synthetic(&timeline.publications, 8_000, 0.02, 3))
+    fn table_for(timeline: &ConsensusTimeline) -> DocTable {
+        let model = DocModel::synthetic(8_000);
+        let mut table = DocTable::new();
+        for publication in &timeline.publications {
+            table.push_version(&model, publication.hour, 0.02 * publication.hour as f64, 3);
+        }
+        table
     }
 
     #[test]
     fn healthy_tier_caches_every_version_promptly() {
         let timeline = healthy_timeline(4);
-        let report = run(&config(40), &timeline, &model_for(&timeline));
+        let report = run(&config(40), &timeline, &table_for(&timeline));
         assert_eq!(report.versions.len(), 5);
         for (publication, version) in timeline.publications.iter().zip(&report.versions) {
             let cached = version.cached_at_secs.expect("version reaches quorum");
@@ -518,7 +720,7 @@ mod tests {
     #[test]
     fn diffs_dominate_steady_state_and_slash_egress() {
         let timeline = healthy_timeline(6);
-        let report = run(&config(40), &timeline, &model_for(&timeline));
+        let report = run(&config(40), &timeline, &table_for(&timeline));
         assert!(
             report.diff_responses > report.full_responses,
             "steady-state caches fetch diffs: {} diff vs {} full",
@@ -531,6 +733,9 @@ mod tests {
             report.authority_egress_bytes,
             report.authority_egress_full_only_bytes
         );
+        // Descriptor traffic rides along: bootstraps move the full set,
+        // steady-state fetches only the churned slice.
+        assert!(report.authority_descriptor_egress_bytes > 0);
     }
 
     #[test]
@@ -546,7 +751,7 @@ mod tests {
                 bps: 0.5e6,
             })
             .collect();
-        let report = run(&cfg, &timeline, &model_for(&timeline));
+        let report = run(&cfg, &timeline, &table_for(&timeline));
         for version in &report.versions {
             assert!(
                 version.cached_at_secs.is_some(),
@@ -559,7 +764,7 @@ mod tests {
     fn dead_cache_majority_blocks_the_quorum() {
         let timeline = healthy_timeline(1);
         let mut cfg = config(20);
-        let healthy = run(&cfg, &timeline, &model_for(&timeline));
+        let healthy = run(&cfg, &timeline, &table_for(&timeline));
         assert!(healthy.versions[1].cached_at_secs.is_some());
         // Knock 16 of 20 cache links fully offline from the publication
         // until past the end of the simulated horizon (stalled pipes
@@ -574,7 +779,7 @@ mod tests {
                 bps: 0.0,
             })
             .collect();
-        let attacked = run(&cfg, &timeline, &model_for(&timeline));
+        let attacked = run(&cfg, &timeline, &table_for(&timeline));
         assert!(
             attacked.versions[1].cached_at_secs.is_none(),
             "a dead cache majority must keep the version below quorum: {:?}",
@@ -589,8 +794,8 @@ mod tests {
         let mut slow = config(30);
         // Legacy direct fetchers grind each authority down to a trickle.
         slow.direct_client_load_bps = 249.5e6;
-        let fast = run(&config(30), &timeline, &model_for(&timeline));
-        let loaded = run(&slow, &timeline, &model_for(&timeline));
+        let fast = run(&config(30), &timeline, &table_for(&timeline));
+        let loaded = run(&slow, &timeline, &table_for(&timeline));
         let fast_at = fast.versions[0].cached_at_secs.unwrap();
         let loaded_at = loaded.versions[0].cached_at_secs.unwrap();
         assert!(
@@ -599,12 +804,42 @@ mod tests {
         );
     }
 
+    /// The stepped tier and the one-shot wrapper must be the same
+    /// machinery: publishing hour by hour with `run_to` in between gives
+    /// byte-identical reports.
+    #[test]
+    fn stepped_and_batch_tier_agree() {
+        let timeline = healthy_timeline(3);
+        let table = table_for(&timeline);
+        let batch = run(&config(25), &timeline, &table);
+
+        let mut tier = CacheTier::new(&config(25));
+        let mut published = 0;
+        for hour in 0..=4u64 {
+            while published < timeline.publications.len()
+                && timeline.publications[published].available_at_secs < ((hour + 1) * 3_600) as f64
+            {
+                let publication = &timeline.publications[published];
+                tier.publish(
+                    publication.version,
+                    publication.available_at_secs,
+                    ServeSizes::for_version(&table, publication.version),
+                );
+                published += 1;
+            }
+            tier.run_to(((hour + 1) * 3_600) as f64);
+        }
+        tier.run_to(timeline.horizon_secs() + 1_800.0);
+        let stepped = tier.report();
+        assert_eq!(format!("{batch:?}"), format!("{stepped:?}"));
+    }
+
     #[test]
     fn tier_is_deterministic_for_a_seed() {
         let timeline = healthy_timeline(3);
-        let model = model_for(&timeline);
-        let a = run(&config(25), &timeline, &model);
-        let b = run(&config(25), &timeline, &model);
+        let table = table_for(&timeline);
+        let a = run(&config(25), &timeline, &table);
+        let b = run(&config(25), &timeline, &table);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

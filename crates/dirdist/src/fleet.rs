@@ -3,26 +3,40 @@
 //! Tor has millions of daily clients; simulating them as event-driven
 //! nodes would drown any engine. This model never allocates a per-client
 //! object: clients are *counts* bucketed by state — bootstrapping (no
-//! usable consensus, needs a full document plus descriptors) or steady
-//! (holding consensus version `v`) — and each fixed step moves sampled
-//! binomial/Poisson quantities between buckets. A 3-million-client day
-//! is ~1 440 steps over a handful of cohorts: microseconds of work,
-//! deterministic for a fixed seed.
+//! usable consensus, needs a full document plus the whole descriptor
+//! set) or steady (holding consensus version `v`) — and each fixed step
+//! moves sampled binomial/Poisson quantities between buckets. A
+//! 3-million-client day is ~1 440 steps over a handful of cohorts:
+//! microseconds of work, deterministic for a fixed seed.
 //!
 //! Behaviour follows the Tor client schedule in shape: steady clients
 //! notice a new consensus at the cache tier and fetch it at a uniformly
-//! staggered time (diff if their base is recent, full otherwise);
-//! clients whose document passes `valid-until` fall off the network and
-//! re-enter bootstrap, retrying on a fixed cadence with Poisson-thinned
-//! attempts until a live document is fetchable again.
+//! staggered time (a diff plus the churned relays' descriptors if their
+//! base is recent, full documents otherwise); clients whose document
+//! passes `valid-until` fall off the network and re-enter bootstrap,
+//! retrying on a fixed cadence with Poisson-thinned attempts until a
+//! live document is fetchable again.
+//!
+//! The fleet is stepped one hour at a time ([`FleetSim::step_hour`]),
+//! and each hour reports not just client-visible outcomes but the
+//! *realized egress* it pulled out of the tier — the quantity the
+//! session charges to the next hour's links when fetch feedback is on.
 
-use crate::docmodel::DocModel;
+use crate::docmodel::{DocClass, DocTable};
 use crate::stats::{binomial, poisson};
-use crate::timeline::ConsensusTimeline;
+use crate::timeline::{newest_live_cached, ConsensusTimeline, Publication};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::BTreeMap;
+
+/// Wire cost of one bootstrap probe that finds nothing live (request
+/// plus error/stale-header response) — the retry-storm unit of the
+/// January 2021 outage report.
+pub const FAILED_PROBE_BYTES: u64 = 512;
+
+/// Wire cost of the request side of a successful fetch.
+pub const REQUEST_BYTES: u64 = 200;
 
 /// Fleet configuration.
 #[derive(Clone, Debug)]
@@ -75,11 +89,28 @@ pub struct FleetHourRow {
     /// (stale holders plus the dead) — the paper's client-visible
     /// staleness metric.
     pub stale_fraction: f64,
-    /// Cache-tier egress to clients this hour, bytes (diffs served where
-    /// possible).
+    /// Consensus bytes the cache tier served to clients this hour
+    /// (diffs served where possible).
     pub cache_egress_bytes: u64,
-    /// The same egress if every fetch were a full document.
+    /// The same consensus egress if every fetch were a full document.
     pub cache_egress_full_only_bytes: u64,
+    /// Descriptor bytes served to clients this hour (full sets on
+    /// bootstrap, churned slices on refresh).
+    pub descriptor_egress_bytes: u64,
+    /// Request-side and failed-probe bytes clients pushed at the tier
+    /// this hour — the retry-storm traffic.
+    pub request_bytes: u64,
+}
+
+/// The egress one stepped hour realized — what the session charges to
+/// the next hour's links when feedback is on.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct FleetHourEgress {
+    /// Payload bytes (consensus + descriptors) the tier served to
+    /// clients.
+    pub served_bytes: u64,
+    /// Request-side and failed-probe bytes clients sent at the tier.
+    pub request_bytes: u64,
 }
 
 /// Whole-horizon fleet outcome.
@@ -96,181 +127,301 @@ pub struct FleetReport {
     pub mean_stale_fraction: f64,
     /// Worst instantaneous stale fraction observed.
     pub peak_stale_fraction: f64,
-    /// Total cache egress, bytes.
+    /// Total consensus bytes served to clients.
     pub cache_egress_bytes: u64,
-    /// Counterfactual egress without consensus diffs, bytes.
+    /// Counterfactual consensus egress without diffs, bytes.
     pub cache_egress_full_only_bytes: u64,
+    /// Total descriptor bytes served to clients.
+    pub descriptor_egress_bytes: u64,
 }
 
-/// When a version became fetchable at the cache tier (`None` = never).
+/// When a version became fetchable at the cache tier (`None` = never,
+/// or not yet, in stepped use).
 pub type CacheAvailability = [Option<f64>];
 
-/// Runs the fleet over a timeline whose versions became fetchable at the
-/// cache tier at `cached_at[version]`.
+/// The stepped cohort fleet: persistent cohort state plus cumulative
+/// accounting, advanced one hour at a time.
+pub struct FleetSim {
+    config: FleetConfig,
+    rng: StdRng,
+    /// Cohorts: version → clients holding it.
+    holding: BTreeMap<usize, u64>,
+    /// The bootstrap pool (no usable consensus).
+    pool: u64,
+    rows: Vec<FleetHourRow>,
+    total_attempts: u64,
+    total_successes: u64,
+    downtime_sum: f64,
+    stale_sum: f64,
+    steps_done: u64,
+    peak_stale: f64,
+    egress: u64,
+    egress_full: u64,
+    desc_egress: u64,
+}
+
+impl FleetSim {
+    /// A fleet at t = 0: everyone holds the baseline consensus
+    /// (version 0).
+    pub fn new(config: &FleetConfig) -> Self {
+        let mut holding = BTreeMap::new();
+        holding.insert(0, config.clients);
+        FleetSim {
+            config: config.clone(),
+            rng: StdRng::seed_from_u64(config.seed),
+            holding,
+            pool: 0,
+            rows: Vec::new(),
+            total_attempts: 0,
+            total_successes: 0,
+            downtime_sum: 0.0,
+            stale_sum: 0.0,
+            steps_done: 0,
+            peak_stale: 0.0,
+            egress: 0,
+            egress_full: 0,
+            desc_egress: 0,
+        }
+    }
+
+    /// Steps the fleet over `[hour * 3600, (hour + 1) * 3600)` against
+    /// the publications so far and the cache tier's availability as of
+    /// the end of that hour. Hours must be stepped in order from 0.
+    ///
+    /// `service_budget_bytes` caps the payload the tier can serve this
+    /// hour (`None` = unlimited, the open-loop behaviour): a session
+    /// with feedback on derives it from the cache links' capacity minus
+    /// the load already charged to them, so a bootstrap storm larger
+    /// than the tier's capacity spills into later hours instead of
+    /// being served for free — clients left over stay in the pool and
+    /// keep probing, exactly the §2.1 retry dynamics.
+    pub fn step_hour(
+        &mut self,
+        hour: u64,
+        publications: &[Publication],
+        table: &DocTable,
+        cached_at: &CacheAvailability,
+        service_budget_bytes: Option<u64>,
+    ) -> (FleetHourRow, FleetHourEgress) {
+        assert_eq!(hour, self.rows.len() as u64, "hours step in order");
+        let dt = self.config.step_secs.max(1) as f64;
+        let steps = (3_600.0 / dt).ceil() as u64;
+
+        let mut hour_attempts = 0u64;
+        let mut hour_successes = 0u64;
+        let mut hour_refreshes = 0u64;
+        let mut hour_egress = 0u64;
+        let mut hour_egress_full = 0u64;
+        let mut hour_desc_egress = 0u64;
+        let mut hour_request = 0u64;
+        let mut hour_dead_sum = 0.0;
+        let mut hour_stale_sum = 0.0;
+        let mut hour_samples = 0u64;
+        let mut budget_left = service_budget_bytes;
+
+        // How many of `wanted` fetches at `cost` bytes each fit in the
+        // remaining budget (all of them when the budget is unlimited).
+        let serveable = |budget: &Option<u64>, wanted: u64, cost: u64| match budget {
+            None => wanted,
+            Some(_) if cost == 0 => wanted,
+            Some(left) => wanted.min(left / cost),
+        };
+        let spend = |budget: &mut Option<u64>, bytes: u64| {
+            if let Some(left) = budget {
+                *left = left.saturating_sub(bytes);
+            }
+        };
+
+        for step in 0..steps {
+            let t = (hour * 3_600) as f64 + step as f64 * dt;
+
+            // Newest version fetchable from the cache tier right now.
+            let newest_live = newest_live_cached(publications, cached_at, t);
+
+            // 1. Expiry: cohorts whose document passed valid-until fall
+            //    off the network and start over.
+            let expired: Vec<usize> = self
+                .holding
+                .keys()
+                .copied()
+                .filter(|&v| !publications[v].live_at(t))
+                .collect();
+            for v in expired {
+                self.pool += self.holding.remove(&v).unwrap_or(0);
+            }
+
+            // 2. Arrivals: fresh clients joining the network (Poisson).
+            self.pool += poisson(&mut self.rng, self.config.arrivals_per_sec * dt);
+
+            // 3. Steady-state refresh: holders of an older version fetch
+            //    the newest cached one, staggered over the refresh
+            //    window. A refresh costs a consensus response (diff
+            //    inside the retain window) plus the churned relays'
+            //    descriptors.
+            if let Some(target) = newest_live {
+                let p_refresh = (dt / self.config.refresh_spread_secs).min(1.0);
+                let sources: Vec<usize> = self
+                    .holding
+                    .keys()
+                    .copied()
+                    .filter(|&v| v < target)
+                    .collect();
+                for v in sources {
+                    let count = self.holding[&v];
+                    let movers = binomial(&mut self.rng, count, p_refresh);
+                    if movers == 0 {
+                        continue;
+                    }
+                    let consensus = table.response(DocClass::Consensus, Some(v), target);
+                    let descriptors = table.response(DocClass::Descriptors, Some(v), target);
+                    // A saturated tier serves only what fits; the rest
+                    // stay on their old version and try again later.
+                    let movers =
+                        serveable(&budget_left, movers, consensus.bytes + descriptors.bytes);
+                    if movers == 0 {
+                        continue;
+                    }
+                    *self.holding.get_mut(&v).expect("cohort exists") -= movers;
+                    *self.holding.entry(target).or_insert(0) += movers;
+                    hour_refreshes += movers;
+                    hour_egress += movers * consensus.bytes;
+                    hour_egress_full += movers * table.full_bytes(DocClass::Consensus, target);
+                    hour_desc_egress += movers * descriptors.bytes;
+                    hour_request += movers * REQUEST_BYTES;
+                    spend(
+                        &mut budget_left,
+                        movers * (consensus.bytes + descriptors.bytes),
+                    );
+                }
+                self.holding.retain(|_, count| *count > 0);
+            }
+
+            // 4. Bootstrap attempts: Poisson-thinned retries from the
+            //    pool. A success costs the full consensus plus the whole
+            //    descriptor set; a failure still costs a probe — the
+            //    retry-storm traffic feedback charges to the next hour.
+            if self.pool > 0 {
+                let p_attempt = (dt / self.config.bootstrap_retry_secs).min(1.0);
+                let attempts = binomial(&mut self.rng, self.pool, p_attempt);
+                hour_attempts += attempts;
+                self.total_attempts += attempts;
+                if let Some(target) = newest_live {
+                    // The cache tier serves them the full documents —
+                    // as many as fit in what the links can still carry;
+                    // a storm larger than the tier spills over.
+                    let bytes = table.full_bytes(DocClass::Consensus, target);
+                    let desc_bytes = table.full_bytes(DocClass::Descriptors, target);
+                    let served = serveable(&budget_left, attempts, bytes + desc_bytes);
+                    self.pool -= served;
+                    *self.holding.entry(target).or_insert(0) += served;
+                    hour_successes += served;
+                    self.total_successes += served;
+                    hour_egress += served * bytes;
+                    hour_egress_full += served * bytes;
+                    hour_desc_egress += served * desc_bytes;
+                    hour_request +=
+                        served * REQUEST_BYTES + (attempts - served) * FAILED_PROBE_BYTES;
+                    spend(&mut budget_left, served * (bytes + desc_bytes));
+                } else {
+                    hour_request += attempts * FAILED_PROBE_BYTES;
+                }
+            }
+
+            // 5. Client-visible state at the end of the step.
+            let held: u64 = self.holding.values().sum();
+            let total = (held + self.pool).max(1);
+            let fresh: u64 = self
+                .holding
+                .iter()
+                .filter(|(v, _)| publications[**v].fresh_at(t))
+                .map(|(_, count)| *count)
+                .sum();
+            let dead_fraction = self.pool as f64 / total as f64;
+            let stale_fraction = 1.0 - fresh as f64 / total as f64;
+            hour_dead_sum += dead_fraction;
+            hour_stale_sum += stale_fraction;
+            hour_samples += 1;
+            self.downtime_sum += dead_fraction;
+            self.stale_sum += stale_fraction;
+            self.peak_stale = self.peak_stale.max(stale_fraction);
+            self.steps_done += 1;
+        }
+
+        let row = FleetHourRow {
+            hour,
+            bootstrap_attempts: hour_attempts,
+            bootstrap_successes: hour_successes,
+            refresh_fetches: hour_refreshes,
+            dead_fraction: hour_dead_sum / hour_samples.max(1) as f64,
+            stale_fraction: hour_stale_sum / hour_samples.max(1) as f64,
+            cache_egress_bytes: hour_egress,
+            cache_egress_full_only_bytes: hour_egress_full,
+            descriptor_egress_bytes: hour_desc_egress,
+            request_bytes: hour_request,
+        };
+        self.egress += hour_egress;
+        self.egress_full += hour_egress_full;
+        self.desc_egress += hour_desc_egress;
+        self.rows.push(row.clone());
+        let egress = FleetHourEgress {
+            served_bytes: hour_egress + hour_desc_egress,
+            request_bytes: hour_request,
+        };
+        (row, egress)
+    }
+
+    /// The whole-horizon report over every hour stepped so far.
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            rows: self.rows.clone(),
+            bootstrap_success_rate: if self.total_attempts == 0 {
+                1.0
+            } else {
+                self.total_successes as f64 / self.total_attempts as f64
+            },
+            client_weighted_downtime: self.downtime_sum / self.steps_done.max(1) as f64,
+            mean_stale_fraction: self.stale_sum / self.steps_done.max(1) as f64,
+            peak_stale_fraction: self.peak_stale,
+            cache_egress_bytes: self.egress,
+            cache_egress_full_only_bytes: self.egress_full,
+            descriptor_egress_bytes: self.desc_egress,
+        }
+    }
+}
+
+/// Runs the fleet over a whole timeline whose versions became fetchable
+/// at the cache tier at `cached_at[version]` — the batch view of the
+/// same stepped machinery.
 pub fn run(
     config: &FleetConfig,
     timeline: &ConsensusTimeline,
-    model: &DocModel,
+    table: &DocTable,
     cached_at: &CacheAvailability,
 ) -> FleetReport {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let dt = config.step_secs.max(1) as f64;
-    let horizon = timeline.horizon_secs();
-    let steps = (horizon / dt).ceil() as u64;
-
-    // Cohorts: version → clients holding it; plus the bootstrap pool.
-    let mut holding: BTreeMap<usize, u64> = BTreeMap::new();
-    holding.insert(0, config.clients);
-    let mut pool: u64 = 0;
-
-    let mut rows: Vec<FleetHourRow> = Vec::new();
-    let mut hour_attempts = 0u64;
-    let mut hour_successes = 0u64;
-    let mut hour_refreshes = 0u64;
-    let mut hour_egress = 0u64;
-    let mut hour_egress_full = 0u64;
-    let mut hour_dead_sum = 0.0;
-    let mut hour_stale_sum = 0.0;
-    let mut hour_samples = 0u64;
-
-    let mut total_attempts = 0u64;
-    let mut total_successes = 0u64;
-    let mut downtime_sum = 0.0;
-    let mut stale_sum = 0.0;
-    let mut peak_stale = 0.0f64;
-    let mut egress = 0u64;
-    let mut egress_full = 0u64;
-
-    let publications = &timeline.publications;
-
-    for step in 0..steps {
-        let t = step as f64 * dt;
-        let hour = (t / 3600.0) as u64;
-
-        // Newest version fetchable from the cache tier right now.
-        let newest_live = timeline.newest_live_cached(cached_at, t);
-
-        // 1. Expiry: cohorts whose document passed valid-until fall off
-        //    the network and start over.
-        let expired: Vec<usize> = holding
-            .keys()
-            .copied()
-            .filter(|&v| !publications[v].live_at(t))
-            .collect();
-        for v in expired {
-            pool += holding.remove(&v).unwrap_or(0);
-        }
-
-        // 2. Arrivals: fresh clients joining the network (Poisson).
-        pool += poisson(&mut rng, config.arrivals_per_sec * dt);
-
-        // 3. Steady-state refresh: holders of an older version fetch the
-        //    newest cached one, staggered over the refresh window.
-        if let Some(target) = newest_live {
-            let p_refresh = (dt / config.refresh_spread_secs).min(1.0);
-            let sources: Vec<usize> = holding.keys().copied().filter(|&v| v < target).collect();
-            for v in sources {
-                let count = holding[&v];
-                let movers = binomial(&mut rng, count, p_refresh);
-                if movers == 0 {
-                    continue;
-                }
-                *holding.get_mut(&v).expect("cohort exists") -= movers;
-                *holding.entry(target).or_insert(0) += movers;
-                let response = model.response(Some(v), target);
-                hour_refreshes += movers;
-                hour_egress += movers * response.bytes;
-                hour_egress_full += movers * model.full_bytes(target);
-            }
-            holding.retain(|_, count| *count > 0);
-        }
-
-        // 4. Bootstrap attempts: Poisson-thinned retries from the pool.
-        if pool > 0 {
-            let p_attempt = (dt / config.bootstrap_retry_secs).min(1.0);
-            let attempts = binomial(&mut rng, pool, p_attempt);
-            hour_attempts += attempts;
-            total_attempts += attempts;
-            if let Some(target) = newest_live {
-                // The cache tier serves them the full document.
-                pool -= attempts;
-                *holding.entry(target).or_insert(0) += attempts;
-                hour_successes += attempts;
-                total_successes += attempts;
-                let bytes = model.full_bytes(target);
-                hour_egress += attempts * bytes;
-                hour_egress_full += attempts * bytes;
-            }
-        }
-
-        // 5. Client-visible state at the end of the step.
-        let held: u64 = holding.values().sum();
-        let total = (held + pool).max(1);
-        let fresh: u64 = holding
-            .iter()
-            .filter(|(v, _)| publications[**v].fresh_at(t))
-            .map(|(_, count)| *count)
-            .sum();
-        let dead_fraction = pool as f64 / total as f64;
-        let stale_fraction = 1.0 - fresh as f64 / total as f64;
-        hour_dead_sum += dead_fraction;
-        hour_stale_sum += stale_fraction;
-        hour_samples += 1;
-        downtime_sum += dead_fraction;
-        stale_sum += stale_fraction;
-        peak_stale = peak_stale.max(stale_fraction);
-
-        // Hour boundary: flush the row.
-        let next_hour = ((step + 1) as f64 * dt / 3600.0) as u64;
-        if next_hour != hour || step + 1 == steps {
-            rows.push(FleetHourRow {
-                hour,
-                bootstrap_attempts: hour_attempts,
-                bootstrap_successes: hour_successes,
-                refresh_fetches: hour_refreshes,
-                dead_fraction: hour_dead_sum / hour_samples.max(1) as f64,
-                stale_fraction: hour_stale_sum / hour_samples.max(1) as f64,
-                cache_egress_bytes: hour_egress,
-                cache_egress_full_only_bytes: hour_egress_full,
-            });
-            egress += hour_egress;
-            egress_full += hour_egress_full;
-            hour_attempts = 0;
-            hour_successes = 0;
-            hour_refreshes = 0;
-            hour_egress = 0;
-            hour_egress_full = 0;
-            hour_dead_sum = 0.0;
-            hour_stale_sum = 0.0;
-            hour_samples = 0;
-        }
+    let mut fleet = FleetSim::new(config);
+    let hours = (timeline.horizon_secs() / 3_600.0).ceil() as u64;
+    for hour in 0..hours {
+        fleet.step_hour(hour, &timeline.publications, table, cached_at, None);
     }
-
-    FleetReport {
-        rows,
-        bootstrap_success_rate: if total_attempts == 0 {
-            1.0
-        } else {
-            total_successes as f64 / total_attempts as f64
-        },
-        client_weighted_downtime: downtime_sum / steps.max(1) as f64,
-        mean_stale_fraction: stale_sum / steps.max(1) as f64,
-        peak_stale_fraction: peak_stale,
-        cache_egress_bytes: egress,
-        cache_egress_full_only_bytes: egress_full,
-    }
+    fleet.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::docmodel::DocModel;
 
     fn timeline(hourly: &[Option<f64>]) -> ConsensusTimeline {
         ConsensusTimeline::from_hourly_outcomes(hourly, 3_600, 10_800)
     }
 
-    fn model(t: &ConsensusTimeline) -> DocModel {
-        DocModel::synthetic(&t.publications, 8_000, 0.02, 3)
+    fn table(t: &ConsensusTimeline) -> DocTable {
+        let model = DocModel::synthetic(8_000);
+        let mut table = DocTable::new();
+        for p in &t.publications {
+            table.push_version(&model, p.hour, 0.02 * p.hour as f64, 3);
+        }
+        table
     }
 
     /// Caches hold each version five minutes after the authorities.
@@ -284,7 +435,7 @@ mod tests {
     #[test]
     fn healthy_timeline_keeps_fleet_alive_and_on_diffs() {
         let t = timeline(&[Some(330.0); 6]);
-        let m = model(&t);
+        let m = table(&t);
         let report = run(
             &FleetConfig::sized(1_000_000, 3),
             &t,
@@ -303,13 +454,18 @@ mod tests {
         let refreshes: u64 = report.rows.iter().map(|r| r.refresh_fetches).sum();
         let bootstraps: u64 = report.rows.iter().map(|r| r.bootstrap_attempts).sum();
         assert!(refreshes > bootstraps * 10);
+        // Descriptor egress exists but the churned slices stay far below
+        // what full sets on every refresh would cost.
+        assert!(report.descriptor_egress_bytes > 0);
+        let full_sets: u64 = refreshes * m.full_bytes(DocClass::Descriptors, 0);
+        assert!(report.descriptor_egress_bytes * 2 < full_sets);
     }
 
     #[test]
     fn dead_timeline_kills_fleet_after_three_hours() {
         // No consensus after the baseline: the paper's §2.1 collapse.
         let t = timeline(&[None; 6]);
-        let m = model(&t);
+        let m = table(&t);
         let report = run(
             &FleetConfig::sized(1_000_000, 3),
             &t,
@@ -329,12 +485,15 @@ mod tests {
         );
         assert!(report.client_weighted_downtime > 0.3);
         assert!(report.peak_stale_fraction > 0.99);
+        // The dead pool's failed probes are real traffic — the
+        // retry-storm unit feedback charges to the next hour's links.
+        assert!(last.request_bytes > last.bootstrap_attempts * FAILED_PROBE_BYTES / 2);
     }
 
     #[test]
     fn fleet_is_deterministic_and_scales_without_allocation_blowup() {
         let t = timeline(&[Some(330.0); 24]);
-        let m = model(&t);
+        let m = table(&t);
         let caches = prompt_caches(&t);
         let start = std::time::Instant::now();
         let a = run(&FleetConfig::sized(3_000_000, 9), &t, &m, &caches);
@@ -351,7 +510,7 @@ mod tests {
     #[test]
     fn late_caches_delay_bootstrap_success() {
         let t = timeline(&[Some(330.0); 4]);
-        let m = model(&t);
+        let m = table(&t);
         // The cache tier never gets anything after the baseline.
         let never: Vec<Option<f64>> = t
             .publications
@@ -364,5 +523,32 @@ mod tests {
         let last = report.rows.last().unwrap();
         assert_eq!(last.bootstrap_successes, 0);
         assert!(last.dead_fraction > 0.9);
+    }
+
+    /// Stepping hour by hour with a *growing* availability view (the
+    /// session's mode) matches the one-shot run when the final view is
+    /// consistent: versions invisible to an hour's steps are exactly the
+    /// ones cached later.
+    #[test]
+    fn stepped_and_batch_fleet_agree() {
+        let t = timeline(&[Some(330.0), None, Some(400.0)]);
+        let m = table(&t);
+        let caches = prompt_caches(&t);
+        let batch = run(&FleetConfig::sized(200_000, 11), &t, &m, &caches);
+
+        let mut fleet = FleetSim::new(&FleetConfig::sized(200_000, 11));
+        let hours = (t.horizon_secs() / 3_600.0) as u64;
+        for hour in 0..hours {
+            // The tier only reveals versions cached by the end of the
+            // stepped hour — exactly what a session sees.
+            let hour_end = ((hour + 1) * 3_600) as f64;
+            let partial: Vec<Option<f64>> = caches
+                .iter()
+                .map(|at| at.filter(|&at| at <= hour_end))
+                .collect();
+            fleet.step_hour(hour, &t.publications, &m, &partial, None);
+        }
+        let stepped = fleet.report();
+        assert_eq!(format!("{batch:?}"), format!("{stepped:?}"));
     }
 }

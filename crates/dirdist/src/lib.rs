@@ -11,17 +11,25 @@
 //! staggered Tor schedule, and falling off the network when their
 //! document passes `valid-until`.
 //!
-//! The pipeline:
+//! The primary API is the hour-stepped co-simulation session:
 //!
-//! 1. [`ConsensusTimeline`] — which hourly runs produced a document and
-//!    when (built from protocol-run reports upstream);
-//! 2. [`cachesim`] — the cache tier fetches each publication, under
-//!    attack windows and aggregate legacy-client load;
-//! 3. [`fleet`] — cohort-aggregated clients live on what the cache tier
-//!    holds;
-//! 4. [`DistReport`] — client-visible availability and the egress
-//!    arithmetic (with vs. without diffs) that makes authorities DDoS
-//!    targets in the first place.
+//! 1. [`DistSession::new`] — a live cache tier ([`cachesim`]), a cohort
+//!    fleet ([`fleet`]) and a growing per-version size table
+//!    ([`DocTable`]) under one clock;
+//! 2. [`DistSession::step_hour`] — one hour of the §2.1 timeline:
+//!    publication in, [`HourReport`] out, and (with
+//!    [`DistConfig::feedback`] on) the fleet's realized egress charged
+//!    to the *next* hour's links — the fetch-storm feedback loop end to
+//!    end;
+//! 3. [`DistSession::into_report`] — the end-to-end [`DistReport`]:
+//!    client-visible availability and the egress arithmetic (with vs.
+//!    without diffs) that makes authorities DDoS targets in the first
+//!    place.
+//!
+//! The one-shot [`simulate`] entry point is a thin wrapper that steps a
+//! session over a pre-built [`ConsensusTimeline`] with feedback off;
+//! with identical inputs it is bit-for-bit identical to stepping the
+//! session by hand (a test pins this).
 //!
 //! # Examples
 //!
@@ -44,20 +52,49 @@
 //! assert!(report.fleet.bootstrap_success_rate > 0.99);
 //! assert!(report.cache.diff_responses > 0);
 //! ```
+//!
+//! Stepping the session directly — the mode the feedback loop and
+//! multi-day churny horizons need:
+//!
+//! ```
+//! use partialtor_dirdist::{DistConfig, DistSession, DocModel, HourInput};
+//!
+//! let config = DistConfig {
+//!     clients: 50_000,
+//!     n_caches: 10,
+//!     feedback: true,
+//!     ..DistConfig::default()
+//! };
+//! let mut session = DistSession::new(&config, DocModel::synthetic(config.relays));
+//! let hour1 = session.step_hour(HourInput::produced(330.0));
+//! let hour2 = session.step_hour(HourInput::failed());
+//! assert_eq!(hour1.published_version, Some(1));
+//! assert_eq!(hour2.published_version, None);
+//! let report = session.into_report();
+//! assert!(report.feedback.enabled);
+//! ```
 
 pub mod cachesim;
+pub mod churn;
 pub mod docmodel;
 pub mod fleet;
+pub mod session;
 pub mod stats;
 pub mod timeline;
 
-pub use cachesim::{CacheSimConfig, CacheTierReport, LinkWindow, TierNode, VersionAvailability};
-pub use docmodel::{consensus_size_bytes, DocModel, ResponseSize};
-pub use fleet::{FleetConfig, FleetHourRow, FleetReport};
+pub use cachesim::{
+    CacheSimConfig, CacheTier, CacheTierReport, LinkWindow, ServeSizes, TierNode,
+    VersionAvailability,
+};
+pub use churn::ChurnSchedule;
+pub use docmodel::{
+    consensus_size_bytes, descriptors_size_bytes, DocClass, DocModel, DocTable, ResponseSize,
+};
+pub use fleet::{FleetConfig, FleetHourEgress, FleetHourRow, FleetReport, FleetSim};
+pub use session::{DistSession, FeedbackSummary, HourInput, HourReport};
 pub use timeline::{ConsensusTimeline, Publication};
 
 use serde::Serialize;
-use std::sync::Arc;
 
 /// Configuration of one end-to-end distribution simulation.
 #[derive(Clone, Debug)]
@@ -72,8 +109,9 @@ pub struct DistConfig {
     pub n_authorities: usize,
     /// Directory caches.
     pub n_caches: usize,
-    /// Hourly relay churn driving diff sizes.
-    pub churn_per_hour: f64,
+    /// Hourly relay churn driving diff sizes: constant, or the Fig. 6
+    /// weekly series for multi-day horizons.
+    pub churn: ChurnSchedule,
     /// Diff window: bases older than this many hours get full documents.
     pub retain_hours: u64,
     /// Fraction of clients that still fetch directly from authorities
@@ -84,6 +122,14 @@ pub struct DistConfig {
     /// horizon — DDoS windows lowered from the typed adversary model
     /// upstream (`partialtor::adversary::AttackPlan::dist_windows`).
     pub link_windows: Vec<LinkWindow>,
+    /// Closes the §2.1 fetch-feedback loop: each hour's realized fleet
+    /// egress (bootstrap storms included) becomes the next hour's
+    /// background load on cache and authority links.
+    pub feedback: bool,
+    /// Consensus freshness lifetime, seconds from the nominal hour.
+    pub fresh_secs: u64,
+    /// Consensus validity lifetime, seconds from the nominal hour.
+    pub valid_secs: u64,
 }
 
 impl Default for DistConfig {
@@ -94,22 +140,29 @@ impl Default for DistConfig {
             relays: 8_000,
             n_authorities: 9,
             n_caches: 200,
-            churn_per_hour: 0.02,
+            churn: ChurnSchedule::default(),
             retain_hours: 3,
             direct_fetch_fraction: 0.01,
             link_windows: Vec::new(),
+            feedback: false,
+            fresh_secs: 3_600,
+            valid_secs: 10_800,
         }
     }
 }
 
 impl DistConfig {
     /// Aggregate load the direct-fetching slice of the fleet puts on
-    /// *each* authority uplink, bits/s: one full consensus per such
-    /// client per hour, spread over the authorities.
+    /// *each* authority uplink, bits/s — computed from the two document
+    /// classes rather than calibrated: one full consensus plus the
+    /// churned relays' descriptors per such client per hour, spread
+    /// over the authorities.
     pub fn direct_client_load_bps(&self) -> f64 {
         let direct = self.clients as f64 * self.direct_fetch_fraction;
-        let bytes_per_hour = direct * consensus_size_bytes(self.relays) as f64;
-        bytes_per_hour * 8.0 / 3_600.0 / self.n_authorities.max(1) as f64
+        let churn = self.churn.churn_at(1).clamp(0.0, 1.0);
+        let per_client = consensus_size_bytes(self.relays) as f64
+            + descriptors_size_bytes(self.relays) as f64 * churn;
+        direct * per_client * 8.0 / 3_600.0 / self.n_authorities.max(1) as f64
     }
 }
 
@@ -123,47 +176,58 @@ pub struct DistReport {
     /// Client-fleet outcome (bootstrap success, staleness, cache-side
     /// egress).
     pub fleet: FleetReport,
+    /// Feedback-loop summary (background loads the session applied).
+    pub feedback: FeedbackSummary,
 }
 
 /// Runs the full distribution pipeline with a synthetic document model
-/// sized for `config.relays`.
+/// sized for `config.relays`: a thin one-shot wrapper that steps a
+/// [`DistSession`] over the timeline.
 pub fn simulate(config: &DistConfig, timeline: &ConsensusTimeline) -> DistReport {
-    let model = Arc::new(DocModel::synthetic(
-        &timeline.publications,
-        config.relays,
-        config.churn_per_hour,
-        config.retain_hours,
-    ));
-    simulate_with_model(config, timeline, &model)
+    simulate_with_model(config, timeline, &DocModel::synthetic(config.relays))
 }
 
 /// Runs the full distribution pipeline with an explicit document model
 /// (e.g. one measured from real `tordoc` consensuses via
 /// [`DocModel::from_consensuses`]).
+///
+/// The timeline's hourly outcomes are replayed through a stepped
+/// [`DistSession`]; its freshness/validity lifetimes should match
+/// `config.fresh_secs`/`config.valid_secs` (the session re-derives
+/// publication lifetimes from the config).
 pub fn simulate_with_model(
     config: &DistConfig,
     timeline: &ConsensusTimeline,
-    model: &Arc<DocModel>,
+    model: &DocModel,
 ) -> DistReport {
-    let cache_config = CacheSimConfig {
-        seed: config.seed,
-        n_authorities: config.n_authorities,
-        n_caches: config.n_caches,
-        direct_client_load_bps: config.direct_client_load_bps(),
-        link_windows: config.link_windows.clone(),
-        ..CacheSimConfig::default()
-    };
-    let cache = cachesim::run(&cache_config, timeline, model);
-
-    let cached_at: Vec<Option<f64>> = cache.versions.iter().map(|v| v.cached_at_secs).collect();
-    let fleet = fleet::run(
-        &FleetConfig::sized(config.clients, config.seed ^ 0x0005_eedf_1ee7),
-        timeline,
-        model,
-        &cached_at,
-    );
-
-    DistReport { cache, fleet }
+    // The session re-derives publication lifetimes from the config; a
+    // timeline built with different `fresh`/`valid` parameters would
+    // silently describe a different experiment, so refuse it loudly.
+    for p in &timeline.publications {
+        let nominal = (p.hour * 3_600) as f64;
+        assert!(
+            p.fresh_until_secs == nominal + config.fresh_secs as f64
+                && p.valid_until_secs == nominal + config.valid_secs as f64,
+            "timeline lifetimes disagree with DistConfig \
+             (fresh_secs/valid_secs = {}/{}): {p:?}",
+            config.fresh_secs,
+            config.valid_secs,
+        );
+    }
+    let mut session = DistSession::new(config, model.clone());
+    for hour in 1..=timeline.hours {
+        let publication = timeline
+            .publications
+            .iter()
+            .find(|p| p.hour == hour)
+            .map(|p| p.available_at_secs - (hour * 3_600) as f64);
+        session.step_hour(HourInput {
+            publication,
+            link_windows: Vec::new(),
+            churn: None,
+        });
+    }
+    session.into_report()
 }
 
 #[cfg(test)]
@@ -236,6 +300,32 @@ mod tests {
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
+    /// The acceptance-criterion pin: the one-shot wrapper and a manually
+    /// stepped session are *bit-for-bit* identical with feedback off.
+    #[test]
+    fn one_shot_wrapper_equals_manual_stepping() {
+        let outcomes = [Some(330.0), None, Some(400.0), None, Some(10.0)];
+        let timeline = ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800);
+        let config = DistConfig {
+            clients: 120_000,
+            n_caches: 25,
+            link_windows: hourly_attacks(5),
+            ..DistConfig::default()
+        };
+        let batch = simulate(&config, &timeline);
+
+        let mut session = DistSession::new(&config, DocModel::synthetic(config.relays));
+        for outcome in outcomes {
+            session.step_hour(HourInput {
+                publication: outcome,
+                link_windows: Vec::new(),
+                churn: None,
+            });
+        }
+        let stepped = session.into_report();
+        assert_eq!(format!("{batch:?}"), format!("{stepped:?}"));
+    }
+
     /// Real `tordoc` documents flow through the whole pipeline: the
     /// cache tier serves genuine `ConsensusDiff`s whose sizes come from
     /// verified reconstructions.
@@ -265,7 +355,7 @@ mod tests {
                 aggregate(&refs)
             })
             .collect();
-        let model = std::sync::Arc::new(DocModel::from_consensuses(&docs, 3));
+        let model = DocModel::from_consensuses(&docs, 3);
         let timeline = attacked_hourly(3, true);
         let config = DistConfig {
             clients: 50_000,

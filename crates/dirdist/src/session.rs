@@ -1,0 +1,463 @@
+//! The hour-stepped distribution session: the crate's primary API.
+//!
+//! The paper's §2.1 fetch-storm dynamics are a feedback loop — outages
+//! create bootstrap retry storms whose load worsens the next hour's
+//! outage — which a batch pipeline (whole cache horizon, then whole
+//! fleet horizon) cannot express: hour *h*'s client load can never
+//! reach hour *h + 1*'s links. [`DistSession`] closes the loop by
+//! interleaving the two tiers per hour:
+//!
+//! 1. the driver calls [`DistSession::step_hour`] with that hour's
+//!    [`HourInput`] — whether the protocol produced a consensus, any
+//!    attack windows, and optionally an explicit churn rate;
+//! 2. the session grows its [`DocTable`] (diff sizes driven by the
+//!    churn accumulated between base and target), injects the
+//!    publication into the live cache tier, and advances the tier to
+//!    the end of the hour;
+//! 3. the cohort fleet steps over the same hour against the tier's
+//!    availability as of that hour's end;
+//! 4. with feedback enabled, the fleet's *realized* egress — including
+//!    bootstrap retry storms — is charged as the *next* hour's
+//!    background load on cache and authority links.
+//!
+//! [`DistSession::into_report`] drains the tier and returns the same
+//! [`DistReport`] the one-shot
+//! [`simulate`](crate::simulate) wrapper produces; with feedback off
+//! the wrapper and a manually stepped session are bit-for-bit
+//! identical (a test pins this).
+
+use crate::cachesim::{CacheSimConfig, CacheTier, LinkWindow, ServeSizes};
+use crate::docmodel::{DocModel, DocTable};
+use crate::fleet::{FleetConfig, FleetHourEgress, FleetHourRow, FleetSim};
+use crate::timeline::Publication;
+use crate::{DistConfig, DistReport};
+use serde::Serialize;
+
+/// One hour's input to a stepped session.
+#[derive(Clone, Debug, Default)]
+pub struct HourInput {
+    /// Offset into the hour (seconds) at which this hour's protocol run
+    /// produced a consensus, or `None` when the run failed.
+    pub publication: Option<f64>,
+    /// Capacity-override windows to inject this step (absolute clock,
+    /// starting no earlier than this hour; windows already applied
+    /// through [`DistConfig::link_windows`](crate::DistConfig) must not
+    /// be repeated here).
+    pub link_windows: Vec<LinkWindow>,
+    /// Explicit churn fraction for this hour; `None` uses the session's
+    /// [`ChurnSchedule`](crate::ChurnSchedule).
+    pub churn: Option<f64>,
+}
+
+impl HourInput {
+    /// An hour whose run produced a consensus `offset_secs` into the
+    /// hour.
+    pub fn produced(offset_secs: f64) -> Self {
+        HourInput {
+            publication: Some(offset_secs),
+            ..HourInput::default()
+        }
+    }
+
+    /// An hour whose run failed.
+    pub fn failed() -> Self {
+        HourInput::default()
+    }
+}
+
+/// What one stepped hour looked like.
+#[derive(Clone, Debug, Serialize)]
+pub struct HourReport {
+    /// The hour index.
+    pub hour: u64,
+    /// Version published this hour, if the run produced one.
+    pub published_version: Option<usize>,
+    /// Newest version the cache tier held (at quorum) by the end of the
+    /// hour.
+    pub newest_cached_version: Option<usize>,
+    /// The fleet's hour row (client-visible outcomes and egress).
+    pub fleet: FleetHourRow,
+    /// Background load on each authority uplink during this hour,
+    /// bits/s (legacy direct fetchers plus, with feedback on, the
+    /// previous hour's realized storm traffic).
+    pub authority_bg_bps: f64,
+    /// Feedback background load on each cache uplink during this hour,
+    /// bits/s (zero with feedback off).
+    pub cache_bg_bps: f64,
+}
+
+/// Summary of the feedback loop over a whole session.
+#[derive(Clone, Debug, Serialize)]
+pub struct FeedbackSummary {
+    /// Whether fetch feedback was enabled.
+    pub enabled: bool,
+    /// Time-mean background load per authority uplink, bits/s.
+    pub mean_authority_bg_bps: f64,
+    /// Worst single-hour background load per authority uplink, bits/s.
+    pub peak_authority_bg_bps: f64,
+    /// Time-mean feedback load per cache uplink, bits/s.
+    pub mean_cache_bg_bps: f64,
+    /// Worst single-hour feedback load per cache uplink, bits/s.
+    pub peak_cache_bg_bps: f64,
+}
+
+/// The payload the cache tier can still serve clients in one hour,
+/// bytes: the cache uplinks' aggregate capacity minus the background
+/// load already charged to them. This is the second half of the closed
+/// loop — last hour's storm not only loads the links, it bounds what
+/// this hour's clients can fetch through them.
+fn service_budget_bytes(
+    config: &DistConfig,
+    cache_config: &CacheSimConfig,
+    cache_bg_bps: f64,
+) -> u64 {
+    let per_link = (cache_config.cache_bps - cache_bg_bps).max(0.0);
+    (per_link / 8.0 * 3_600.0 * config.n_caches as f64) as u64
+}
+
+/// The hour-stepped co-simulation of the whole distribution layer.
+pub struct DistSession {
+    config: DistConfig,
+    cache_config: CacheSimConfig,
+    model: DocModel,
+    table: DocTable,
+    tier: CacheTier,
+    fleet: FleetSim,
+    publications: Vec<Publication>,
+    /// The next hour [`DistSession::step_hour`] will process (hour 0 is
+    /// handled at construction).
+    next_hour: u64,
+    cum_churn: f64,
+    /// Background load in effect during the current hour:
+    /// `(authority, cache_up)` bits/s.
+    current_bg: (f64, f64),
+    hour_reports: Vec<HourReport>,
+    bg_authority_sum: f64,
+    bg_authority_peak: f64,
+    bg_cache_sum: f64,
+    bg_cache_peak: f64,
+}
+
+impl DistSession {
+    /// Opens a session: builds the cache tier (with the up-front
+    /// [`DistConfig::link_windows`] applied), publishes the baseline
+    /// pre-attack consensus at `t = 0`, and processes hour 0 — the hour
+    /// in which only the baseline exists. Subsequent hours are driven
+    /// by [`DistSession::step_hour`].
+    pub fn new(config: &DistConfig, model: DocModel) -> Self {
+        let cache_config = CacheSimConfig {
+            seed: config.seed,
+            n_authorities: config.n_authorities,
+            n_caches: config.n_caches,
+            direct_client_load_bps: config.direct_client_load_bps(),
+            link_windows: config.link_windows.clone(),
+            ..CacheSimConfig::default()
+        };
+        let mut tier = CacheTier::new(&cache_config);
+
+        let mut table = DocTable::new();
+        table.push_version(&model, 0, 0.0, config.retain_hours);
+        let baseline = Publication {
+            version: 0,
+            hour: 0,
+            available_at_secs: 0.0,
+            fresh_until_secs: config.fresh_secs as f64,
+            valid_until_secs: config.valid_secs as f64,
+        };
+        tier.publish(0, 0.0, ServeSizes::for_version(&table, 0));
+        tier.run_to(3_600.0);
+
+        let mut fleet = FleetSim::new(&FleetConfig::sized(
+            config.clients,
+            config.seed ^ 0x0005_eedf_1ee7,
+        ));
+        let publications = vec![baseline];
+        let cached = tier.cached_at();
+        let budget = config
+            .feedback
+            .then(|| service_budget_bytes(config, &cache_config, 0.0));
+        let (row, egress) = fleet.step_hour(0, &publications, &table, &cached, budget);
+
+        let static_direct_bps = cache_config.direct_client_load_bps;
+        let mut session = DistSession {
+            config: config.clone(),
+            cache_config,
+            model,
+            table,
+            tier,
+            fleet,
+            publications,
+            next_hour: 1,
+            cum_churn: 0.0,
+            current_bg: (static_direct_bps, 0.0),
+            hour_reports: Vec::new(),
+            bg_authority_sum: 0.0,
+            bg_authority_peak: 0.0,
+            bg_cache_sum: 0.0,
+            bg_cache_peak: 0.0,
+        };
+        session.finish_hour(0, None, row, egress);
+        session
+    }
+
+    /// Steps one hour: applies the input's windows, publishes its
+    /// consensus (if any), advances the cache tier, steps the fleet,
+    /// and — with feedback on — charges the realized egress to the next
+    /// hour's links.
+    pub fn step_hour(&mut self, input: HourInput) -> HourReport {
+        let hour = self.next_hour;
+        self.next_hour += 1;
+        let churn = input
+            .churn
+            .unwrap_or_else(|| self.config.churn.churn_at(hour));
+        self.cum_churn += churn.max(0.0);
+
+        self.tier.apply_windows(&input.link_windows);
+
+        let published_version = input.publication.map(|offset| {
+            assert!(offset >= 0.0, "publication offset must be within the hour");
+            let version = self.publications.len();
+            let nominal = (hour * 3_600) as f64;
+            self.publications.push(Publication {
+                version,
+                hour,
+                available_at_secs: nominal + offset,
+                fresh_until_secs: nominal + self.config.fresh_secs as f64,
+                valid_until_secs: nominal + self.config.valid_secs as f64,
+            });
+            self.table
+                .push_version(&self.model, hour, self.cum_churn, self.config.retain_hours);
+            self.tier.publish(
+                version,
+                nominal + offset,
+                ServeSizes::for_version(&self.table, version),
+            );
+            version
+        });
+
+        self.tier.run_to(((hour + 1) * 3_600) as f64);
+        let cached = self.tier.cached_at();
+        let budget = self
+            .config
+            .feedback
+            .then(|| service_budget_bytes(&self.config, &self.cache_config, self.current_bg.1));
+        let (row, egress) =
+            self.fleet
+                .step_hour(hour, &self.publications, &self.table, &cached, budget);
+        self.finish_hour(hour, published_version, row, egress)
+    }
+
+    /// Accounts the hour that just ran under the background load that
+    /// was in effect, then (with feedback on) schedules the next hour's
+    /// load from the realized egress.
+    fn finish_hour(
+        &mut self,
+        hour: u64,
+        published_version: Option<usize>,
+        row: FleetHourRow,
+        egress: FleetHourEgress,
+    ) -> HourReport {
+        let (authority_bg_bps, cache_bg_bps) = self.current_bg;
+        self.bg_authority_sum += authority_bg_bps;
+        self.bg_authority_peak = self.bg_authority_peak.max(authority_bg_bps);
+        self.bg_cache_sum += cache_bg_bps;
+        self.bg_cache_peak = self.bg_cache_peak.max(cache_bg_bps);
+
+        if self.config.feedback {
+            let per = |bytes: u64, links: usize| bytes as f64 * 8.0 / 3_600.0 / links.max(1) as f64;
+            let cache_up = per(egress.served_bytes, self.config.n_caches);
+            let cache_down = per(egress.request_bytes, self.config.n_caches);
+            // The legacy direct-fetching slice mirrors the fleet's
+            // behaviour per client, so its storm traffic lands on the
+            // authorities scaled by the direct fraction — computed from
+            // the document classes, not calibrated.
+            let authority_feedback = per(
+                egress.served_bytes + egress.request_bytes,
+                self.config.n_authorities,
+            ) * self.config.direct_fetch_fraction;
+            let authority = self.tier_static_direct_load() + authority_feedback;
+            self.tier.set_background_load(
+                ((hour + 1) * 3_600) as f64,
+                authority_feedback,
+                cache_up,
+                cache_down,
+            );
+            self.current_bg = (authority, cache_up);
+        }
+
+        let newest_cached_version = {
+            let cached = self.tier.cached_at();
+            self.publications
+                .iter()
+                .rev()
+                .find(|p| matches!(cached.get(p.version), Some(Some(_))))
+                .map(|p| p.version)
+        };
+        let report = HourReport {
+            hour,
+            published_version,
+            newest_cached_version,
+            fleet: row,
+            authority_bg_bps,
+            cache_bg_bps,
+        };
+        self.hour_reports.push(report.clone());
+        report
+    }
+
+    fn tier_static_direct_load(&self) -> f64 {
+        self.config.direct_client_load_bps()
+    }
+
+    /// Hours processed so far (including hour 0).
+    pub fn hours(&self) -> u64 {
+        self.next_hour
+    }
+
+    /// The per-hour reports so far (hour 0 first).
+    pub fn hour_reports(&self) -> &[HourReport] {
+        &self.hour_reports
+    }
+
+    /// The publications the session has seen so far.
+    pub fn publications(&self) -> &[Publication] {
+        &self.publications
+    }
+
+    /// The grown document table.
+    pub fn table(&self) -> &DocTable {
+        &self.table
+    }
+
+    /// Closes the session: drains the cache tier past the horizon (late
+    /// fetches still count toward cache coverage) and folds everything
+    /// into the end-to-end report.
+    pub fn into_report(mut self) -> DistReport {
+        self.tier.run_to((self.next_hour * 3_600) as f64 + 1_800.0);
+        let hours = self.next_hour.max(1) as f64;
+        DistReport {
+            cache: self.tier.report(),
+            fleet: self.fleet.report(),
+            feedback: FeedbackSummary {
+                enabled: self.config.feedback,
+                mean_authority_bg_bps: self.bg_authority_sum / hours,
+                peak_authority_bg_bps: self.bg_authority_peak,
+                mean_cache_bg_bps: self.bg_cache_sum / hours,
+                peak_cache_bg_bps: self.bg_cache_peak,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cachesim::TierNode;
+    use crate::{simulate, ConsensusTimeline};
+
+    fn five_of_nine_windows(hours: impl Iterator<Item = u64>) -> Vec<LinkWindow> {
+        hours
+            .flat_map(|h| {
+                (0..5).map(move |i| LinkWindow {
+                    node: TierNode::Authority(i),
+                    start_secs: (h * 3_600) as f64,
+                    duration_secs: 300.0,
+                    bps: 0.5e6,
+                })
+            })
+            .collect()
+    }
+
+    fn config(clients: u64, caches: usize, feedback: bool) -> DistConfig {
+        DistConfig {
+            clients,
+            n_caches: caches,
+            feedback,
+            ..DistConfig::default()
+        }
+    }
+
+    /// The acceptance pin: a 24-hour five-of-nine campaign (every run
+    /// breached, as the deployed protocol's runs are under the paper's
+    /// flood) followed by a recovery tail. With feedback on, the mass
+    /// re-bootstrap storm of the dead fleet crushes the links that the
+    /// caches need for the *next* hours' fetches, so clients lose
+    /// measurably more time — and the authority uplinks carry
+    /// measurably more load — than the open-loop run of the identical
+    /// campaign.
+    #[test]
+    fn five_of_nine_retry_storm_amplifies_downtime_and_load() {
+        let outcomes: Vec<Option<f64>> = (0..30).map(|h| (h >= 24).then_some(330.0)).collect();
+        let timeline = ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800);
+        let windows = five_of_nine_windows(1..=24);
+
+        let run = |feedback: bool| {
+            let mut cfg = config(400_000, 40, feedback);
+            cfg.link_windows = windows.clone();
+            simulate(&cfg, &timeline)
+        };
+        let open_loop = run(false);
+        let closed_loop = run(true);
+
+        assert!(
+            closed_loop.fleet.client_weighted_downtime
+                > open_loop.fleet.client_weighted_downtime + 0.01,
+            "retry storms must amplify downtime: {} (feedback) vs {} (open loop)",
+            closed_loop.fleet.client_weighted_downtime,
+            open_loop.fleet.client_weighted_downtime
+        );
+        assert!(
+            closed_loop.feedback.peak_authority_bg_bps
+                > open_loop.feedback.peak_authority_bg_bps * 2.0,
+            "the storm must land on the authority links: {} vs {}",
+            closed_loop.feedback.peak_authority_bg_bps,
+            open_loop.feedback.peak_authority_bg_bps
+        );
+        assert!(closed_loop.feedback.enabled && !open_loop.feedback.enabled);
+        assert!(closed_loop.feedback.peak_cache_bg_bps > 0.0);
+        // Open loop: recovery is clean — the fleet is back within the
+        // tail. Closed loop: the storm stalls at least one later fetch.
+        let last_open = open_loop.fleet.rows.last().unwrap();
+        assert!(
+            last_open.dead_fraction < 0.05,
+            "open-loop recovery must complete: {last_open:?}"
+        );
+    }
+
+    #[test]
+    fn feedback_is_quiet_in_a_healthy_steady_state() {
+        // No attack, everyone stays on diffs: the feedback load exists
+        // but stays far below the cache link rate, and outcomes match
+        // the open-loop run closely.
+        let outcomes = vec![Some(330.0); 6];
+        let timeline = ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800);
+        let closed = simulate(&config(200_000, 30, true), &timeline);
+        let open = simulate(&config(200_000, 30, false), &timeline);
+        assert!(closed.feedback.peak_cache_bg_bps > 0.0);
+        assert!(
+            closed.feedback.peak_cache_bg_bps < 25e6,
+            "steady-state feedback must stay well below the 100 Mbit/s link: {}",
+            closed.feedback.peak_cache_bg_bps
+        );
+        assert!(closed.fleet.client_weighted_downtime < 0.01);
+        assert!(open.fleet.client_weighted_downtime < 0.01);
+    }
+
+    #[test]
+    fn session_exposes_hourly_reports() {
+        let mut session = DistSession::new(&config(50_000, 10, false), DocModel::synthetic(2_000));
+        let first = session.step_hour(HourInput::produced(330.0));
+        assert_eq!(first.hour, 1);
+        assert_eq!(first.published_version, Some(1));
+        let second = session.step_hour(HourInput::failed());
+        assert_eq!(second.published_version, None);
+        assert_eq!(session.hours(), 3, "hour 0 plus two stepped hours");
+        assert_eq!(session.hour_reports().len(), 3);
+        assert_eq!(session.publications().len(), 2);
+        // By the end of hour 1 the tier holds the new version.
+        assert_eq!(first.newest_cached_version, Some(1));
+        let report = session.into_report();
+        assert_eq!(report.fleet.rows.len(), 3);
+        assert_eq!(report.cache.versions.len(), 2);
+    }
+}

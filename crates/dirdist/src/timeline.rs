@@ -102,13 +102,28 @@ impl ConsensusTimeline {
     /// (`cached_at[version]`, `None` = never) — what a client asking the
     /// tier for a document right now would get.
     pub fn newest_live_cached(&self, cached_at: &[Option<f64>], t: f64) -> Option<usize> {
-        self.publications
-            .iter()
-            .rev()
-            .find(|p| matches!(cached_at.get(p.version), Some(Some(at)) if *at <= t))
-            .map(|p| p.version)
-            .filter(|&v| self.publications[v].live_at(t))
+        newest_live_cached(&self.publications, cached_at, t)
     }
+}
+
+/// The selection rule behind [`ConsensusTimeline::newest_live_cached`],
+/// over a bare publication list — the stepped fleet uses it directly
+/// (its publication list grows hour by hour, so no timeline object
+/// exists yet). Note the newest *cached* version is picked first and
+/// only then checked for validity: a stale-but-cached newer version
+/// masks an older live one, exactly as a client asking the tier for
+/// "the newest you hold" experiences it.
+pub fn newest_live_cached(
+    publications: &[Publication],
+    cached_at: &[Option<f64>],
+    t: f64,
+) -> Option<usize> {
+    publications
+        .iter()
+        .rev()
+        .find(|p| matches!(cached_at.get(p.version), Some(Some(at)) if *at <= t))
+        .map(|p| p.version)
+        .filter(|&v| publications[v].live_at(t))
 }
 
 #[cfg(test)]

@@ -411,6 +411,24 @@ impl<N: Node> Simulation<N> {
         );
     }
 
+    /// Schedules a timer on `node` at an absolute simulated time, as if
+    /// the node had armed it itself with [`Context::set_timer`].
+    ///
+    /// This is the external-driver injection point: a stepped
+    /// co-simulation (e.g. the distribution layer's hour-stepped
+    /// session) learns about new work between [`Simulation::run_until`]
+    /// calls and needs to wake the affected nodes at the right simulated
+    /// moment without rebuilding the engine. `at` must not precede the
+    /// current simulated time.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, tag: u64) -> TimerId {
+        debug_assert!(at >= self.core.now, "timer scheduled in the past");
+        let timer = TimerId(self.core.timer_seq);
+        self.core.timer_seq += 1;
+        self.core
+            .push(at, EventKind::TimerFire { node, timer, tag });
+        timer
+    }
+
     /// Schedules a change of a node's aggregate background load (bits/s)
     /// at an absolute simulated time.
     ///
