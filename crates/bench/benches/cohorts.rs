@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use partialtor_dirdist::{
-    cachesim, fleet, ConsensusTimeline, DistConfig, DistSession, DocModel, DocTable, FleetConfig,
-    HourInput,
+    cachesim, fleet, CachePlacement, ClientRegions, ConsensusTimeline, DistConfig, DistSession,
+    DocModel, DocTable, FleetConfig, HourInput,
 };
 use std::hint::black_box;
 
@@ -99,10 +99,78 @@ fn bench_session_day(c: &mut Criterion) {
     group.finish();
 }
 
+/// The geo overhead: a region-weighted fleet day (four Tor-weighted
+/// cohorts stepping against per-region availability) against the
+/// single-cohort worldwide fleet, and a region-placed session day
+/// against the unplaced one.
+fn bench_geo(c: &mut Criterion) {
+    let timeline = healthy_day();
+    let table = table_for(&timeline);
+    let cached_at: Vec<Option<f64>> = timeline
+        .publications
+        .iter()
+        .map(|p| Some(p.available_at_secs + 120.0))
+        .collect();
+
+    let mut group = c.benchmark_group("geo");
+    group.sample_size(10);
+    for (label, regions) in [
+        ("worldwide", ClientRegions::Worldwide),
+        ("tor_metrics", ClientRegions::TorMetrics),
+    ] {
+        group.throughput(Throughput::Elements(3_000_000));
+        group.bench_function(format!("fleet_day_3000000_{label}"), |b| {
+            b.iter(|| {
+                fleet::run(
+                    &FleetConfig {
+                        regions: regions.clone(),
+                        ..FleetConfig::sized(black_box(3_000_000), 7)
+                    },
+                    &timeline,
+                    &table,
+                    &cached_at,
+                )
+            })
+        });
+    }
+    for (label, placement, regions) in [
+        (
+            "unplaced",
+            CachePlacement::Uniform,
+            ClientRegions::Worldwide,
+        ),
+        (
+            "client_weighted",
+            CachePlacement::ClientWeighted,
+            ClientRegions::TorMetrics,
+        ),
+    ] {
+        let config = DistConfig {
+            clients: 500_000,
+            n_caches: 40,
+            placement,
+            client_regions: regions,
+            ..DistConfig::default()
+        };
+        group.bench_function(format!("session_day_500000_{label}"), |b| {
+            b.iter(|| {
+                let mut session =
+                    DistSession::new(black_box(&config), DocModel::synthetic(config.relays));
+                for _ in 0..24 {
+                    session.step_hour(HourInput::produced(330.0));
+                }
+                session.into_report().fleet.client_weighted_downtime
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fleet_stepping,
     bench_cache_tier,
-    bench_session_day
+    bench_session_day,
+    bench_geo
 );
 criterion_main!(benches);

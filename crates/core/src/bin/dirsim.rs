@@ -10,6 +10,8 @@
 //!                  [--seed N] [--feedback] [--churn C|weekly] [--real-docs] [--json]
 //! dirsim adversary [--budget USD] [--hours H] [--beam K] [--clients N]
 //!                  [--caches K] [--relays N] [--seed N] [--defender H] [--json]
+//! dirsim placement [--clients N] [--hours H] [--caches K] [--relays N]
+//!                  [--seed N] [--greedy N] [--brownout REGION] [--json]
 //! dirsim cost      [--targets K] [--flood MBPS] [--minutes M]
 //! dirsim monitor   [--relays N] [--seed N]
 //! ```
@@ -22,7 +24,7 @@
 use partialtor::adversary::{AttackPlan, AttackWindow, Target};
 use partialtor::attack::AttackCostModel;
 use partialtor::calibration::ATTACK_FLOOD_MBPS;
-use partialtor::experiments::{adversary, clients};
+use partialtor::experiments::{adversary, clients, placement};
 use partialtor::monitor;
 use partialtor::protocols::ProtocolKind;
 use partialtor::runner::{set_sweep_threads, sweep, sweep_one, RunReport, Scenario, SweepJob};
@@ -452,12 +454,64 @@ fn cmd_adversary(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: dirsim <run|attack|sweep|clients|adversary|cost|monitor> [options]
+const PLACEMENT_SPEC: &[FlagSpec] = &[
+    value_flag("--clients", "N", "client fleet size (default 200000)"),
+    value_flag("--hours", "H", "attacked hours simulated (default 24)"),
+    value_flag(
+        "--caches",
+        "K",
+        "directory caches per strategy (default 40)",
+    ),
+    RELAYS_FLAG,
+    SEED_FLAG,
+    value_flag(
+        "--greedy",
+        "N",
+        "caches the greedy search places (default = --caches; 0 = skip)",
+    ),
+    value_flag(
+        "--brownout",
+        "REGION",
+        "brown out one region's caches instead of flooding the authorities \
+         (us-east | us-west | europe | apac)",
+    ),
+    bool_flag("--json", "emit machine-readable JSON instead of tables"),
+];
+
+fn cmd_placement(args: &Args) -> Result<(), String> {
+    let defaults = placement::PlacementParams::default();
+    let caches = args.u64("--caches", defaults.caches as u64)? as usize;
+    let params = placement::PlacementParams {
+        hours: args.u64("--hours", defaults.hours)?,
+        clients: args.u64("--clients", defaults.clients)?,
+        caches,
+        relays: args.u64("--relays", defaults.relays)?,
+        seed: args.u64("--seed", defaults.seed)?,
+        greedy: args.u64("--greedy", caches as u64)? as usize,
+        brownout: match args.values.get("--brownout") {
+            None => None,
+            Some(raw) => Some(partialtor_simnet::Region::from_label(raw).ok_or_else(|| {
+                format!("--brownout expects us-east|us-west|europe|apac, got {raw:?}")
+            })?),
+        },
+    };
+    let result = placement::run_experiment(&params);
+    if args.present("--json") {
+        println!("{}", placement::to_json(&result).render());
+    } else {
+        print!("{}", placement::render(&result));
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: dirsim <run|attack|sweep|clients|adversary|placement|cost|monitor> [options]
   run       one protocol run
   attack    one run under a bandwidth-DDoS window set
   sweep     latency across a bandwidth grid
   clients   client-visible availability through the distribution layer
   adversary budget-constrained strategy search over authorities + caches
+  placement geographic cache-placement sweep + greedy placement search
   cost      the §4.3 DDoS-for-hire price arithmetic
   monitor   run all three protocols through the bandwidth monitor
 run `dirsim <subcommand> --help` for the subcommand's options;
@@ -490,6 +544,12 @@ const SUBCOMMANDS: &[(&str, &str, &[FlagSpec], Handler)] = &[
         "budget-constrained strategy search over authorities + caches",
         ADVERSARY_SPEC,
         cmd_adversary,
+    ),
+    (
+        "placement",
+        "geographic cache-placement sweep + greedy placement search",
+        PLACEMENT_SPEC,
+        cmd_placement,
     ),
     (
         "cost",

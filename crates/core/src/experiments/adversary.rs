@@ -77,15 +77,34 @@ impl Default for AdversaryParams {
 /// the publication (~330 s into the hour), so the flood does too.
 const CACHE_WINDOW_OFFSET_SECS: u64 = 300;
 
+/// The §4.3 flood rate as the integer axis value shapes default to.
+const DEFAULT_FLOOD_MBPS: u64 = ATTACK_FLOOD_MBPS as u64;
+
+/// Smallest authority flood rate the search explores, Mbit/s.
+const MIN_FLOOD_MBPS: u64 = 60;
+
+/// Largest authority flood rate the search explores, Mbit/s (above the
+/// 250 Mbit/s link it buys nothing the knee didn't already).
+const MAX_FLOOD_MBPS: u64 = 300;
+
+/// Flood-rate step of one beam move, Mbit/s.
+const FLOOD_STEP_MBPS: u64 = 60;
+
 /// One point of the symmetric campaign space the beam explores: the
 /// first `authorities` authorities and first `caches` caches attacked
 /// identically every hour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct CampaignShape {
-    /// Authorities flooded at [`ATTACK_FLOOD_MBPS`] from each run start.
+    /// Authorities flooded at `flood_mbps` from each run start.
     authorities: usize,
     /// Authority window length, seconds.
     auth_window_secs: u64,
+    /// Per-victim authority flood rate, Mbit/s — a searchable axis the
+    /// budget constraint prices linearly. Weaker floods are cheaper but
+    /// fall below the queue-collapse knee
+    /// (`calibration::FLOOD_SATURATION_FRACTION`) and leave the victim
+    /// a workable residual.
+    flood_mbps: u64,
     /// Caches knocked offline at [`CACHE_FLOOD_MBPS`].
     caches: usize,
     /// Cache window length, seconds.
@@ -100,6 +119,7 @@ impl CampaignShape {
     const EMPTY: CampaignShape = CampaignShape {
         authorities: 0,
         auth_window_secs: 300,
+        flood_mbps: DEFAULT_FLOOD_MBPS,
         caches: 0,
         cache_window_secs: 900,
         rotate: false,
@@ -109,6 +129,7 @@ impl CampaignShape {
     const FIVE_OF_NINE: CampaignShape = CampaignShape {
         authorities: 5,
         auth_window_secs: 300,
+        flood_mbps: DEFAULT_FLOOD_MBPS,
         caches: 0,
         cache_window_secs: 900,
         rotate: false,
@@ -130,7 +151,7 @@ impl CampaignShape {
                     Target::Authority((i + shift) % N_AUTHORITIES),
                     SimTime::ZERO,
                     SimDuration::from_secs(self.auth_window_secs),
-                    ATTACK_FLOOD_MBPS,
+                    self.flood_mbps as f64,
                 )
             })
             .collect();
@@ -171,7 +192,7 @@ impl CampaignShape {
 
     /// Human-readable shape summary.
     fn label(&self) -> String {
-        let base = match (self.authorities, self.caches) {
+        let mut base = match (self.authorities, self.caches) {
             (0, 0) => "no attack".to_string(),
             (a, 0) => format!("{a} auth × {} s", self.auth_window_secs),
             (0, c) => format!("{c} caches × {} s", self.cache_window_secs),
@@ -180,6 +201,9 @@ impl CampaignShape {
                 self.auth_window_secs, self.cache_window_secs
             ),
         };
+        if self.authorities > 0 && self.flood_mbps != DEFAULT_FLOOD_MBPS {
+            base.push_str(&format!(" @ {} Mbit/s", self.flood_mbps));
+        }
         if self.rotate && self.authorities > 0 {
             format!("{base} (rotating)")
         } else {
@@ -214,6 +238,21 @@ impl CampaignShape {
                 ..*self
             });
         }
+        // The flood-rate axis: throttling down saves money (maybe
+        // enough for another victim), cranking up buys headroom past
+        // the queue-collapse knee. The budget constraint prices both.
+        if self.authorities > 0 && self.flood_mbps >= MIN_FLOOD_MBPS + FLOOD_STEP_MBPS {
+            out.push(CampaignShape {
+                flood_mbps: self.flood_mbps - FLOOD_STEP_MBPS,
+                ..*self
+            });
+        }
+        if self.authorities > 0 && self.flood_mbps + FLOOD_STEP_MBPS <= MAX_FLOOD_MBPS {
+            out.push(CampaignShape {
+                flood_mbps: self.flood_mbps + FLOOD_STEP_MBPS,
+                ..*self
+            });
+        }
         if self.authorities > 0 && !self.rotate {
             out.push(CampaignShape {
                 rotate: true,
@@ -235,6 +274,8 @@ pub struct PlanScore {
     pub caches: usize,
     /// Authority window length, seconds.
     pub auth_window_secs: u64,
+    /// Per-victim authority flood rate, Mbit/s.
+    pub flood_mbps: u64,
     /// Cache window length, seconds.
     pub cache_window_secs: u64,
     /// Whether victim indices rotate hourly.
@@ -313,6 +354,7 @@ fn frontier_rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
                 a.authorities,
                 a.caches,
                 a.auth_window_secs,
+                a.flood_mbps,
                 a.cache_window_secs,
                 a.rotate,
             )
@@ -320,6 +362,7 @@ fn frontier_rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
                     b.authorities,
                     b.caches,
                     b.auth_window_secs,
+                    b.flood_mbps,
                     b.cache_window_secs,
                     b.rotate,
                 )),
@@ -343,6 +386,7 @@ fn rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
                 a.authorities,
                 a.caches,
                 a.auth_window_secs,
+                a.flood_mbps,
                 a.cache_window_secs,
                 a.rotate,
             )
@@ -350,6 +394,7 @@ fn rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
                     b.authorities,
                     b.caches,
                     b.auth_window_secs,
+                    b.flood_mbps,
                     b.cache_window_secs,
                     b.rotate,
                 )),
@@ -426,6 +471,7 @@ fn score_shape(params: &AdversaryParams, shape: &CampaignShape, memo: &OutcomeMe
         authorities: shape.authorities,
         caches: shape.caches,
         auth_window_secs: shape.auth_window_secs,
+        flood_mbps: shape.flood_mbps,
         cache_window_secs: shape.cache_window_secs,
         rotate: shape.rotate,
         windows: plan.windows().len(),
@@ -539,6 +585,7 @@ fn score_json(score: &PlanScore) -> crate::json::Json {
         ("authorities", Json::from(score.authorities)),
         ("caches", Json::from(score.caches)),
         ("auth_window_secs", Json::from(score.auth_window_secs)),
+        ("flood_mbps", Json::from(score.flood_mbps)),
         ("cache_window_secs", Json::from(score.cache_window_secs)),
         ("rotate", Json::from(score.rotate)),
         ("windows", Json::from(score.windows)),
@@ -679,17 +726,57 @@ mod tests {
         let full = CampaignShape {
             authorities: N_AUTHORITIES,
             auth_window_secs: 3_600,
+            flood_mbps: DEFAULT_FLOOD_MBPS,
             caches: 10,
             cache_window_secs: 2_700,
             rotate: true,
         };
-        assert!(full.expansions(10).is_empty());
+        // Every structural axis is maxed; only the flood rate can move.
+        let only_flood = full.expansions(10);
+        assert_eq!(
+            only_flood.len(),
+            2,
+            "flood can go down or up: {only_flood:?}"
+        );
+        let rates: Vec<u64> = only_flood.iter().map(|s| s.flood_mbps).collect();
+        assert_eq!(rates, vec![180, 300]);
+        // Rate bounds clamp the axis.
+        let weakest = CampaignShape {
+            flood_mbps: MIN_FLOOD_MBPS,
+            ..full
+        };
+        assert!(weakest
+            .expansions(10)
+            .iter()
+            .all(|s| s.flood_mbps > MIN_FLOOD_MBPS));
+        let strongest = CampaignShape {
+            flood_mbps: MAX_FLOOD_MBPS,
+            ..full
+        };
+        assert!(strongest
+            .expansions(10)
+            .iter()
+            .all(|s| s.flood_mbps < MAX_FLOOD_MBPS));
         // A non-rotating maxed shape can still toggle rotation.
         let static_full = CampaignShape {
             rotate: false,
             ..full
         };
-        assert_eq!(static_full.expansions(10), vec![full]);
+        assert!(static_full.expansions(10).contains(&full));
+    }
+
+    /// The flood-rate axis prices through the same §4.3 arithmetic: the
+    /// stressor bills Mbit/s-hours, so halving the rate halves the
+    /// monthly price — and the label says so.
+    #[test]
+    fn flood_axis_prices_linearly() {
+        let throttled = CampaignShape {
+            flood_mbps: 120,
+            ..CampaignShape::FIVE_OF_NINE
+        };
+        assert!((throttled.cost_usd_month() - 53.28 / 2.0).abs() < 1e-6);
+        assert_eq!(throttled.label(), "5 auth × 300 s @ 120 Mbit/s");
+        assert_eq!(CampaignShape::FIVE_OF_NINE.label(), "5 auth × 300 s");
     }
 
     /// A miniature end-to-end search: one attacked hour, a tight budget
@@ -733,9 +820,75 @@ mod tests {
         let minority = result
             .evaluated
             .iter()
-            .find(|s| s.authorities == 1 && s.caches == 0 && !s.rotate)
+            .find(|s| {
+                s.authorities == 1
+                    && s.caches == 0
+                    && !s.rotate
+                    && s.flood_mbps == DEFAULT_FLOOD_MBPS
+            })
             .expect("the first expansion is always evaluated");
         assert_eq!(minority.produced_hours, 1);
+        // The flood axis was explored: throttling below the
+        // queue-collapse knee is cheaper but leaves the victims a
+        // 70 Mbit/s residual, so the run sails through.
+        let throttled = result
+            .evaluated
+            .iter()
+            .find(|s| s.authorities == 5 && s.flood_mbps == 180 && s.caches == 0 && !s.rotate)
+            .expect("the flood-down expansion of the baseline is explored");
+        assert_eq!(
+            throttled.produced_hours, 1,
+            "sub-knee floods don't break runs"
+        );
+        assert!(throttled.client_weighted_downtime < 1e-9);
+    }
+
+    /// The satellite pin: with the flood rate searchable, the $55
+    /// optimum is unchanged — the paper's 240 Mbit/s five-of-nine flood
+    /// at $53.28/month. Cheaper rates fall below the queue-collapse
+    /// knee (runs survive on the residual), and the next step up busts
+    /// the budget. Three attacked hours make downtime a real signal
+    /// (the baseline document dies at hour 3).
+    #[test]
+    fn flood_axis_leaves_the_55_dollar_optimum_unchanged() {
+        let params = AdversaryParams {
+            budget_usd_month: 55.0,
+            hours: 3,
+            beam: 1,
+            clients: 30_000,
+            caches: 8,
+            relays: 2_000,
+            seed: 31,
+            defender_trigger_hours: None,
+        };
+        let result = run_experiment(&params);
+        assert_eq!(result.best.label, "5 auth × 300 s");
+        assert_eq!(result.best.flood_mbps, 240);
+        assert!((result.best.cost_usd_month - 53.28).abs() < 1e-6);
+        assert!(
+            result.best.client_weighted_downtime > 0.1,
+            "the paper's campaign kills the last horizon hour: {:?}",
+            result.best
+        );
+        let throttled = result
+            .evaluated
+            .iter()
+            .find(|s| s.authorities == 5 && s.flood_mbps == 180 && s.caches == 0 && !s.rotate)
+            .expect("the cheaper flood is explored");
+        assert_eq!(throttled.produced_hours, 3);
+        assert!(
+            throttled.client_weighted_downtime < result.best.client_weighted_downtime / 10.0,
+            "sub-knee floods buy almost nothing: {throttled:?}"
+        );
+        assert!(throttled.cost_usd_month < result.best.cost_usd_month);
+        // The next rate up would kill the links outright — but at
+        // $66.60/month the budget constraint prices it out.
+        let cranked = CampaignShape {
+            flood_mbps: 300,
+            ..CampaignShape::FIVE_OF_NINE
+        };
+        assert!(cranked.cost_usd_month() > params.budget_usd_month);
+        assert!(result.evaluated.iter().all(|s| s.flood_mbps != 300));
     }
 
     /// Under a stable-victim blocklist defender, the static five-of-nine

@@ -83,6 +83,7 @@ pub(crate) fn dist_report_json(dist: &partialtor_dirdist::DistReport) -> crate::
     let cache = &dist.cache;
     let fleet = &dist.fleet;
     let feedback = &dist.feedback;
+    let placement = &dist.placement;
     Json::obj([
         (
             "cache",
@@ -158,6 +159,68 @@ pub(crate) fn dist_report_json(dist: &partialtor_dirdist::DistReport) -> crate::
                     "descriptor_egress_bytes",
                     Json::from(fleet.descriptor_egress_bytes),
                 ),
+                (
+                    "regions",
+                    Json::arr(fleet.regions.iter().map(|region| {
+                        Json::obj([
+                            ("region", Json::str(region.region.clone())),
+                            ("weight", Json::from(region.weight)),
+                            ("initial_clients", Json::from(region.initial_clients)),
+                            ("arrivals", Json::from(region.arrivals)),
+                            ("final_clients", Json::from(region.final_clients)),
+                            ("bootstrap_attempts", Json::from(region.bootstrap_attempts)),
+                            (
+                                "bootstrap_successes",
+                                Json::from(region.bootstrap_successes),
+                            ),
+                            ("refresh_fetches", Json::from(region.refresh_fetches)),
+                            (
+                                "client_weighted_downtime",
+                                Json::from(region.client_weighted_downtime),
+                            ),
+                            (
+                                "mean_stale_fraction",
+                                Json::from(region.mean_stale_fraction),
+                            ),
+                            ("cache_egress_bytes", Json::from(region.cache_egress_bytes)),
+                            (
+                                "descriptor_egress_bytes",
+                                Json::from(region.descriptor_egress_bytes),
+                            ),
+                            ("request_bytes", Json::from(region.request_bytes)),
+                        ])
+                    })),
+                ),
+            ]),
+        ),
+        (
+            "placement",
+            Json::obj([
+                ("strategy", Json::str(placement.strategy.clone())),
+                (
+                    "client_weighted_latency_ms",
+                    Json::from(placement.client_weighted_latency_ms),
+                ),
+                (
+                    "cache_counts",
+                    Json::arr(placement.cache_counts.iter().map(|count| {
+                        Json::obj([
+                            ("region", Json::str(count.region.clone())),
+                            ("caches", Json::from(count.caches)),
+                        ])
+                    })),
+                ),
+                (
+                    "cohorts",
+                    Json::arr(placement.cohorts.iter().map(|cohort| {
+                        Json::obj([
+                            ("region", Json::str(cohort.region.clone())),
+                            ("weight", Json::from(cohort.weight)),
+                            ("serving_caches", Json::from(cohort.serving_caches)),
+                            ("fetch_latency_ms", Json::from(cohort.fetch_latency_ms)),
+                        ])
+                    })),
+                ),
             ]),
         ),
         (
@@ -185,5 +248,6 @@ pub mod fig11_recovery;
 pub mod fig1_attack_log;
 pub mod fig6_relays;
 pub mod fig7_bandwidth;
+pub mod placement;
 pub mod table1_complexity;
 pub mod table2_rounds;

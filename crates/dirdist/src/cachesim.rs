@@ -25,7 +25,9 @@
 //! in [`crate::fleet`].
 
 use crate::docmodel::{DocClass, DocTable};
+use crate::placement::CachePlacement;
 use crate::timeline::ConsensusTimeline;
+use partialtor_simnet::geo::{self, Region, AUTHORITY_REGIONS};
 use partialtor_simnet::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +42,10 @@ pub enum TierNode {
     Authority(usize),
     /// Directory cache `0..n_caches`.
     Cache(usize),
+    /// Every cache the tier's [`CachePlacement`] put in one region — a
+    /// regional brownout. Resolves to no caches when the region is
+    /// empty under the placement.
+    Region(Region),
 }
 
 /// A scheduled capacity override on one tier link: the node runs at
@@ -92,6 +98,11 @@ pub struct CacheSimConfig {
     /// Fraction of caches that must hold a version before the fleet
     /// model treats it as fetchable by clients.
     pub quorum: f64,
+    /// Where the caches live: regional placements pay the geo model's
+    /// inter-region latencies and prefer nearby authorities on
+    /// (re)fetch; the default [`CachePlacement::Uniform`] keeps every
+    /// cache at the legacy flat worldwide hop.
+    pub placement: CachePlacement,
 }
 
 impl Default for CacheSimConfig {
@@ -108,6 +119,7 @@ impl Default for CacheSimConfig {
             retry_secs: 60,
             max_retries: 4,
             quorum: 0.5,
+            placement: CachePlacement::Uniform,
         }
     }
 }
@@ -211,6 +223,10 @@ struct CacheState {
     /// rotation.
     ordinal: usize,
     n_authorities: usize,
+    /// Authorities in fetch-preference order: nearest-first for a
+    /// placed cache, the identity order for an unplaced one (the legacy
+    /// rotation). Retries walk this order.
+    authority_order: Vec<usize>,
     retry: SimDuration,
     max_retries: u32,
     /// Newest version held.
@@ -238,10 +254,10 @@ enum DistNode {
 impl CacheState {
     fn request(&mut self, ctx: &mut Context<'_, DirMsg>, version: usize) {
         self.attempts[version] += 1;
-        // Rotate deterministically over authorities so retries escape a
-        // stalled victim.
-        let pick =
-            (self.ordinal + version + self.attempts[version] as usize - 1) % self.n_authorities;
+        // Rotate deterministically over the preference order so retries
+        // escape a stalled victim (nearest-first for placed caches).
+        let pick = self.authority_order
+            [(self.ordinal + version + self.attempts[version] as usize - 1) % self.n_authorities];
         ctx.send(NodeId(pick), DirMsg::Request { have: self.held });
         ctx.set_timer(self.retry, retry_tag(version));
     }
@@ -366,14 +382,39 @@ pub struct CacheTier {
     sim: Simulation<DistNode>,
     config: CacheSimConfig,
     versions: usize,
+    /// Region of each cache under the configured placement (`None` =
+    /// unplaced/worldwide).
+    cache_regions: Vec<Option<Region>>,
     /// Per-cache poll jitter draws, owned by the tier so publication
     /// injection stays deterministic regardless of when hours step.
     jitter_rng: StdRng,
 }
 
+/// Region of authority `index` (cycling the nine-authority layout for
+/// scaled committees, matching `scaled_topology`).
+fn authority_region(index: usize) -> Region {
+    AUTHORITY_REGIONS[index % AUTHORITY_REGIONS.len()]
+}
+
+/// The authority preference order of a cache in `region`: nearest-first
+/// by the geo midpoints for a placed cache (ties by index), the
+/// identity order — the legacy rotation — for an unplaced one.
+fn authority_preference(region: Option<Region>, n_authorities: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n_authorities).collect();
+    if let Some(region) = region {
+        order.sort_by(|&a, &b| {
+            let la = geo::midpoint_ms(region, authority_region(a));
+            let lb = geo::midpoint_ms(region, authority_region(b));
+            la.partial_cmp(&lb).expect("finite latency").then(a.cmp(&b))
+        });
+    }
+    order
+}
+
 impl CacheTier {
     /// Builds the tier: authorities in the measured authority topology,
-    /// caches at a uniform mid-range latency, static legacy-client load
+    /// caches at the latencies their [`CachePlacement`] implies (the
+    /// flat worldwide hop when unplaced), static legacy-client load
     /// on the authority uplinks, and any up-front link windows applied.
     ///
     /// # Panics
@@ -382,6 +423,7 @@ impl CacheTier {
     pub fn new(config: &CacheSimConfig) -> Self {
         assert!(config.n_authorities > 0, "need at least one authority");
         let n = config.n_authorities + config.n_caches;
+        let cache_regions = config.placement.regions(config.n_caches);
 
         let nodes: Vec<DistNode> = (0..n)
             .map(|index| {
@@ -396,9 +438,14 @@ impl CacheTier {
                         diff_responses: 0,
                     })
                 } else {
+                    let ordinal = index - config.n_authorities;
                     DistNode::Cache(CacheState {
-                        ordinal: index - config.n_authorities,
+                        ordinal,
                         n_authorities: config.n_authorities,
+                        authority_order: authority_preference(
+                            cache_regions[ordinal],
+                            config.n_authorities,
+                        ),
                         retry: SimDuration::from_secs(config.retry_secs),
                         max_retries: config.max_retries,
                         held: None,
@@ -409,19 +456,28 @@ impl CacheTier {
             })
             .collect();
 
-        // Authorities sit in the measured authority topology; caches get
-        // a mid-range latency to everyone (they are spread worldwide).
+        // Authorities sit in the measured authority topology; every
+        // link touching a cache gets the geo model's hop for the two
+        // endpoints' regions (authorities are placed per the live
+        // layout; unplaced caches keep the legacy worldwide hop).
         let auth_topo = if config.n_authorities == 9 {
             authority_topology(config.seed)
         } else {
             scaled_topology(config.n_authorities, config.seed)
         };
-        let cache_latency = SimDuration::from_millis(60);
+        let region_of = |index: usize| -> Option<Region> {
+            if index < config.n_authorities {
+                Some(authority_region(index))
+            } else {
+                cache_regions[index - config.n_authorities]
+            }
+        };
         let topo = LatencyMatrix::from_fn(n, |a, b| {
             if a < config.n_authorities && b < config.n_authorities {
                 auth_topo.get(NodeId(a), NodeId(b))
             } else {
-                cache_latency
+                let hop_ms = geo::hop_ms(region_of(a), region_of(b));
+                SimDuration::from_micros((hop_ms * 1_000.0).round() as u64)
             }
         });
 
@@ -462,6 +518,7 @@ impl CacheTier {
             sim,
             config: config.clone(),
             versions: 0,
+            cache_regions,
             jitter_rng: StdRng::seed_from_u64(config.seed ^ 0x00ca_c4e5_7a66),
         };
         let windows = tier.config.link_windows.clone();
@@ -512,27 +569,37 @@ impl CacheTier {
     }
 
     /// Applies capacity-override windows (attack windows lowered from
-    /// the adversary model, maintenance, brownouts) to tier links.
-    /// Windows may start in the simulated future; windows for nodes the
-    /// tier does not have are ignored.
+    /// the adversary model, maintenance, regional brownouts) to tier
+    /// links. A [`TierNode::Region`] window expands to every cache the
+    /// placement put in that region. Windows may start in the simulated
+    /// future; windows for nodes the tier does not have are ignored.
     pub fn apply_windows(&mut self, windows: &[LinkWindow]) {
         for window in windows {
-            let (node, restore_bps) = match window.node {
+            let targets: Vec<(NodeId, f64)> = match window.node {
                 TierNode::Authority(i) if i < self.config.n_authorities => {
-                    (NodeId(i), self.config.authority_bps)
+                    vec![(NodeId(i), self.config.authority_bps)]
                 }
                 TierNode::Cache(i) if i < self.config.n_caches => {
-                    (NodeId(self.config.n_authorities + i), self.config.cache_bps)
+                    vec![(NodeId(self.config.n_authorities + i), self.config.cache_bps)]
                 }
+                TierNode::Region(region) => self
+                    .cache_regions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, r)| *r == Some(region))
+                    .map(|(i, _)| (NodeId(self.config.n_authorities + i), self.config.cache_bps))
+                    .collect(),
                 _ => continue,
             };
             let start = SimTime::from_micros((window.start_secs * 1e6) as u64);
             let end =
                 SimTime::from_micros(((window.start_secs + window.duration_secs) * 1e6) as u64);
-            self.sim
-                .schedule_bandwidth_change(start, node, Some(window.bps), Some(window.bps));
-            self.sim
-                .schedule_bandwidth_change(end, node, Some(restore_bps), Some(restore_bps));
+            for (node, restore_bps) in targets {
+                self.sim
+                    .schedule_bandwidth_change(start, node, Some(window.bps), Some(window.bps));
+                self.sim
+                    .schedule_bandwidth_change(end, node, Some(restore_bps), Some(restore_bps));
+            }
         }
     }
 
@@ -583,10 +650,31 @@ impl CacheTier {
             .collect()
     }
 
-    /// Per-version availability as of the tier's current simulated time.
-    fn availability(&self) -> Vec<VersionAvailability> {
+    /// When each version reached quorum *among the given caches* — the
+    /// availability a regional cohort experiences against its serving
+    /// set (`cached_at` over the whole tier is the `serving = all`
+    /// case). The quorum fraction applies to the serving set's size.
+    pub fn cached_at_for(&self, serving: &[usize]) -> Vec<Option<f64>> {
+        let quorum_count = ((serving.len() as f64 * self.config.quorum).ceil() as usize).max(1);
+        self.received_times(serving)
+            .into_iter()
+            .map(|mut times| {
+                times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                (times.len() >= quorum_count).then(|| times[quorum_count - 1])
+            })
+            .collect()
+    }
+
+    /// Region of each cache under the configured placement.
+    pub fn cache_regions(&self) -> &[Option<Region>] {
+        &self.cache_regions
+    }
+
+    /// Per-version receive times over `serving` caches, in serving-set
+    /// order (pre-sort).
+    fn received_times(&self, serving: &[usize]) -> Vec<Vec<f64>> {
         let mut times: Vec<Vec<f64>> = vec![Vec::new(); self.versions];
-        for index in 0..self.config.n_caches {
+        for &index in serving {
             if let DistNode::Cache(cache) = self.sim.node(NodeId(self.config.n_authorities + index))
             {
                 for (version, at) in cache.received_at.iter().enumerate() {
@@ -596,9 +684,15 @@ impl CacheTier {
                 }
             }
         }
+        times
+    }
+
+    /// Per-version availability as of the tier's current simulated time.
+    fn availability(&self) -> Vec<VersionAvailability> {
+        let all: Vec<usize> = (0..self.config.n_caches).collect();
         let quorum_count =
             ((self.config.n_caches as f64 * self.config.quorum).ceil() as usize).max(1);
-        times
+        self.received_times(&all)
             .into_iter()
             .enumerate()
             .map(|(version, mut times)| {
@@ -832,6 +926,107 @@ mod tests {
         tier.run_to(timeline.horizon_secs() + 1_800.0);
         let stepped = tier.report();
         assert_eq!(format!("{batch:?}"), format!("{stepped:?}"));
+    }
+
+    #[test]
+    fn placed_caches_prefer_nearby_authorities() {
+        // A European cache walks the five European authorities first,
+        // then US-East, then faravahar; an unplaced cache keeps the
+        // legacy identity rotation.
+        assert_eq!(
+            authority_preference(Some(Region::Europe), 9),
+            vec![1, 2, 3, 4, 5, 0, 6, 7, 8]
+        );
+        assert_eq!(
+            authority_preference(None, 9),
+            (0..9).collect::<Vec<usize>>()
+        );
+        // US-West: faravahar first, then the East-Coast three.
+        assert_eq!(authority_preference(Some(Region::UsWest), 9)[0], 8);
+        // APAC has no local authority; US-West is nearest.
+        assert_eq!(authority_preference(Some(Region::Apac), 9)[0], 8);
+    }
+
+    /// A regional brownout ([`TierNode::Region`]) kills exactly the
+    /// placed caches of that region: the browned-out region's serving
+    /// set never reaches quorum while the others cache normally.
+    #[test]
+    fn regional_brownout_starves_only_its_region() {
+        let timeline = healthy_timeline(1);
+        let mut cfg = config(20);
+        cfg.placement = CachePlacement::ClientWeighted;
+        cfg.link_windows = vec![LinkWindow {
+            node: TierNode::Region(Region::Europe),
+            start_secs: 3_600.0,
+            duration_secs: 6_000.0,
+            bps: 0.0,
+        }];
+        let tier_regions = cfg.placement.regions(cfg.n_caches);
+        let europe: Vec<usize> =
+            crate::placement::serving_caches(&tier_regions, Some(Region::Europe));
+        let us_east: Vec<usize> =
+            crate::placement::serving_caches(&tier_regions, Some(Region::UsEast));
+        assert!(europe.len() >= 9 && !us_east.is_empty());
+
+        let mut tier = CacheTier::new(&cfg);
+        let table = table_for(&timeline);
+        for publication in &timeline.publications {
+            tier.publish(
+                publication.version,
+                publication.available_at_secs,
+                ServeSizes::for_version(&table, publication.version),
+            );
+        }
+        tier.run_to(timeline.horizon_secs() + 1_800.0);
+        let europe_at = tier.cached_at_for(&europe);
+        let us_east_at = tier.cached_at_for(&us_east);
+        assert!(
+            europe_at[1].is_none(),
+            "browned-out Europe must miss version 1: {europe_at:?}"
+        );
+        assert!(
+            us_east_at[1].is_some(),
+            "US-East caches are untouched: {us_east_at:?}"
+        );
+        // Europe holds 9 of the 20 client-weighted caches — the other
+        // 11 still make the whole-tier 50 % quorum, so the aggregate
+        // view hides the regional starvation entirely. This is exactly
+        // why cohorts step against per-region serving sets.
+        assert!(tier.cached_at()[1].is_some());
+    }
+
+    /// Placement changes latency but not correctness: a fully placed
+    /// tier still caches every version, and the all-same-region tier's
+    /// local fetches beat the unplaced tier's worldwide hops.
+    #[test]
+    fn placed_tier_caches_faster_than_the_worldwide_one() {
+        let timeline = healthy_timeline(2);
+        let table = table_for(&timeline);
+        let run_with = |placement: CachePlacement| {
+            let cfg = CacheSimConfig {
+                placement,
+                ..config(20)
+            };
+            run(&cfg, &timeline, &table)
+        };
+        let unplaced = run_with(CachePlacement::Uniform);
+        let european = run_with(CachePlacement::SingleRegion(Region::Europe));
+        for (u, e) in unplaced.versions.iter().zip(&european.versions) {
+            assert!(u.cached_at_secs.is_some() && e.cached_at_secs.is_some());
+            assert!(e.cache_coverage > 0.9);
+        }
+        // Version 1 is fetched fresh by everyone (version 0's quorum
+        // time includes the poll stagger): the European tier, 14 ms
+        // from its five nearest authorities, beats the 60 ms worldwide
+        // tier to quorum.
+        let (u1, e1) = (
+            unplaced.versions[1].cached_at_secs.unwrap(),
+            european.versions[1].cached_at_secs.unwrap(),
+        );
+        assert!(
+            e1 < u1,
+            "regional tier must reach quorum sooner: {e1} vs {u1}"
+        );
     }
 
     #[test]

@@ -12,10 +12,18 @@
 //! Behaviour follows the Tor client schedule in shape: steady clients
 //! notice a new consensus at the cache tier and fetch it at a uniformly
 //! staggered time (a diff plus the churned relays' descriptors if their
-//! base is recent, full documents otherwise); clients whose document
-//! passes `valid-until` fall off the network and re-enter bootstrap,
-//! retrying on a fixed cadence with Poisson-thinned attempts until a
-//! live document is fetchable again.
+//! base is recent, full documents otherwise, with timeout retries);
+//! clients whose document passes `valid-until` fall off the network and
+//! re-enter bootstrap, retrying on a fixed cadence with Poisson-thinned
+//! attempts until a live document is fetchable again.
+//!
+//! The fleet is *region-weighted*: [`FleetConfig::regions`] splits the
+//! population into geographic cohorts (one worldwide cohort by default
+//! — the legacy behaviour, bit-for-bit), and every cohort steps against
+//! its *own* view of cache availability — the serving caches its region
+//! fetches from — so a regional brownout starves exactly the clients it
+//! should. Per-hour rows and the whole-horizon report carry per-region
+//! breakdowns whose counts sum to the aggregate fields.
 //!
 //! The fleet is stepped one hour at a time ([`FleetSim::step_hour`]),
 //! and each hour reports not just client-visible outcomes but the
@@ -23,8 +31,10 @@
 //! session charges to the next hour's links when fetch feedback is on.
 
 use crate::docmodel::{DocClass, DocTable};
+use crate::placement::ClientRegions;
 use crate::stats::{binomial, poisson};
 use crate::timeline::{newest_live_cached, ConsensusTimeline, Publication};
+use partialtor_simnet::geo::Region;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -47,18 +57,23 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Step length, seconds.
     pub step_secs: u64,
-    /// Mean *new* clients starting a bootstrap per second (daily churn).
+    /// Mean *new* clients starting a bootstrap per second (daily churn),
+    /// across all cohorts.
     pub arrivals_per_sec: f64,
     /// Mean seconds between one bootstrapping client's attempts.
     pub bootstrap_retry_secs: f64,
     /// Steady clients spread their fetch of a newly cached consensus
     /// uniformly over this window, seconds.
     pub refresh_spread_secs: f64,
+    /// How the population splits into regional cohorts (the default
+    /// single worldwide cohort is the legacy behaviour, bit-for-bit).
+    pub regions: ClientRegions,
 }
 
 impl FleetConfig {
     /// A fleet of `clients` with Tor-shaped defaults: 2 % daily churn,
-    /// one bootstrap attempt a minute, fetches staggered over 45 min.
+    /// one bootstrap attempt a minute, fetches staggered over 45 min,
+    /// one worldwide cohort.
     pub fn sized(clients: u64, seed: u64) -> Self {
         FleetConfig {
             clients,
@@ -67,8 +82,37 @@ impl FleetConfig {
             arrivals_per_sec: clients as f64 * 0.02 / 86_400.0,
             bootstrap_retry_secs: 60.0,
             refresh_spread_secs: 45.0 * 60.0,
+            regions: ClientRegions::Worldwide,
         }
     }
+}
+
+/// One region cohort's slice of an hour — the integer fields sum
+/// exactly to the owning [`FleetHourRow`]'s aggregates.
+#[derive(Clone, Debug, Serialize)]
+pub struct RegionHourSlice {
+    /// Region label (`worldwide` for the unplaced cohort).
+    pub region: String,
+    /// Bootstrap attempts from this cohort.
+    pub bootstrap_attempts: u64,
+    /// Attempts that found a live consensus at this cohort's serving
+    /// caches.
+    pub bootstrap_successes: u64,
+    /// Steady-state refresh fetches.
+    pub refresh_fetches: u64,
+    /// Time-averaged fraction of this cohort with no valid consensus.
+    pub dead_fraction: f64,
+    /// Time-averaged fraction without a fresh consensus.
+    pub stale_fraction: f64,
+    /// Time-averaged cohort size over the hour.
+    pub mean_clients: f64,
+    /// Consensus bytes served to this cohort.
+    pub cache_egress_bytes: u64,
+    /// Descriptor bytes served to this cohort.
+    pub descriptor_egress_bytes: u64,
+    /// Request-side and failed-probe bytes this cohort pushed at the
+    /// tier.
+    pub request_bytes: u64,
 }
 
 /// One hour of client-visible outcomes.
@@ -100,6 +144,9 @@ pub struct FleetHourRow {
     /// Request-side and failed-probe bytes clients pushed at the tier
     /// this hour — the retry-storm traffic.
     pub request_bytes: u64,
+    /// Per-region slices (one per cohort; integer fields sum to the
+    /// aggregates above).
+    pub regions: Vec<RegionHourSlice>,
 }
 
 /// The egress one stepped hour realized — what the session charges to
@@ -110,6 +157,41 @@ pub struct FleetHourEgress {
     /// clients.
     pub served_bytes: u64,
     /// Request-side and failed-probe bytes clients sent at the tier.
+    pub request_bytes: u64,
+}
+
+/// One region cohort's whole-horizon outcome — the integer fields sum
+/// exactly to the owning [`FleetReport`]'s aggregates, and
+/// `final_clients = initial_clients + arrivals` (clients never migrate
+/// between regions).
+#[derive(Clone, Debug, Serialize)]
+pub struct RegionSummary {
+    /// Region label (`worldwide` for the unplaced cohort).
+    pub region: String,
+    /// Population fraction of this cohort.
+    pub weight: f64,
+    /// Cohort size at t = 0.
+    pub initial_clients: u64,
+    /// New clients that arrived over the horizon.
+    pub arrivals: u64,
+    /// Cohort size at the end of the horizon (held + bootstrapping).
+    pub final_clients: u64,
+    /// Bootstrap attempts over the horizon.
+    pub bootstrap_attempts: u64,
+    /// Successful bootstraps over the horizon.
+    pub bootstrap_successes: u64,
+    /// Refresh fetches over the horizon.
+    pub refresh_fetches: u64,
+    /// Time-averaged dead fraction of this cohort — its client-weighted
+    /// downtime.
+    pub client_weighted_downtime: f64,
+    /// Time-averaged stale fraction of this cohort.
+    pub mean_stale_fraction: f64,
+    /// Consensus bytes served to this cohort.
+    pub cache_egress_bytes: u64,
+    /// Descriptor bytes served to this cohort.
+    pub descriptor_egress_bytes: u64,
+    /// Request-side and failed-probe bytes from this cohort.
     pub request_bytes: u64,
 }
 
@@ -133,21 +215,65 @@ pub struct FleetReport {
     pub cache_egress_full_only_bytes: u64,
     /// Total descriptor bytes served to clients.
     pub descriptor_egress_bytes: u64,
+    /// Per-region summaries (one per cohort; counts sum to the
+    /// aggregates above).
+    pub regions: Vec<RegionSummary>,
 }
 
 /// When a version became fetchable at the cache tier (`None` = never,
 /// or not yet, in stepped use).
 pub type CacheAvailability = [Option<f64>];
 
-/// The stepped cohort fleet: persistent cohort state plus cumulative
-/// accounting, advanced one hour at a time.
-pub struct FleetSim {
-    config: FleetConfig,
-    rng: StdRng,
+/// One regional cohort's persistent state plus cumulative accounting.
+struct Cohort {
+    region: Option<Region>,
+    weight: f64,
+    initial: u64,
     /// Cohorts: version → clients holding it.
     holding: BTreeMap<usize, u64>,
     /// The bootstrap pool (no usable consensus).
     pool: u64,
+    arrivals: u64,
+    attempts: u64,
+    successes: u64,
+    refreshes: u64,
+    egress: u64,
+    desc_egress: u64,
+    request: u64,
+    dead_sum: f64,
+    stale_sum: f64,
+}
+
+impl Cohort {
+    fn label(&self) -> String {
+        crate::placement::region_label(self.region).to_string()
+    }
+
+    fn population(&self) -> u64 {
+        self.holding.values().sum::<u64>() + self.pool
+    }
+}
+
+/// Per-cohort scratch for one stepped hour.
+#[derive(Clone, Copy, Default)]
+struct HourScratch {
+    attempts: u64,
+    successes: u64,
+    refreshes: u64,
+    egress: u64,
+    desc_egress: u64,
+    request: u64,
+    dead_sum: f64,
+    stale_sum: f64,
+    clients_sum: f64,
+}
+
+/// The stepped cohort fleet: persistent per-region cohort state plus
+/// cumulative accounting, advanced one hour at a time.
+pub struct FleetSim {
+    config: FleetConfig,
+    rng: StdRng,
+    cohorts: Vec<Cohort>,
     rows: Vec<FleetHourRow>,
     total_attempts: u64,
     total_successes: u64,
@@ -162,15 +288,40 @@ pub struct FleetSim {
 
 impl FleetSim {
     /// A fleet at t = 0: everyone holds the baseline consensus
-    /// (version 0).
+    /// (version 0), split over the configured region cohorts by
+    /// population weight (largest-remainder rounding).
     pub fn new(config: &FleetConfig) -> Self {
-        let mut holding = BTreeMap::new();
-        holding.insert(0, config.clients);
+        let mix = config.regions.cohorts();
+        let weights: Vec<f64> = mix.iter().map(|&(_, w)| w).collect();
+        let counts = crate::placement::split_by_weight(&weights, config.clients);
+        let cohorts = mix
+            .into_iter()
+            .zip(counts)
+            .map(|((region, weight), initial)| {
+                let mut holding = BTreeMap::new();
+                holding.insert(0, initial);
+                Cohort {
+                    region,
+                    weight,
+                    initial,
+                    holding,
+                    pool: 0,
+                    arrivals: 0,
+                    attempts: 0,
+                    successes: 0,
+                    refreshes: 0,
+                    egress: 0,
+                    desc_egress: 0,
+                    request: 0,
+                    dead_sum: 0.0,
+                    stale_sum: 0.0,
+                }
+            })
+            .collect();
         FleetSim {
             config: config.clone(),
             rng: StdRng::seed_from_u64(config.seed),
-            holding,
-            pool: 0,
+            cohorts,
             rows: Vec::new(),
             total_attempts: 0,
             total_successes: 0,
@@ -184,9 +335,23 @@ impl FleetSim {
         }
     }
 
+    /// Number of region cohorts.
+    pub fn cohort_count(&self) -> usize {
+        self.cohorts.len()
+    }
+
+    /// Current total population (held + bootstrapping, all cohorts).
+    pub fn population(&self) -> u64 {
+        self.cohorts.iter().map(Cohort::population).sum()
+    }
+
     /// Steps the fleet over `[hour * 3600, (hour + 1) * 3600)` against
-    /// the publications so far and the cache tier's availability as of
-    /// the end of that hour. Hours must be stepped in order from 0.
+    /// the publications so far and each cohort's view of cache
+    /// availability as of the end of that hour: `cached[c][version]` is
+    /// when cohort `c`'s serving caches reached quorum on `version`
+    /// (one view per cohort — a session derives them from the tier's
+    /// placement; uniform callers pass the same whole-tier view for
+    /// every cohort). Hours must be stepped in order from 0.
     ///
     /// `service_budget_bytes` caps the payload the tier can serve this
     /// hour (`None` = unlimited, the open-loop behaviour): a session
@@ -194,26 +359,27 @@ impl FleetSim {
     /// the load already charged to them, so a bootstrap storm larger
     /// than the tier's capacity spills into later hours instead of
     /// being served for free — clients left over stay in the pool and
-    /// keep probing, exactly the §2.1 retry dynamics.
+    /// keep probing, exactly the §2.1 retry dynamics. The budget is
+    /// shared over the cohorts in cohort order.
     pub fn step_hour(
         &mut self,
         hour: u64,
         publications: &[Publication],
         table: &DocTable,
-        cached_at: &CacheAvailability,
+        cached: &[Vec<Option<f64>>],
         service_budget_bytes: Option<u64>,
     ) -> (FleetHourRow, FleetHourEgress) {
         assert_eq!(hour, self.rows.len() as u64, "hours step in order");
+        assert_eq!(
+            cached.len(),
+            self.cohorts.len(),
+            "one availability view per cohort"
+        );
         let dt = self.config.step_secs.max(1) as f64;
         let steps = (3_600.0 / dt).ceil() as u64;
 
-        let mut hour_attempts = 0u64;
-        let mut hour_successes = 0u64;
-        let mut hour_refreshes = 0u64;
-        let mut hour_egress = 0u64;
+        let mut scratch: Vec<HourScratch> = vec![HourScratch::default(); self.cohorts.len()];
         let mut hour_egress_full = 0u64;
-        let mut hour_desc_egress = 0u64;
-        let mut hour_request = 0u64;
         let mut hour_dead_sum = 0.0;
         let mut hour_stale_sum = 0.0;
         let mut hour_samples = 0u64;
@@ -235,109 +401,139 @@ impl FleetSim {
         for step in 0..steps {
             let t = (hour * 3_600) as f64 + step as f64 * dt;
 
-            // Newest version fetchable from the cache tier right now.
-            let newest_live = newest_live_cached(publications, cached_at, t);
+            for (index, cohort) in self.cohorts.iter_mut().enumerate() {
+                let scratch = &mut scratch[index];
+                // Newest version fetchable from this cohort's serving
+                // caches right now.
+                let newest_live = newest_live_cached(publications, &cached[index], t);
 
-            // 1. Expiry: cohorts whose document passed valid-until fall
-            //    off the network and start over.
-            let expired: Vec<usize> = self
-                .holding
-                .keys()
-                .copied()
-                .filter(|&v| !publications[v].live_at(t))
-                .collect();
-            for v in expired {
-                self.pool += self.holding.remove(&v).unwrap_or(0);
-            }
-
-            // 2. Arrivals: fresh clients joining the network (Poisson).
-            self.pool += poisson(&mut self.rng, self.config.arrivals_per_sec * dt);
-
-            // 3. Steady-state refresh: holders of an older version fetch
-            //    the newest cached one, staggered over the refresh
-            //    window. A refresh costs a consensus response (diff
-            //    inside the retain window) plus the churned relays'
-            //    descriptors.
-            if let Some(target) = newest_live {
-                let p_refresh = (dt / self.config.refresh_spread_secs).min(1.0);
-                let sources: Vec<usize> = self
+                // 1. Expiry: cohorts whose document passed valid-until
+                //    fall off the network and start over.
+                let expired: Vec<usize> = cohort
                     .holding
                     .keys()
                     .copied()
-                    .filter(|&v| v < target)
+                    .filter(|&v| !publications[v].live_at(t))
                     .collect();
-                for v in sources {
-                    let count = self.holding[&v];
-                    let movers = binomial(&mut self.rng, count, p_refresh);
-                    if movers == 0 {
-                        continue;
-                    }
-                    let consensus = table.response(DocClass::Consensus, Some(v), target);
-                    let descriptors = table.response(DocClass::Descriptors, Some(v), target);
-                    // A saturated tier serves only what fits; the rest
-                    // stay on their old version and try again later.
-                    let movers =
-                        serveable(&budget_left, movers, consensus.bytes + descriptors.bytes);
-                    if movers == 0 {
-                        continue;
-                    }
-                    *self.holding.get_mut(&v).expect("cohort exists") -= movers;
-                    *self.holding.entry(target).or_insert(0) += movers;
-                    hour_refreshes += movers;
-                    hour_egress += movers * consensus.bytes;
-                    hour_egress_full += movers * table.full_bytes(DocClass::Consensus, target);
-                    hour_desc_egress += movers * descriptors.bytes;
-                    hour_request += movers * REQUEST_BYTES;
-                    spend(
-                        &mut budget_left,
-                        movers * (consensus.bytes + descriptors.bytes),
-                    );
+                for v in expired {
+                    cohort.pool += cohort.holding.remove(&v).unwrap_or(0);
                 }
-                self.holding.retain(|_, count| *count > 0);
-            }
 
-            // 4. Bootstrap attempts: Poisson-thinned retries from the
-            //    pool. A success costs the full consensus plus the whole
-            //    descriptor set; a failure still costs a probe — the
-            //    retry-storm traffic feedback charges to the next hour.
-            if self.pool > 0 {
-                let p_attempt = (dt / self.config.bootstrap_retry_secs).min(1.0);
-                let attempts = binomial(&mut self.rng, self.pool, p_attempt);
-                hour_attempts += attempts;
-                self.total_attempts += attempts;
+                // 2. Arrivals: fresh clients joining the network
+                //    (Poisson, population-weighted per region).
+                let arrived = poisson(
+                    &mut self.rng,
+                    self.config.arrivals_per_sec * cohort.weight * dt,
+                );
+                cohort.pool += arrived;
+                cohort.arrivals += arrived;
+
+                // 3. Steady-state refresh: holders of an older version
+                //    fetch the newest cached one, staggered over the
+                //    refresh window. A refresh costs a consensus
+                //    response (diff inside the retain window) plus the
+                //    churned relays' descriptors.
                 if let Some(target) = newest_live {
-                    // The cache tier serves them the full documents —
-                    // as many as fit in what the links can still carry;
-                    // a storm larger than the tier spills over.
-                    let bytes = table.full_bytes(DocClass::Consensus, target);
-                    let desc_bytes = table.full_bytes(DocClass::Descriptors, target);
-                    let served = serveable(&budget_left, attempts, bytes + desc_bytes);
-                    self.pool -= served;
-                    *self.holding.entry(target).or_insert(0) += served;
-                    hour_successes += served;
-                    self.total_successes += served;
-                    hour_egress += served * bytes;
-                    hour_egress_full += served * bytes;
-                    hour_desc_egress += served * desc_bytes;
-                    hour_request +=
-                        served * REQUEST_BYTES + (attempts - served) * FAILED_PROBE_BYTES;
-                    spend(&mut budget_left, served * (bytes + desc_bytes));
-                } else {
-                    hour_request += attempts * FAILED_PROBE_BYTES;
+                    let p_refresh = (dt / self.config.refresh_spread_secs).min(1.0);
+                    let sources: Vec<usize> = cohort
+                        .holding
+                        .keys()
+                        .copied()
+                        .filter(|&v| v < target)
+                        .collect();
+                    for v in sources {
+                        let count = cohort.holding[&v];
+                        let movers = binomial(&mut self.rng, count, p_refresh);
+                        if movers == 0 {
+                            continue;
+                        }
+                        let consensus = table.response(DocClass::Consensus, Some(v), target);
+                        let descriptors = table.response(DocClass::Descriptors, Some(v), target);
+                        // A saturated tier serves only what fits; the
+                        // rest stay on their old version and try again
+                        // later.
+                        let movers =
+                            serveable(&budget_left, movers, consensus.bytes + descriptors.bytes);
+                        if movers == 0 {
+                            continue;
+                        }
+                        *cohort.holding.get_mut(&v).expect("cohort exists") -= movers;
+                        *cohort.holding.entry(target).or_insert(0) += movers;
+                        scratch.refreshes += movers;
+                        scratch.egress += movers * consensus.bytes;
+                        hour_egress_full += movers * table.full_bytes(DocClass::Consensus, target);
+                        scratch.desc_egress += movers * descriptors.bytes;
+                        scratch.request += movers * REQUEST_BYTES;
+                        spend(
+                            &mut budget_left,
+                            movers * (consensus.bytes + descriptors.bytes),
+                        );
+                    }
+                    cohort.holding.retain(|_, count| *count > 0);
+                }
+
+                // 4. Bootstrap attempts: Poisson-thinned retries from
+                //    the pool. A success costs the full consensus plus
+                //    the whole descriptor set; a failure still costs a
+                //    probe — the retry-storm traffic feedback charges
+                //    to the next hour.
+                if cohort.pool > 0 {
+                    let p_attempt = (dt / self.config.bootstrap_retry_secs).min(1.0);
+                    let attempts = binomial(&mut self.rng, cohort.pool, p_attempt);
+                    scratch.attempts += attempts;
+                    self.total_attempts += attempts;
+                    if let Some(target) = newest_live {
+                        // The cache tier serves them the full documents
+                        // — as many as fit in what the links can still
+                        // carry; a storm larger than the tier spills
+                        // over.
+                        let bytes = table.full_bytes(DocClass::Consensus, target);
+                        let desc_bytes = table.full_bytes(DocClass::Descriptors, target);
+                        let served = serveable(&budget_left, attempts, bytes + desc_bytes);
+                        cohort.pool -= served;
+                        *cohort.holding.entry(target).or_insert(0) += served;
+                        scratch.successes += served;
+                        self.total_successes += served;
+                        scratch.egress += served * bytes;
+                        hour_egress_full += served * bytes;
+                        scratch.desc_egress += served * desc_bytes;
+                        scratch.request +=
+                            served * REQUEST_BYTES + (attempts - served) * FAILED_PROBE_BYTES;
+                        spend(&mut budget_left, served * (bytes + desc_bytes));
+                    } else {
+                        scratch.request += attempts * FAILED_PROBE_BYTES;
+                    }
                 }
             }
 
-            // 5. Client-visible state at the end of the step.
-            let held: u64 = self.holding.values().sum();
-            let total = (held + self.pool).max(1);
-            let fresh: u64 = self
-                .holding
-                .iter()
-                .filter(|(v, _)| publications[**v].fresh_at(t))
-                .map(|(_, count)| *count)
-                .sum();
-            let dead_fraction = self.pool as f64 / total as f64;
-            let stale_fraction = 1.0 - fresh as f64 / total as f64;
+            // 5. Client-visible state at the end of the step, per
+            //    cohort and aggregated.
+            let mut pool_total = 0u64;
+            let mut held_total = 0u64;
+            let mut fresh_total = 0u64;
+            for (cohort, scratch) in self.cohorts.iter_mut().zip(&mut scratch) {
+                let held: u64 = cohort.holding.values().sum();
+                let total = (held + cohort.pool).max(1);
+                let fresh: u64 = cohort
+                    .holding
+                    .iter()
+                    .filter(|(v, _)| publications[**v].fresh_at(t))
+                    .map(|(_, count)| *count)
+                    .sum();
+                let dead = cohort.pool as f64 / total as f64;
+                let stale = 1.0 - fresh as f64 / total as f64;
+                scratch.dead_sum += dead;
+                scratch.stale_sum += stale;
+                scratch.clients_sum += (held + cohort.pool) as f64;
+                cohort.dead_sum += dead;
+                cohort.stale_sum += stale;
+                pool_total += cohort.pool;
+                held_total += held;
+                fresh_total += fresh;
+            }
+            let total = (held_total + pool_total).max(1);
+            let dead_fraction = pool_total as f64 / total as f64;
+            let stale_fraction = 1.0 - fresh_total as f64 / total as f64;
             hour_dead_sum += dead_fraction;
             hour_stale_sum += stale_fraction;
             hour_samples += 1;
@@ -347,31 +543,64 @@ impl FleetSim {
             self.steps_done += 1;
         }
 
+        for (cohort, scratch) in self.cohorts.iter_mut().zip(&scratch) {
+            cohort.attempts += scratch.attempts;
+            cohort.successes += scratch.successes;
+            cohort.refreshes += scratch.refreshes;
+            cohort.egress += scratch.egress;
+            cohort.desc_egress += scratch.desc_egress;
+            cohort.request += scratch.request;
+        }
+        let samples = hour_samples.max(1) as f64;
+        let regions: Vec<RegionHourSlice> = self
+            .cohorts
+            .iter()
+            .zip(&scratch)
+            .map(|(cohort, scratch)| RegionHourSlice {
+                region: cohort.label(),
+                bootstrap_attempts: scratch.attempts,
+                bootstrap_successes: scratch.successes,
+                refresh_fetches: scratch.refreshes,
+                dead_fraction: scratch.dead_sum / samples,
+                stale_fraction: scratch.stale_sum / samples,
+                mean_clients: scratch.clients_sum / samples,
+                cache_egress_bytes: scratch.egress,
+                descriptor_egress_bytes: scratch.desc_egress,
+                request_bytes: scratch.request,
+            })
+            .collect();
+        let sum = |f: fn(&HourScratch) -> u64| scratch.iter().map(f).sum::<u64>();
+        // The aggregate dead/stale fractions average the *population*
+        // fraction per step (Σ pools / Σ totals), so they are not the
+        // mean of the per-cohort fractions — the per-region counts, not
+        // the fractions, are the fields that sum to the aggregates.
         let row = FleetHourRow {
             hour,
-            bootstrap_attempts: hour_attempts,
-            bootstrap_successes: hour_successes,
-            refresh_fetches: hour_refreshes,
-            dead_fraction: hour_dead_sum / hour_samples.max(1) as f64,
-            stale_fraction: hour_stale_sum / hour_samples.max(1) as f64,
-            cache_egress_bytes: hour_egress,
+            bootstrap_attempts: sum(|s| s.attempts),
+            bootstrap_successes: sum(|s| s.successes),
+            refresh_fetches: sum(|s| s.refreshes),
+            dead_fraction: hour_dead_sum / samples,
+            stale_fraction: hour_stale_sum / samples,
+            cache_egress_bytes: sum(|s| s.egress),
             cache_egress_full_only_bytes: hour_egress_full,
-            descriptor_egress_bytes: hour_desc_egress,
-            request_bytes: hour_request,
+            descriptor_egress_bytes: sum(|s| s.desc_egress),
+            request_bytes: sum(|s| s.request),
+            regions,
         };
-        self.egress += hour_egress;
+        self.egress += row.cache_egress_bytes;
         self.egress_full += hour_egress_full;
-        self.desc_egress += hour_desc_egress;
+        self.desc_egress += row.descriptor_egress_bytes;
         self.rows.push(row.clone());
         let egress = FleetHourEgress {
-            served_bytes: hour_egress + hour_desc_egress,
-            request_bytes: hour_request,
+            served_bytes: row.cache_egress_bytes + row.descriptor_egress_bytes,
+            request_bytes: row.request_bytes,
         };
         (row, egress)
     }
 
     /// The whole-horizon report over every hour stepped so far.
     pub fn report(&self) -> FleetReport {
+        let steps = self.steps_done.max(1) as f64;
         FleetReport {
             rows: self.rows.clone(),
             bootstrap_success_rate: if self.total_attempts == 0 {
@@ -379,19 +608,39 @@ impl FleetSim {
             } else {
                 self.total_successes as f64 / self.total_attempts as f64
             },
-            client_weighted_downtime: self.downtime_sum / self.steps_done.max(1) as f64,
-            mean_stale_fraction: self.stale_sum / self.steps_done.max(1) as f64,
+            client_weighted_downtime: self.downtime_sum / steps,
+            mean_stale_fraction: self.stale_sum / steps,
             peak_stale_fraction: self.peak_stale,
             cache_egress_bytes: self.egress,
             cache_egress_full_only_bytes: self.egress_full,
             descriptor_egress_bytes: self.desc_egress,
+            regions: self
+                .cohorts
+                .iter()
+                .map(|cohort| RegionSummary {
+                    region: cohort.label(),
+                    weight: cohort.weight,
+                    initial_clients: cohort.initial,
+                    arrivals: cohort.arrivals,
+                    final_clients: cohort.population(),
+                    bootstrap_attempts: cohort.attempts,
+                    bootstrap_successes: cohort.successes,
+                    refresh_fetches: cohort.refreshes,
+                    client_weighted_downtime: cohort.dead_sum / steps,
+                    mean_stale_fraction: cohort.stale_sum / steps,
+                    cache_egress_bytes: cohort.egress,
+                    descriptor_egress_bytes: cohort.desc_egress,
+                    request_bytes: cohort.request,
+                })
+                .collect(),
         }
     }
 }
 
 /// Runs the fleet over a whole timeline whose versions became fetchable
 /// at the cache tier at `cached_at[version]` — the batch view of the
-/// same stepped machinery.
+/// same stepped machinery. Every cohort sees the same whole-tier
+/// availability.
 pub fn run(
     config: &FleetConfig,
     timeline: &ConsensusTimeline,
@@ -399,9 +648,10 @@ pub fn run(
     cached_at: &CacheAvailability,
 ) -> FleetReport {
     let mut fleet = FleetSim::new(config);
+    let views = vec![cached_at.to_vec(); fleet.cohort_count()];
     let hours = (timeline.horizon_secs() / 3_600.0).ceil() as u64;
     for hour in 0..hours {
-        fleet.step_hour(hour, &timeline.publications, table, cached_at, None);
+        fleet.step_hour(hour, &timeline.publications, table, &views, None);
     }
     fleet.report()
 }
@@ -546,9 +796,95 @@ mod tests {
                 .iter()
                 .map(|at| at.filter(|&at| at <= hour_end))
                 .collect();
-            fleet.step_hour(hour, &t.publications, &m, &partial, None);
+            fleet.step_hour(hour, &t.publications, &m, &[partial], None);
         }
         let stepped = fleet.report();
         assert_eq!(format!("{batch:?}"), format!("{stepped:?}"));
+    }
+
+    /// The region-weighted fleet conserves clients: each cohort's final
+    /// population is exactly its initial share plus its arrivals —
+    /// clients never migrate between regions — and every per-region
+    /// count sums to the aggregate.
+    #[test]
+    fn region_cohorts_conserve_clients_and_sum_to_aggregates() {
+        let t = timeline(&[Some(330.0), None, Some(400.0), None]);
+        let m = table(&t);
+        let config = FleetConfig {
+            regions: ClientRegions::TorMetrics,
+            ..FleetConfig::sized(400_000, 17)
+        };
+        let report = run(&config, &t, &m, &prompt_caches(&t));
+        assert_eq!(report.regions.len(), 4);
+        let initial: u64 = report.regions.iter().map(|r| r.initial_clients).sum();
+        assert_eq!(initial, 400_000, "largest remainder loses nobody");
+        for region in &report.regions {
+            assert_eq!(
+                region.final_clients,
+                region.initial_clients + region.arrivals,
+                "{}: clients are conserved per region",
+                region.region
+            );
+        }
+        for row in &report.rows {
+            assert_eq!(
+                row.regions
+                    .iter()
+                    .map(|r| r.bootstrap_attempts)
+                    .sum::<u64>(),
+                row.bootstrap_attempts
+            );
+            assert_eq!(
+                row.regions
+                    .iter()
+                    .map(|r| r.cache_egress_bytes)
+                    .sum::<u64>(),
+                row.cache_egress_bytes
+            );
+            assert_eq!(
+                row.regions.iter().map(|r| r.request_bytes).sum::<u64>(),
+                row.request_bytes
+            );
+        }
+    }
+
+    /// A cohort whose serving caches never receive a version dies alone:
+    /// regional availability views starve exactly their own region.
+    #[test]
+    fn starved_region_dies_while_the_rest_live() {
+        let t = timeline(&[Some(330.0); 6]);
+        let m = table(&t);
+        let config = FleetConfig {
+            regions: ClientRegions::TorMetrics,
+            ..FleetConfig::sized(200_000, 23)
+        };
+        let mut fleet = FleetSim::new(&config);
+        let healthy = prompt_caches(&t);
+        // Cohort 3 (APAC) sees only the baseline; everyone else is fine.
+        let starved: Vec<Option<f64>> = healthy
+            .iter()
+            .enumerate()
+            .map(|(v, at)| (v == 0).then(|| at.unwrap()))
+            .collect();
+        let views = [healthy.clone(), healthy.clone(), healthy.clone(), starved];
+        let hours = (t.horizon_secs() / 3_600.0) as u64;
+        for hour in 0..hours {
+            fleet.step_hour(hour, &t.publications, &m, &views, None);
+        }
+        let report = fleet.report();
+        let apac = &report.regions[3];
+        let europe = &report.regions[2];
+        assert_eq!(apac.region, "apac");
+        assert!(
+            apac.client_weighted_downtime > 0.3,
+            "starved APAC must fall off: {apac:?}"
+        );
+        assert!(
+            europe.client_weighted_downtime < 0.01,
+            "Europe keeps fetching: {europe:?}"
+        );
+        // The aggregate sits between the two: APAC's weight of it.
+        assert!(report.client_weighted_downtime > 0.05);
+        assert!(report.client_weighted_downtime < apac.client_weighted_downtime);
     }
 }

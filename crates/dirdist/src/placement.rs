@@ -1,0 +1,286 @@
+//! Geographic placement of the directory-cache tier.
+//!
+//! Before this module existed every cache sat at one flat 60 ms hop
+//! from everything. Now each cache gets an optional
+//! [`Region`] placement, a [`CachePlacement`] strategy decides the
+//! layout, and the latencies come from the `simnet` geo model: placed
+//! endpoints pay the deterministic inter-region midpoint, unplaced
+//! ("worldwide") endpoints keep the legacy
+//! [`geo::WORLDWIDE_HOP_MS`] — itself now *derived* from the same
+//! matrix — so the default [`CachePlacement::Uniform`] reproduces the
+//! pre-geo distribution results bit for bit (pinned in
+//! [`crate::cachesim`]'s tests).
+//!
+//! Client cohorts are placed the same way ([`ClientRegions`]); a
+//! cohort fetches from the caches of its own region when the placement
+//! put any there, and falls back to the whole worldwide tier otherwise
+//! ([`serving_caches`]). [`client_weighted_latency_ms`] folds the two
+//! into the metric the placement experiment ranks strategies by: the
+//! expected one-way fetch latency of a random client.
+
+use partialtor_simnet::geo::{self, Region, AUTHORITY_REGIONS, CLIENT_WEIGHTS, REGIONS};
+
+/// How the cache tier is laid out over the [`REGIONS`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CachePlacement {
+    /// No placement: every cache is "somewhere on the internet" at the
+    /// flat worldwide hop — the legacy pre-geo behaviour and the
+    /// default.
+    #[default]
+    Uniform,
+    /// Every cache in one region (an all-same-region placement; also
+    /// the adversarial-worst layout when the region is the one farthest
+    /// from the client population).
+    SingleRegion(Region),
+    /// Caches cycled uniformly over the four regions, ignoring where
+    /// the clients actually are.
+    Spread,
+    /// Caches allocated to regions proportionally to the Tor client
+    /// population ([`CLIENT_WEIGHTS`], largest-remainder rounding).
+    ClientWeighted,
+    /// Caches colocated with the nine live authorities (cycling
+    /// [`AUTHORITY_REGIONS`]) — the "park the cache next to the
+    /// dirauth" instinct, which leaves Asia-Pacific unserved.
+    Authorities,
+    /// An explicit per-cache layout: cache `i` lives in
+    /// `regions[i % regions.len()]` (empty = unplaced). The greedy
+    /// placement search emits these.
+    Explicit(Vec<Region>),
+}
+
+impl CachePlacement {
+    /// The per-cache region assignment for a tier of `n` caches
+    /// (`None` = unplaced/worldwide).
+    pub fn regions(&self, n: usize) -> Vec<Option<Region>> {
+        match self {
+            CachePlacement::Uniform => vec![None; n],
+            CachePlacement::SingleRegion(region) => vec![Some(*region); n],
+            CachePlacement::Spread => (0..n).map(|i| Some(REGIONS[i % REGIONS.len()])).collect(),
+            CachePlacement::ClientWeighted => {
+                let counts = split_by_weight(&CLIENT_WEIGHTS, n as u64);
+                REGIONS
+                    .iter()
+                    .zip(counts)
+                    .flat_map(|(&region, count)| std::iter::repeat_n(Some(region), count as usize))
+                    .collect()
+            }
+            CachePlacement::Authorities => (0..n)
+                .map(|i| Some(AUTHORITY_REGIONS[i % AUTHORITY_REGIONS.len()]))
+                .collect(),
+            CachePlacement::Explicit(regions) => (0..n)
+                .map(|i| regions.get(i % regions.len().max(1)).copied())
+                .collect(),
+        }
+    }
+
+    /// Human-readable strategy name.
+    pub fn label(&self) -> String {
+        match self {
+            CachePlacement::Uniform => "unplaced (worldwide 60 ms)".to_string(),
+            CachePlacement::SingleRegion(region) => format!("all-in-{region}"),
+            CachePlacement::Spread => "uniform-spread".to_string(),
+            CachePlacement::ClientWeighted => "client-weighted".to_string(),
+            CachePlacement::Authorities => "authority-colocated".to_string(),
+            CachePlacement::Explicit(_) => "explicit".to_string(),
+        }
+    }
+}
+
+/// Splits `n` units over weighted buckets by largest remainder
+/// (deterministic; ties go to the earlier bucket). Used for cache
+/// counts and for splitting a client fleet into regional cohorts.
+pub(crate) fn split_by_weight(weights: &[f64], n: u64) -> Vec<u64> {
+    let total: f64 = weights.iter().sum();
+    let quotas: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+    let mut counts: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+    let assigned: u64 = counts.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.partial_cmp(&fa).expect("finite quotas").then(a.cmp(&b))
+    });
+    for index in order.into_iter().cycle().take((n - assigned) as usize) {
+        counts[index] += 1;
+    }
+    counts
+}
+
+/// How the client population is split into regional cohorts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum ClientRegions {
+    /// One worldwide cohort — the legacy pre-geo behaviour and the
+    /// default.
+    #[default]
+    Worldwide,
+    /// Four regional cohorts weighted by the Tor Metrics population
+    /// shares ([`CLIENT_WEIGHTS`]).
+    TorMetrics,
+    /// Explicit regional weights (normalized over their sum).
+    Explicit(Vec<(Region, f64)>),
+}
+
+impl ClientRegions {
+    /// The cohort list: `(region, population fraction)` with fractions
+    /// summing to 1 (`None` = one worldwide cohort).
+    pub fn cohorts(&self) -> Vec<(Option<Region>, f64)> {
+        match self {
+            ClientRegions::Worldwide => vec![(None, 1.0)],
+            ClientRegions::TorMetrics => REGIONS
+                .iter()
+                .zip(CLIENT_WEIGHTS)
+                .map(|(&region, weight)| (Some(region), weight))
+                .collect(),
+            ClientRegions::Explicit(weights) => {
+                let total: f64 = weights.iter().map(|(_, w)| w).sum();
+                assert!(total > 0.0, "client-region weights must be positive");
+                weights
+                    .iter()
+                    .map(|&(region, weight)| (Some(region), weight / total))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Label of an optionally placed region (`worldwide` when unplaced) —
+/// the one string every report joins cohorts on.
+pub fn region_label(region: Option<Region>) -> &'static str {
+    match region {
+        Some(region) => region.label(),
+        None => "worldwide",
+    }
+}
+
+/// The caches a cohort fetches from: the ones placed in its own region
+/// when the placement put any there, the whole tier otherwise (an
+/// unplaced/worldwide cohort always uses the whole tier).
+pub fn serving_caches(cache_regions: &[Option<Region>], cohort: Option<Region>) -> Vec<usize> {
+    if let Some(region) = cohort {
+        let local: Vec<usize> = cache_regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Some(region))
+            .map(|(i, _)| i)
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+    }
+    (0..cache_regions.len()).collect()
+}
+
+/// Mean one-way fetch latency a cohort sees against its serving caches,
+/// milliseconds.
+pub fn cohort_fetch_latency_ms(cache_regions: &[Option<Region>], cohort: Option<Region>) -> f64 {
+    let serving = serving_caches(cache_regions, cohort);
+    if serving.is_empty() {
+        return geo::WORLDWIDE_HOP_MS;
+    }
+    serving
+        .iter()
+        .map(|&i| geo::hop_ms(cohort, cache_regions[i]))
+        .sum::<f64>()
+        / serving.len() as f64
+}
+
+/// The placement experiment's ranking metric: the expected one-way
+/// fetch latency of a random client, over regional cohorts weighted by
+/// population share.
+pub fn client_weighted_latency_ms(
+    cache_regions: &[Option<Region>],
+    cohorts: &[(Option<Region>, f64)],
+) -> f64 {
+    cohorts
+        .iter()
+        .map(|&(region, weight)| weight * cohort_fetch_latency_ms(cache_regions, region))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_the_legacy_default() {
+        assert_eq!(CachePlacement::default(), CachePlacement::Uniform);
+        assert_eq!(CachePlacement::Uniform.regions(3), vec![None, None, None]);
+        assert_eq!(ClientRegions::default().cohorts(), vec![(None, 1.0)]);
+        // Unplaced everything: the flat worldwide hop everywhere.
+        let regions = CachePlacement::Uniform.regions(10);
+        assert_eq!(
+            client_weighted_latency_ms(&regions, &ClientRegions::Worldwide.cohorts()),
+            geo::WORLDWIDE_HOP_MS
+        );
+    }
+
+    #[test]
+    fn client_weighted_counts_follow_the_population() {
+        let regions = CachePlacement::ClientWeighted.regions(50);
+        let count = |r: Region| regions.iter().filter(|&&x| x == Some(r)).count();
+        // 50 × (0.20, 0.12, 0.46, 0.22) = (10, 6, 23, 11).
+        assert_eq!(count(Region::UsEast), 10);
+        assert_eq!(count(Region::UsWest), 6);
+        assert_eq!(count(Region::Europe), 23);
+        assert_eq!(count(Region::Apac), 11);
+        // Largest remainder never loses a cache.
+        for n in [1usize, 3, 7, 13, 199] {
+            assert_eq!(CachePlacement::ClientWeighted.regions(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn authority_placement_mirrors_the_authority_map_and_skips_apac() {
+        let regions = CachePlacement::Authorities.regions(18);
+        let count = |r: Region| regions.iter().filter(|&&x| x == Some(r)).count();
+        assert_eq!(count(Region::Europe), 10, "5 of 9 authorities are European");
+        assert_eq!(count(Region::Apac), 0, "no authority lives in Asia-Pacific");
+    }
+
+    #[test]
+    fn serving_sets_prefer_local_caches_and_fall_back_worldwide() {
+        let regions = CachePlacement::Explicit(vec![Region::Europe, Region::UsEast]).regions(4);
+        assert_eq!(
+            serving_caches(&regions, Some(Region::Europe)),
+            vec![0, 2],
+            "local caches serve local clients"
+        );
+        assert_eq!(
+            serving_caches(&regions, Some(Region::Apac)),
+            vec![0, 1, 2, 3],
+            "an unserved region falls back to the whole tier"
+        );
+        assert_eq!(serving_caches(&regions, None), vec![0, 1, 2, 3]);
+        // Local service is the regional midpoint; fallback averages the
+        // whole tier.
+        assert_eq!(
+            cohort_fetch_latency_ms(&regions, Some(Region::Europe)),
+            geo::midpoint_ms(Region::Europe, Region::Europe)
+        );
+        let apac = cohort_fetch_latency_ms(&regions, Some(Region::Apac));
+        assert_eq!(
+            apac,
+            (geo::midpoint_ms(Region::Apac, Region::Europe)
+                + geo::midpoint_ms(Region::Apac, Region::UsEast))
+                / 2.0
+        );
+    }
+
+    #[test]
+    fn client_weighted_placement_beats_the_rest_on_latency() {
+        let cohorts = ClientRegions::TorMetrics.cohorts();
+        let latency = |p: &CachePlacement| client_weighted_latency_ms(&p.regions(40), &cohorts);
+        let client_weighted = latency(&CachePlacement::ClientWeighted);
+        assert!(client_weighted < latency(&CachePlacement::Authorities));
+        assert!(client_weighted < latency(&CachePlacement::Uniform));
+        assert!(client_weighted < latency(&CachePlacement::SingleRegion(Region::Apac)));
+        // Every region served locally: the metric is the weighted mean
+        // of the intra-region midpoints.
+        let expected: f64 = REGIONS
+            .iter()
+            .zip(CLIENT_WEIGHTS)
+            .map(|(&r, w)| w * geo::midpoint_ms(r, r))
+            .sum();
+        assert!((client_weighted - expected).abs() < 1e-9);
+    }
+}

@@ -29,8 +29,12 @@
 use crate::cachesim::{CacheSimConfig, CacheTier, LinkWindow, ServeSizes};
 use crate::docmodel::{DocModel, DocTable};
 use crate::fleet::{FleetConfig, FleetHourEgress, FleetHourRow, FleetSim};
+use crate::placement::{
+    client_weighted_latency_ms, cohort_fetch_latency_ms, region_label, serving_caches,
+};
 use crate::timeline::Publication;
 use crate::{DistConfig, DistReport};
+use partialtor_simnet::geo::REGIONS;
 use serde::Serialize;
 
 /// One hour's input to a stepped session.
@@ -86,6 +90,44 @@ pub struct HourReport {
     pub cache_bg_bps: f64,
 }
 
+/// One regional cohort's placement-derived view of the tier.
+#[derive(Clone, Debug, Serialize)]
+pub struct CohortPlacement {
+    /// Cohort region label (`worldwide` for the unplaced cohort).
+    pub region: String,
+    /// Population fraction of the cohort.
+    pub weight: f64,
+    /// Caches serving the cohort (its own region's caches, or the
+    /// whole tier as fallback).
+    pub serving_caches: usize,
+    /// Mean one-way fetch latency against the serving caches, ms.
+    pub fetch_latency_ms: f64,
+}
+
+/// How many caches the placement put in one region.
+#[derive(Clone, Debug, Serialize)]
+pub struct RegionCacheCount {
+    /// Region label (`worldwide` for unplaced caches).
+    pub region: String,
+    /// Caches placed there.
+    pub caches: usize,
+}
+
+/// The geographic story of one session: where the caches went, and
+/// what latency each client cohort pays for it.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlacementSummary {
+    /// Placement strategy label.
+    pub strategy: String,
+    /// Caches per region under the placement.
+    pub cache_counts: Vec<RegionCacheCount>,
+    /// The headline metric: expected one-way fetch latency of a random
+    /// client, over cohorts weighted by population share, ms.
+    pub client_weighted_latency_ms: f64,
+    /// Per-cohort serving sets and latencies.
+    pub cohorts: Vec<CohortPlacement>,
+}
+
 /// Summary of the feedback loop over a whole session.
 #[derive(Clone, Debug, Serialize)]
 pub struct FeedbackSummary {
@@ -123,6 +165,9 @@ pub struct DistSession {
     table: DocTable,
     tier: CacheTier,
     fleet: FleetSim,
+    /// One serving-cache set per client cohort, fixed by the placement.
+    serving_sets: Vec<Vec<usize>>,
+    placement: PlacementSummary,
     publications: Vec<Publication>,
     /// The next hour [`DistSession::step_hour`] will process (hour 0 is
     /// handled at construction).
@@ -151,9 +196,41 @@ impl DistSession {
             n_caches: config.n_caches,
             direct_client_load_bps: config.direct_client_load_bps(),
             link_windows: config.link_windows.clone(),
+            placement: config.placement.clone(),
             ..CacheSimConfig::default()
         };
         let mut tier = CacheTier::new(&cache_config);
+
+        // The placement decides which caches each cohort fetches from,
+        // and with it the latency story of the whole session.
+        let cache_regions = tier.cache_regions().to_vec();
+        let cohorts = config.client_regions.cohorts();
+        let serving_sets: Vec<Vec<usize>> = cohorts
+            .iter()
+            .map(|&(region, _)| serving_caches(&cache_regions, region))
+            .collect();
+        let placement = PlacementSummary {
+            strategy: config.placement.label(),
+            cache_counts: std::iter::once(None)
+                .chain(REGIONS.iter().copied().map(Some))
+                .map(|region| RegionCacheCount {
+                    region: region_label(region).to_string(),
+                    caches: cache_regions.iter().filter(|&&r| r == region).count(),
+                })
+                .filter(|count| count.caches > 0)
+                .collect(),
+            client_weighted_latency_ms: client_weighted_latency_ms(&cache_regions, &cohorts),
+            cohorts: cohorts
+                .iter()
+                .zip(&serving_sets)
+                .map(|(&(region, weight), serving)| CohortPlacement {
+                    region: region_label(region).to_string(),
+                    weight,
+                    serving_caches: serving.len(),
+                    fetch_latency_ms: cohort_fetch_latency_ms(&cache_regions, region),
+                })
+                .collect(),
+        };
 
         let mut table = DocTable::new();
         table.push_version(&model, 0, 0.0, config.retain_hours);
@@ -167,12 +244,15 @@ impl DistSession {
         tier.publish(0, 0.0, ServeSizes::for_version(&table, 0));
         tier.run_to(3_600.0);
 
-        let mut fleet = FleetSim::new(&FleetConfig::sized(
-            config.clients,
-            config.seed ^ 0x0005_eedf_1ee7,
-        ));
+        let mut fleet = FleetSim::new(&FleetConfig {
+            regions: config.client_regions.clone(),
+            ..FleetConfig::sized(config.clients, config.seed ^ 0x0005_eedf_1ee7)
+        });
         let publications = vec![baseline];
-        let cached = tier.cached_at();
+        let cached: Vec<Vec<Option<f64>>> = serving_sets
+            .iter()
+            .map(|serving| tier.cached_at_for(serving))
+            .collect();
         let budget = config
             .feedback
             .then(|| service_budget_bytes(config, &cache_config, 0.0));
@@ -186,6 +266,8 @@ impl DistSession {
             table,
             tier,
             fleet,
+            serving_sets,
+            placement,
             publications,
             next_hour: 1,
             cum_churn: 0.0,
@@ -236,7 +318,11 @@ impl DistSession {
         });
 
         self.tier.run_to(((hour + 1) * 3_600) as f64);
-        let cached = self.tier.cached_at();
+        let cached: Vec<Vec<Option<f64>>> = self
+            .serving_sets
+            .iter()
+            .map(|serving| self.tier.cached_at_for(serving))
+            .collect();
         let budget = self
             .config
             .feedback
@@ -329,6 +415,12 @@ impl DistSession {
         &self.table
     }
 
+    /// The session's placement summary (strategy, cache counts, cohort
+    /// latencies).
+    pub fn placement(&self) -> &PlacementSummary {
+        &self.placement
+    }
+
     /// Closes the session: drains the cache tier past the horizon (late
     /// fetches still count toward cache coverage) and folds everything
     /// into the end-to-end report.
@@ -338,6 +430,7 @@ impl DistSession {
         DistReport {
             cache: self.tier.report(),
             fleet: self.fleet.report(),
+            placement: self.placement,
             feedback: FeedbackSummary {
                 enabled: self.config.feedback,
                 mean_authority_bg_bps: self.bg_authority_sum / hours,
@@ -441,6 +534,66 @@ mod tests {
         );
         assert!(closed.fleet.client_weighted_downtime < 0.01);
         assert!(open.fleet.client_weighted_downtime < 0.01);
+    }
+
+    /// The geographic pipeline end to end: region-placed caches,
+    /// Tor-weighted cohorts, and a regional brownout that starves
+    /// exactly the browned-out region's clients while the aggregate
+    /// availability view stays green.
+    #[test]
+    fn regional_brownout_hurts_only_its_cohort() {
+        use crate::{CachePlacement, ClientRegions};
+        use partialtor_simnet::geo::Region;
+
+        let hours = 5u64;
+        let mut cfg = config(80_000, 20, false);
+        cfg.placement = CachePlacement::ClientWeighted;
+        cfg.client_regions = ClientRegions::TorMetrics;
+        // Europe's caches go dark from hour 1 to beyond the horizon.
+        cfg.link_windows = vec![LinkWindow {
+            node: TierNode::Region(Region::Europe),
+            start_secs: 3_600.0,
+            duration_secs: ((hours + 2) * 3_600) as f64,
+            bps: 0.0,
+        }];
+        let mut session = DistSession::new(&cfg, DocModel::synthetic(2_000));
+        for _ in 0..hours {
+            let report = session.step_hour(HourInput::produced(330.0));
+            assert_eq!(report.fleet.regions.len(), 4, "one slice per cohort");
+        }
+        let placement = session.placement().clone();
+        assert_eq!(placement.strategy, "client-weighted");
+        assert!(placement.client_weighted_latency_ms < 30.0);
+        let report = session.into_report();
+
+        let by_region = |label: &str| {
+            report
+                .fleet
+                .regions
+                .iter()
+                .find(|r| r.region == label)
+                .expect("cohort exists")
+                .clone()
+        };
+        let europe = by_region("europe");
+        let us_east = by_region("us-east");
+        // Europe's serving caches hold only the baseline; its clients
+        // fall off three hours later. US-East keeps fetching.
+        assert!(
+            europe.client_weighted_downtime > 0.2,
+            "browned-out Europe must fall off: {europe:?}"
+        );
+        assert!(
+            us_east.client_weighted_downtime < 0.01,
+            "US-East is untouched: {us_east:?}"
+        );
+        // The aggregate carries Europe's weight of the damage.
+        assert!(report.fleet.client_weighted_downtime > 0.08);
+        // Aggregate cache availability never flags the outage — the
+        // non-European majority still reaches quorum on every version.
+        for version in &report.cache.versions {
+            assert!(version.cached_at_secs.is_some());
+        }
     }
 
     #[test]

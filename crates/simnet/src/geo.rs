@@ -1,0 +1,247 @@
+//! The geographic model: regions, inter-region latencies, and client
+//! population weights.
+//!
+//! The paper derives authority-to-authority latencies from a
+//! tornettools-generated private Tor network; its client-impact numbers
+//! implicitly assume clients reach the directory tier over real-world
+//! geography. This module makes that geography a first-class, reusable
+//! quantity: four coarse [`Region`]s (the three authority clusters plus
+//! Asia-Pacific, where authorities have no presence but clients do), a
+//! public inter-region latency matrix ([`region_latency_ms`],
+//! [`midpoint_ms`]), and Tor-metrics-derived client population weights
+//! ([`CLIENT_WEIGHTS`]).
+//!
+//! Downstream, `partialtor-dirdist` places directory caches in these
+//! regions and weights client cohorts by them. The pre-geo distribution
+//! layer modeled every cache at one flat 60 ms hop; that constant is now
+//! *derived* — [`derived_worldwide_hop_ms`] computes the client-weighted
+//! mean latency to a cache tier spread uniformly over the regions, and a
+//! test pins that it rounds to the legacy [`WORLDWIDE_HOP_MS`], so an
+//! unplaced tier reproduces the old behaviour exactly.
+
+/// Geographic cluster of a directory-tier node or client cohort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    /// US East Coast (moria1, bastet, longclaw).
+    UsEast,
+    /// US West Coast (faravahar).
+    UsWest,
+    /// Central/Northern Europe (tor26, dizum, gabelmoo, dannenberg,
+    /// maatuska).
+    Europe,
+    /// Asia-Pacific: no directory authority lives here, but a
+    /// substantial client population does.
+    Apac,
+}
+
+impl Region {
+    /// Stable lower-case label (`us-east`, `us-west`, `europe`, `apac`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::UsEast => "us-east",
+            Region::UsWest => "us-west",
+            Region::Europe => "europe",
+            Region::Apac => "apac",
+        }
+    }
+
+    /// Parses a [`Region::label`] (case-sensitive).
+    pub fn from_label(label: &str) -> Option<Region> {
+        REGIONS.iter().copied().find(|r| r.label() == label)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Every modeled region, in canonical order.
+pub const REGIONS: [Region; 4] = [Region::UsEast, Region::UsWest, Region::Europe, Region::Apac];
+
+/// Fraction of the Tor client population in each region, index-aligned
+/// with [`REGIONS`] and summing to 1. Coarse buckets of the Tor Metrics
+/// users-by-country series: Europe (Germany, Netherlands, Finland, …)
+/// dominates, the Americas split roughly 2:1 east:west, and Asia-Pacific
+/// carries the rest.
+pub const CLIENT_WEIGHTS: [f64; 4] = [0.20, 0.12, 0.46, 0.22];
+
+/// The client-population weight of one region (see [`CLIENT_WEIGHTS`]).
+pub fn client_weight(region: Region) -> f64 {
+    CLIENT_WEIGHTS[REGIONS
+        .iter()
+        .position(|&r| r == region)
+        .expect("region listed")]
+}
+
+/// The region layout of the nine live directory authorities.
+pub const AUTHORITY_REGIONS: [Region; 9] = [
+    Region::UsEast, // moria1
+    Region::Europe, // tor26
+    Region::Europe, // dizum
+    Region::Europe, // gabelmoo
+    Region::Europe, // dannenberg
+    Region::Europe, // maatuska
+    Region::UsEast, // longclaw
+    Region::UsEast, // bastet
+    Region::UsWest, // faravahar
+];
+
+/// Human-readable names of the nine live authorities, index-aligned with
+/// [`AUTHORITY_REGIONS`].
+pub const AUTHORITY_NAMES: [&str; 9] = [
+    "moria1",
+    "tor26",
+    "dizum",
+    "gabelmoo",
+    "dannenberg",
+    "maatuska",
+    "longclaw",
+    "bastet",
+    "faravahar",
+];
+
+/// One-way latency range between two regions, in milliseconds:
+/// `(min, max)` bounds reflecting typical internet RTT/2 between the
+/// sites. The authority topology draws seeded jitter inside the range;
+/// deterministic consumers use the [`midpoint_ms`].
+pub fn region_latency_ms(a: Region, b: Region) -> (u64, u64) {
+    use Region::*;
+    match (a, b) {
+        (UsEast, UsEast) => (8, 25),
+        (Europe, Europe) => (6, 22),
+        (UsWest, UsWest) => (5, 12),
+        (Apac, Apac) => (10, 35),
+        (UsEast, UsWest) | (UsWest, UsEast) => (30, 45),
+        (UsEast, Europe) | (Europe, UsEast) => (40, 60),
+        (UsWest, Europe) | (Europe, UsWest) => (65, 90),
+        (UsWest, Apac) | (Apac, UsWest) => (55, 75),
+        (UsEast, Apac) | (Apac, UsEast) => (85, 110),
+        (Europe, Apac) | (Apac, Europe) => (85, 120),
+    }
+}
+
+/// Deterministic one-way latency between two regions: the midpoint of
+/// the [`region_latency_ms`] range, milliseconds.
+pub fn midpoint_ms(a: Region, b: Region) -> f64 {
+    let (lo, hi) = region_latency_ms(a, b);
+    (lo + hi) as f64 / 2.0
+}
+
+/// The legacy flat cache-hop latency, milliseconds: what the
+/// distribution layer charged for *every* cache link before caches had
+/// placements, and what an unplaced (worldwide) cache still gets. Kept
+/// as an exact constant so unplaced tiers reproduce the pre-geo results
+/// bit for bit; [`derived_worldwide_hop_ms`] recomputes it from the
+/// latency matrix and client weights, and a test pins the two together.
+pub const WORLDWIDE_HOP_MS: f64 = 60.0;
+
+/// The worldwide cache hop derived from the geographic model instead of
+/// calibrated: clients distributed per [`CLIENT_WEIGHTS`] reaching a
+/// cache tier spread uniformly over the [`REGIONS`] — the expected
+/// one-way [`midpoint_ms`] latency of one fetch. Rounds to
+/// [`WORLDWIDE_HOP_MS`] (pinned).
+pub fn derived_worldwide_hop_ms() -> f64 {
+    REGIONS
+        .iter()
+        .zip(CLIENT_WEIGHTS)
+        .map(|(&client, weight)| {
+            let row: f64 = REGIONS
+                .iter()
+                .map(|&cache| midpoint_ms(client, cache))
+                .sum();
+            weight * row / REGIONS.len() as f64
+        })
+        .sum()
+}
+
+/// One-way latency of a directory fetch between two *optionally* placed
+/// endpoints, milliseconds: two placed endpoints get the deterministic
+/// [`midpoint_ms`] of their regions; as soon as either side is unplaced
+/// (worldwide — the legacy modeling of a cache "somewhere on the
+/// internet") the hop is the flat [`WORLDWIDE_HOP_MS`].
+pub fn hop_ms(a: Option<Region>, b: Option<Region>) -> f64 {
+    match (a, b) {
+        (Some(a), Some(b)) => midpoint_ms(a, b),
+        _ => WORLDWIDE_HOP_MS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_weights_cover_the_population() {
+        let total: f64 = CLIENT_WEIGHTS.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "weights must sum to 1: {total}"
+        );
+        assert!(CLIENT_WEIGHTS.iter().all(|&w| w > 0.0));
+        assert!((client_weight(Region::Europe) - 0.46).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_ranges_are_symmetric_and_ordered() {
+        for &a in &REGIONS {
+            for &b in &REGIONS {
+                let (lo, hi) = region_latency_ms(a, b);
+                assert!(lo < hi, "{a}-{b} range must be non-degenerate");
+                assert_eq!(region_latency_ms(a, b), region_latency_ms(b, a));
+                assert_eq!(midpoint_ms(a, b), midpoint_ms(b, a));
+            }
+            // Intra-region is faster than any inter-region path.
+            let (_, self_hi) = region_latency_ms(a, a);
+            for &b in REGIONS.iter().filter(|&&b| b != a) {
+                let (lo, _) = region_latency_ms(a, b);
+                assert!(
+                    lo > self_hi / 2,
+                    "{a}-{b} should not undercut local traffic"
+                );
+            }
+        }
+    }
+
+    /// The satellite pin: the old hard-coded 60 ms cache hop is now a
+    /// quantity *derived* from the geo model — the client-weighted mean
+    /// latency to a uniformly spread cache tier — and the derivation
+    /// lands on the legacy constant.
+    #[test]
+    fn worldwide_hop_is_derived_from_the_matrix() {
+        let derived = derived_worldwide_hop_ms();
+        assert_eq!(
+            derived.round(),
+            WORLDWIDE_HOP_MS,
+            "derived worldwide hop {derived} ms must round to the legacy 60 ms"
+        );
+        // The exact constant is what unplaced endpoints get.
+        assert_eq!(hop_ms(None, None), WORLDWIDE_HOP_MS);
+        assert_eq!(hop_ms(Some(Region::Europe), None), WORLDWIDE_HOP_MS);
+        assert_eq!(
+            hop_ms(Some(Region::Europe), Some(Region::Europe)),
+            midpoint_ms(Region::Europe, Region::Europe)
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for &region in &REGIONS {
+            assert_eq!(Region::from_label(region.label()), Some(region));
+            assert_eq!(format!("{region}"), region.label());
+        }
+        assert_eq!(Region::from_label("atlantis"), None);
+    }
+
+    #[test]
+    fn authority_layout_matches_the_live_network() {
+        assert_eq!(AUTHORITY_REGIONS.len(), AUTHORITY_NAMES.len());
+        let europe = AUTHORITY_REGIONS
+            .iter()
+            .filter(|&&r| r == Region::Europe)
+            .count();
+        assert_eq!(europe, 5, "five of nine authorities sit in Europe");
+        assert!(!AUTHORITY_REGIONS.contains(&Region::Apac));
+    }
+}

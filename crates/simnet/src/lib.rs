@@ -54,6 +54,7 @@
 //! ```
 
 pub mod engine;
+pub mod geo;
 pub mod link;
 pub mod message;
 pub mod metrics;
@@ -62,6 +63,7 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{Context, LogEntry, LogLevel, Node, RunStats, SimConfig, Simulation, TimerId};
+pub use geo::{Region, AUTHORITY_NAMES, AUTHORITY_REGIONS, CLIENT_WEIGHTS, REGIONS};
 pub use message::{NodeId, Payload, SizedPayload};
 pub use metrics::{KindMetrics, Metrics, NodeMetrics};
 pub use relay_population::{RelayPopulation, RelaySample, PAPER_MEAN_RELAYS};
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use crate::engine::{
         Context, LogEntry, LogLevel, Node, RunStats, SimConfig, Simulation, TimerId,
     };
+    pub use crate::geo::{self, Region, AUTHORITY_REGIONS, CLIENT_WEIGHTS, REGIONS};
     pub use crate::message::{NodeId, Payload, SizedPayload};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{authority_topology, scaled_topology, LatencyMatrix};
