@@ -1,0 +1,132 @@
+//! `bench_summary` — folds the criterion harness's machine-readable
+//! output into the committed perf-trajectory file.
+//!
+//! ```text
+//! CRITERION_OUT=/tmp/bench.jsonl cargo bench
+//! bench_summary /tmp/bench.jsonl -o BENCH_core.json
+//! ```
+//!
+//! The input is the JSONL the vendored criterion shim appends when
+//! `CRITERION_OUT` is set: one flat object per benchmark with `id`,
+//! `samples`, `mean_secs`, `min_secs`, `max_secs`. Re-runs append, so
+//! the summarizer keeps the **last** line per id. The output is one
+//! JSON document, one benchmark per line, sorted by id — diff-friendly
+//! for the committed `BENCH_core.json`.
+
+use partialtor::json::Json;
+use std::collections::BTreeMap;
+
+/// One benchmark's folded timings.
+struct BenchRow {
+    samples: u64,
+    mean_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+}
+
+/// Extracts a string field from a flat single-line JSON object (the
+/// shim's ids never contain escaped quotes).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts a numeric field from a flat single-line JSON object.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn parse_line(line: &str) -> Option<(String, BenchRow)> {
+    Some((
+        field_str(line, "id")?,
+        BenchRow {
+            samples: field_num(line, "samples")? as u64,
+            mean_secs: field_num(line, "mean_secs")?,
+            min_secs: field_num(line, "min_secs")?,
+            max_secs: field_num(line, "max_secs")?,
+        },
+    ))
+}
+
+fn render(rows: &BTreeMap<String, BenchRow>) -> String {
+    let mut out = String::from("{\n\"benches\": [\n");
+    for (i, (id, row)) in rows.iter().enumerate() {
+        let bench = Json::Obj(vec![
+            ("id".to_string(), Json::str(id.clone())),
+            ("samples".to_string(), Json::from(row.samples)),
+            ("mean_secs".to_string(), Json::from(row.mean_secs)),
+            ("min_secs".to_string(), Json::from(row.min_secs)),
+            ("max_secs".to_string(), Json::from(row.max_secs)),
+        ]);
+        out.push_str(&bench.render());
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str(&format!("],\n\"total_benches\": {}\n}}\n", rows.len()));
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = "BENCH_core.json".to_string();
+    let mut tokens = args.iter();
+    while let Some(token) = tokens.next() {
+        match token.as_str() {
+            "-h" | "--help" => {
+                println!("usage: bench_summary <criterion-out.jsonl> [-o BENCH_core.json]");
+                return;
+            }
+            "-o" | "--output" => match tokens.next() {
+                Some(path) => output = path.clone(),
+                None => {
+                    eprintln!("bench_summary: -o expects a path");
+                    std::process::exit(2);
+                }
+            },
+            path if input.is_none() => input = Some(path.to_string()),
+            extra => {
+                eprintln!("bench_summary: unexpected argument {extra:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: bench_summary <criterion-out.jsonl> [-o BENCH_core.json]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("bench_summary: cannot read {input:?}: {error}");
+            std::process::exit(2);
+        }
+    };
+    let mut rows: BTreeMap<String, BenchRow> = BTreeMap::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse_line(line) {
+            Some((id, row)) => {
+                rows.insert(id, row);
+            }
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("bench_summary: skipped {skipped} unparseable lines");
+    }
+    if rows.is_empty() {
+        eprintln!("bench_summary: {input:?} held no benchmark lines");
+        std::process::exit(2);
+    }
+    if let Err(error) = std::fs::write(&output, render(&rows)) {
+        eprintln!("bench_summary: cannot write {output:?}: {error}");
+        std::process::exit(2);
+    }
+    println!("wrote {} benches to {output}", rows.len());
+}

@@ -374,6 +374,14 @@ impl BlocklistDefender {
     /// The *effective* plan once this defender has reacted: windows on
     /// targets already blocklisted at their start hour are dropped.
     pub fn apply(&self, plan: &AttackPlan) -> AttackPlan {
+        self.apply_traced(plan, &partialtor_obs::Tracer::disabled())
+    }
+
+    /// [`BlocklistDefender::apply`], emitting one
+    /// [`BlocklistTrigger`](partialtor_obs::TraceEvent::BlocklistTrigger)
+    /// trace event per target the defender filters (at the hour the
+    /// filtering takes effect).
+    pub fn apply_traced(&self, plan: &AttackPlan, tracer: &partialtor_obs::Tracer) -> AttackPlan {
         if self.trigger_hours == 0 {
             // A zero trigger filters everything from hour 0.
             return AttackPlan::empty();
@@ -412,6 +420,12 @@ impl BlocklistDefender {
                 }
                 prev = Some(h);
             }
+        }
+        for (target, &from) in &blocked_from {
+            tracer.emit(partialtor_obs::TraceEvent::BlocklistTrigger {
+                hour: from,
+                target: target.to_string(),
+            });
         }
         AttackPlan::new(
             plan.windows()

@@ -16,18 +16,28 @@
 //! dirsim monitor   [--relays N] [--seed N]
 //! ```
 //!
-//! Every subcommand accepts `--threads N` (pins the sweep worker count,
-//! overriding `PARTIALTOR_SWEEP_THREADS`) and `--help`/`-h`. Unknown
-//! flags and malformed values are rejected with an error and the
-//! subcommand's usage — never silently defaulted.
+//! Every subcommand accepts `--json` (machine-readable output on
+//! stdout) and the global telemetry flags: `--trace FILE` writes the
+//! structured event trace as JSONL, `--metrics FILE` writes the
+//! subcommand's metrics tree as JSON, `--profile` prints a per-phase
+//! wall-clock profile to stderr at exit. Telemetry is observational —
+//! enabling any of it leaves the simulation output bit-identical.
+//!
+//! Every subcommand also accepts `--threads N` (pins the sweep worker
+//! count, overriding `PARTIALTOR_SWEEP_THREADS`) and `--help`/`-h`.
+//! Unknown flags and malformed values are rejected with an error and
+//! the subcommand's usage — never silently defaulted.
 
 use partialtor::adversary::{AttackPlan, AttackWindow, Target};
 use partialtor::attack::AttackCostModel;
 use partialtor::calibration::ATTACK_FLOOD_MBPS;
 use partialtor::experiments::{adversary, clients, placement};
+use partialtor::json::Json;
 use partialtor::monitor;
 use partialtor::protocols::ProtocolKind;
 use partialtor::runner::{set_sweep_threads, sweep, sweep_one, RunReport, Scenario, SweepJob};
+use partialtor_obs::trace::DEFAULT_TRACE_CAPACITY;
+use partialtor_obs::{profile_report, set_profiling, TraceEvent, TraceValue, Tracer};
 use partialtor_simnet::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -58,11 +68,23 @@ const fn bool_flag(name: &'static str, help: &'static str) -> FlagSpec {
 }
 
 /// Flags every subcommand accepts.
-const GLOBAL_FLAGS: &[FlagSpec] = &[value_flag(
-    "--threads",
-    "N",
-    "sweep worker count (overrides PARTIALTOR_SWEEP_THREADS; 1 = serial)",
-)];
+const GLOBAL_FLAGS: &[FlagSpec] = &[
+    value_flag(
+        "--threads",
+        "N",
+        "sweep worker count (overrides PARTIALTOR_SWEEP_THREADS; 1 = serial)",
+    ),
+    value_flag(
+        "--trace",
+        "FILE",
+        "write the structured event trace (JSONL)",
+    ),
+    value_flag("--metrics", "FILE", "write the subcommand's metrics (JSON)"),
+    bool_flag(
+        "--profile",
+        "print a per-phase wall-clock profile to stderr",
+    ),
+];
 
 /// Parsed arguments of one subcommand: flag name → raw value ("" for
 /// boolean flags).
@@ -160,9 +182,137 @@ impl Args {
     }
 }
 
+/// Telemetry context of one invocation: the tracer handed to
+/// session-backed handlers, and the metrics tree every handler
+/// publishes (the `--metrics` payload, and the `--json` payload for the
+/// subcommands without a richer report serializer).
+struct Telemetry {
+    tracer: Tracer,
+    metrics: Json,
+}
+
+impl Telemetry {
+    /// Builds the context from the parsed flags: a live tracer when
+    /// `--trace` names a file, profiling on when `--profile` is set.
+    fn from_args(args: &Args) -> Telemetry {
+        if args.present("--profile") {
+            set_profiling(true);
+        }
+        Telemetry {
+            tracer: if args.present("--trace") {
+                Tracer::enabled(DEFAULT_TRACE_CAPACITY)
+            } else {
+                Tracer::disabled()
+            },
+            metrics: Json::Null,
+        }
+    }
+
+    /// Writes the requested export files and prints the profile after
+    /// the handler ran.
+    fn finish(self, args: &Args) -> Result<(), String> {
+        if let Some(path) = args.values.get("--trace") {
+            let dropped = self.tracer.dropped();
+            if dropped > 0 {
+                eprintln!("dirsim: trace ring dropped {dropped} oldest events");
+            }
+            let mut out = String::new();
+            for event in self.tracer.drain() {
+                out.push_str(&trace_line(&event).render());
+                out.push('\n');
+            }
+            std::fs::write(path, out).map_err(|e| format!("writing trace {path:?}: {e}"))?;
+        }
+        if let Some(path) = args.values.get("--metrics") {
+            std::fs::write(path, format!("{}\n", self.metrics.render()))
+                .map_err(|e| format!("writing metrics {path:?}: {e}"))?;
+        }
+        if args.present("--profile") {
+            eprintln!("{:<26} {:>8} {:>12}", "phase", "calls", "total (s)");
+            for (name, calls, secs) in profile_report() {
+                eprintln!("{name:<26} {calls:>8} {secs:>12.4}");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One trace event as a flat JSON object: `{"event": <kind>, ...}`.
+fn trace_line(event: &TraceEvent) -> Json {
+    let mut pairs = vec![("event".to_string(), Json::str(event.kind()))];
+    for (name, value) in event.fields() {
+        let value = match value {
+            TraceValue::U64(v) => Json::from(v),
+            TraceValue::F64(v) => Json::from(v),
+            TraceValue::Bool(v) => Json::from(v),
+            TraceValue::Str(v) => Json::Str(v),
+        };
+        pairs.push((name.to_string(), value));
+    }
+    Json::Obj(pairs)
+}
+
+/// One protocol run as JSON (`dirsim run --json`, and the `report` node
+/// of `dirsim attack --json`).
+fn run_report_json(report: &RunReport) -> Json {
+    Json::obj([
+        ("protocol", Json::str(report.protocol.to_string())),
+        ("success", Json::from(report.success)),
+        ("network_time_secs", Json::from(report.network_time_secs)),
+        ("first_valid_secs", Json::from(report.first_valid_secs)),
+        ("last_valid_secs", Json::from(report.last_valid_secs)),
+        ("end_time_secs", Json::from(report.end_time_secs)),
+        ("total_tx_bytes", Json::from(report.total_tx_bytes)),
+        ("total_tx_msgs", Json::from(report.total_tx_msgs)),
+        (
+            "by_kind",
+            Json::Obj(
+                report
+                    .by_kind
+                    .iter()
+                    .map(|(kind, &(bytes, msgs))| {
+                        (
+                            kind.clone(),
+                            Json::obj([("bytes", Json::from(bytes)), ("msgs", Json::from(msgs))]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "authorities",
+            Json::arr(report.authorities.iter().map(|authority| {
+                Json::obj([
+                    ("index", Json::from(authority.index)),
+                    ("success", Json::from(authority.success)),
+                    (
+                        "digest",
+                        match authority.digest {
+                            Some(digest) => Json::str(digest.short_hex(8)),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Health alerts as JSON rows (severity, stable kind, rendered message).
+fn alerts_json(alerts: &[monitor::HealthAlert]) -> Json {
+    Json::arr(alerts.iter().map(|alert| {
+        Json::obj([
+            ("severity", Json::str(alert.severity())),
+            ("kind", Json::str(alert.kind())),
+            ("message", Json::str(alert.to_string())),
+        ])
+    }))
+}
+
 const PROTOCOL_FLAG: FlagSpec = value_flag("--protocol", "P", "current | synchronous | icps");
 const RELAYS_FLAG: FlagSpec = value_flag("--relays", "N", "relay population size");
 const SEED_FLAG: FlagSpec = value_flag("--seed", "N", "simulation seed");
+const JSON_FLAG: FlagSpec = bool_flag("--json", "emit machine-readable JSON instead of tables");
 
 fn base_scenario(args: &Args) -> Result<Scenario, String> {
     Ok(Scenario {
@@ -209,11 +359,17 @@ const RUN_SPEC: &[FlagSpec] = &[
     value_flag("--bandwidth", "MBPS", "authority link rate, Mbit/s"),
     SEED_FLAG,
     bool_flag("--real-docs", "generate real tordoc votes (small N only)"),
+    JSON_FLAG,
 ];
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let report = sweep_one(args.protocol()?, base_scenario(args)?);
-    print_report(&report);
+    telemetry.metrics = run_report_json(&report);
+    if args.present("--json") {
+        println!("{}", telemetry.metrics.render());
+    } else {
+        print_report(&report);
+    }
     Ok(())
 }
 
@@ -230,9 +386,10 @@ const ATTACK_SPEC: &[FlagSpec] = &[
         "MBPS",
         "flood rate per victim (default 240, the §4.3 rate)",
     ),
+    JSON_FLAG,
 ];
 
-fn cmd_attack(args: &Args) -> Result<(), String> {
+fn cmd_attack(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let mut scenario = base_scenario(args)?;
     let targets = args.u64("--targets", 5)? as usize;
     let duration = SimDuration::from_secs(args.u64("--duration", 300)?);
@@ -244,10 +401,19 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
     );
     let cost = scenario.attack.cost();
     let report = sweep_one(args.protocol()?, scenario);
+    let alerts = monitor::analyze(&report);
+    telemetry.metrics = Json::obj([
+        ("report", run_report_json(&report)),
+        ("attack_cost_usd", Json::from(cost)),
+        ("alerts", alerts_json(&alerts)),
+    ]);
+    if args.present("--json") {
+        println!("{}", telemetry.metrics.render());
+        return Ok(());
+    }
     print_report(&report);
     println!("attack cost   : ${cost:.4} for this window set");
     println!("\nmonitor alerts:");
-    let alerts = monitor::analyze(&report);
     if alerts.is_empty() {
         println!("  (none)");
     }
@@ -257,9 +423,9 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const SWEEP_SPEC: &[FlagSpec] = &[PROTOCOL_FLAG, RELAYS_FLAG, SEED_FLAG];
+const SWEEP_SPEC: &[FlagSpec] = &[PROTOCOL_FLAG, RELAYS_FLAG, SEED_FLAG, JSON_FLAG];
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
+fn cmd_sweep(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let protocol = args.protocol()?;
     let base = base_scenario(args)?;
     let bandwidths = [250.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.5];
@@ -276,8 +442,29 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             )
         })
         .collect();
+    let reports = sweep(&jobs);
+    telemetry.metrics = Json::obj([
+        ("protocol", Json::str(protocol.to_string())),
+        (
+            "rows",
+            Json::arr(bandwidths.iter().zip(&reports).map(|(&mbps, report)| {
+                Json::obj([
+                    ("bandwidth_mbps", Json::from(mbps)),
+                    ("success", Json::from(report.success)),
+                    (
+                        "latency_secs",
+                        Json::from(report.success.then_some(report.network_time_secs).flatten()),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    if args.present("--json") {
+        println!("{}", telemetry.metrics.render());
+        return Ok(());
+    }
     println!("{:>10} {:>12}", "Mbit/s", "latency (s)");
-    for (mbps, report) in bandwidths.into_iter().zip(sweep(&jobs)) {
+    for (mbps, report) in bandwidths.into_iter().zip(reports) {
         let cell = report
             .success
             .then_some(report.network_time_secs)
@@ -293,9 +480,10 @@ const COST_SPEC: &[FlagSpec] = &[
     value_flag("--targets", "K", "authorities flooded (default 5)"),
     value_flag("--flood", "MBPS", "flood rate per victim (default 240)"),
     value_flag("--minutes", "M", "minutes per hourly run (default 5)"),
+    JSON_FLAG,
 ];
 
-fn cmd_cost(args: &Args) -> Result<(), String> {
+fn cmd_cost(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let model = AttackCostModel {
         targets: args.u64("--targets", 5)? as usize,
         flood_mbps: args.f64("--flood", ATTACK_FLOOD_MBPS)?,
@@ -303,14 +491,25 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
         runs_per_hour: 1.0,
         pricing: Default::default(),
     };
+    telemetry.metrics = Json::obj([
+        ("targets", Json::from(model.targets)),
+        ("flood_mbps", Json::from(model.flood_mbps)),
+        ("minutes_per_run", Json::from(model.minutes_per_run)),
+        ("cost_per_run_usd", Json::from(model.cost_per_run())),
+        ("cost_per_month_usd", Json::from(model.cost_per_month())),
+    ]);
+    if args.present("--json") {
+        println!("{}", telemetry.metrics.render());
+        return Ok(());
+    }
     println!("cost per breached run : ${:.4}", model.cost_per_run());
     println!("cost per month        : ${:.2}", model.cost_per_month());
     Ok(())
 }
 
-const MONITOR_SPEC: &[FlagSpec] = &[RELAYS_FLAG, SEED_FLAG];
+const MONITOR_SPEC: &[FlagSpec] = &[RELAYS_FLAG, SEED_FLAG, JSON_FLAG];
 
-fn cmd_monitor(args: &Args) -> Result<(), String> {
+fn cmd_monitor(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let scenario = base_scenario(args)?;
     let protocols = [
         ProtocolKind::Current,
@@ -321,8 +520,29 @@ fn cmd_monitor(args: &Args) -> Result<(), String> {
         .iter()
         .map(|&protocol| SweepJob::new(protocol, scenario.clone()))
         .collect();
-    for (protocol, report) in protocols.into_iter().zip(sweep(&jobs)) {
-        let alerts = monitor::analyze(&report);
+    let rows: Vec<(ProtocolKind, RunReport, Vec<monitor::HealthAlert>)> = protocols
+        .into_iter()
+        .zip(sweep(&jobs))
+        .map(|(protocol, report)| {
+            let alerts = monitor::analyze(&report);
+            (protocol, report, alerts)
+        })
+        .collect();
+    telemetry.metrics = Json::obj([(
+        "protocols",
+        Json::arr(rows.iter().map(|(protocol, report, alerts)| {
+            Json::obj([
+                ("protocol", Json::str(protocol.to_string())),
+                ("success", Json::from(report.success)),
+                ("alerts", alerts_json(alerts)),
+            ])
+        })),
+    )]);
+    if args.present("--json") {
+        println!("{}", telemetry.metrics.render());
+        return Ok(());
+    }
+    for (protocol, report, alerts) in rows {
         println!(
             "{:<12} success={} alerts={}",
             protocol.to_string(),
@@ -360,7 +580,7 @@ const CLIENTS_SPEC: &[FlagSpec] = &[
         "--real-docs",
         "measure document sizes from real tordoc consensuses (small --relays only)",
     ),
-    bool_flag("--json", "emit machine-readable JSON instead of tables"),
+    JSON_FLAG,
 ];
 
 /// Parses `--churn`: a bare rate, or `weekly` for the Fig. 6 schedule.
@@ -378,7 +598,7 @@ fn churn_schedule(args: &Args) -> Result<partialtor_dirdist::ChurnSchedule, Stri
     }
 }
 
-fn cmd_clients(args: &Args) -> Result<(), String> {
+fn cmd_clients(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let hours = match args.u64("--days", 0)? {
         0 => args.u64("--hours", 24)?,
         days => {
@@ -405,7 +625,8 @@ fn cmd_clients(args: &Args) -> Result<(), String> {
         churn: churn_schedule(args)?,
         real_docs: args.present("--real-docs"),
     };
-    let results = clients::run_experiment(&params);
+    let results = clients::run_experiment_traced(&params, &telemetry.tracer);
+    telemetry.metrics = clients::metrics_json(&results);
     if args.present("--json") {
         println!("{}", clients::to_json(&results).render());
     } else {
@@ -427,10 +648,10 @@ const ADVERSARY_SPEC: &[FlagSpec] = &[
         "H",
         "blocklist victims flooded H consecutive hours (0 = no defender)",
     ),
-    bool_flag("--json", "emit machine-readable JSON instead of tables"),
+    JSON_FLAG,
 ];
 
-fn cmd_adversary(args: &Args) -> Result<(), String> {
+fn cmd_adversary(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let defaults = adversary::AdversaryParams::default();
     let params = adversary::AdversaryParams {
         budget_usd_month: args.f64("--budget", defaults.budget_usd_month)?,
@@ -445,9 +666,10 @@ fn cmd_adversary(args: &Args) -> Result<(), String> {
             trigger => Some(trigger),
         },
     };
-    let result = adversary::run_experiment(&params);
+    let result = adversary::run_experiment_traced(&params, &telemetry.tracer);
+    telemetry.metrics = adversary::to_json(&result);
     if args.present("--json") {
-        println!("{}", adversary::to_json(&result).render());
+        println!("{}", telemetry.metrics.render());
     } else {
         print!("{}", adversary::render(&result));
     }
@@ -475,10 +697,10 @@ const PLACEMENT_SPEC: &[FlagSpec] = &[
         "brown out one region's caches instead of flooding the authorities \
          (us-east | us-west | europe | apac)",
     ),
-    bool_flag("--json", "emit machine-readable JSON instead of tables"),
+    JSON_FLAG,
 ];
 
-fn cmd_placement(args: &Args) -> Result<(), String> {
+fn cmd_placement(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     let defaults = placement::PlacementParams::default();
     let caches = args.u64("--caches", defaults.caches as u64)? as usize;
     let params = placement::PlacementParams {
@@ -496,8 +718,9 @@ fn cmd_placement(args: &Args) -> Result<(), String> {
         },
     };
     let result = placement::run_experiment(&params);
+    telemetry.metrics = placement::to_json(&result);
     if args.present("--json") {
-        println!("{}", placement::to_json(&result).render());
+        println!("{}", telemetry.metrics.render());
     } else {
         print!("{}", placement::render(&result));
     }
@@ -515,10 +738,12 @@ const USAGE: &str =
   cost      the §4.3 DDoS-for-hire price arithmetic
   monitor   run all three protocols through the bandwidth monitor
 run `dirsim <subcommand> --help` for the subcommand's options;
-every subcommand also accepts --threads N (1 = serial sweeps)";
+every subcommand also accepts --threads N (1 = serial sweeps),
+--trace FILE (JSONL event trace), --metrics FILE (metrics JSON)
+and --profile (per-phase wall-clock profile on stderr)";
 
 /// Subcommand table: name, one-line description, flag spec, handler.
-type Handler = fn(&Args) -> Result<(), String>;
+type Handler = fn(&Args, &mut Telemetry) -> Result<(), String>;
 const SUBCOMMANDS: &[(&str, &str, &[FlagSpec], Handler)] = &[
     ("run", "one protocol run", RUN_SPEC, cmd_run),
     (
@@ -583,7 +808,11 @@ fn main() {
     };
     let outcome = parse_args(sub, about, spec, &raw[1..])
         .and_then(|args| args.apply_threads().map(|()| args))
-        .and_then(|args| handler(&args));
+        .and_then(|args| {
+            let mut telemetry = Telemetry::from_args(&args);
+            handler(&args, &mut telemetry)?;
+            telemetry.finish(&args)
+        });
     if let Err(error) = outcome {
         eprintln!("dirsim {sub}: {error}");
         eprintln!("{}", usage_for(sub, about, spec));

@@ -30,6 +30,7 @@ use crate::calibration::{ATTACK_FLOOD_MBPS, CACHE_FLOOD_MBPS, N_AUTHORITIES};
 use crate::protocols::ProtocolKind;
 use crate::runner::{par_map, sweep, RunReport, SweepJob};
 use partialtor_dirdist::{simulate, DistConfig};
+use partialtor_obs::{span, Tracer};
 use partialtor_simnet::{SimDuration, SimTime};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -488,6 +489,7 @@ fn score_generation(
     shapes: &[CampaignShape],
     memo: &mut OutcomeMemo,
 ) -> Vec<PlanScore> {
+    let _span = span("adversary.score_generation");
     fill_memo(params, shapes, memo);
     let frozen: &OutcomeMemo = memo;
     par_map(shapes, |shape| score_shape(params, shape, frozen))
@@ -495,6 +497,13 @@ fn score_generation(
 
 /// Runs the beam search.
 pub fn run_experiment(params: &AdversaryParams) -> AdversaryResult {
+    run_experiment_traced(params, &Tracer::disabled())
+}
+
+/// [`run_experiment`] with a structured trace sink: the winning
+/// campaign's defender response (which targets got blocklist-filtered,
+/// and when) is replayed into the trace.
+pub fn run_experiment_traced(params: &AdversaryParams, tracer: &Tracer) -> AdversaryResult {
     let affordable =
         |shape: &CampaignShape| shape.cost_usd_month() <= params.budget_usd_month + 1e-9;
 
@@ -558,13 +567,21 @@ pub fn run_experiment(params: &AdversaryParams) -> AdversaryResult {
         }
     };
 
-    let mut scores: Vec<PlanScore> = evaluated.into_values().collect();
-    scores.sort_by(rank);
-    let best = scores
+    let mut pairs: Vec<(CampaignShape, PlanScore)> = evaluated.into_iter().collect();
+    pairs.sort_by(|a, b| rank(&a.1, &b.1));
+    let (best_shape, best) = pairs
         .iter()
-        .find(|s| s.cost_usd_month <= params.budget_usd_month + 1e-9)
+        .find(|(_, s)| s.cost_usd_month <= params.budget_usd_month + 1e-9)
         .expect("the empty shape is always affordable")
         .clone();
+
+    // Replay the winning campaign through the defender with the trace
+    // sink attached, so the trace records which of its targets got
+    // filtered and when.
+    if let Some(trigger_hours) = params.defender_trigger_hours {
+        BlocklistDefender { trigger_hours }.apply_traced(&best_shape.plan(params.hours), tracer);
+    }
+    let scores: Vec<PlanScore> = pairs.into_iter().map(|(_, score)| score).collect();
 
     AdversaryResult {
         budget_usd_month: params.budget_usd_month,

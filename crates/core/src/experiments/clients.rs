@@ -26,11 +26,14 @@
 
 use crate::adversary::AttackPlan;
 use crate::calibration::N_AUTHORITIES;
+use crate::monitor;
 use crate::protocols::ProtocolKind;
-use crate::runner::{sweep, SweepJob};
+use crate::runner::{sweep, RunReport, SweepJob};
 use partialtor_dirdist::{
-    simulate_with_model, ChurnSchedule, ConsensusTimeline, DistConfig, DistReport, DocModel,
+    AlertNote, ChurnSchedule, ConsensusTimeline, DistConfig, DistReport, DistSession, DocModel,
+    HourInput,
 };
+use partialtor_obs::Tracer;
 use partialtor_tordoc::prelude::*;
 use serde::Serialize;
 
@@ -137,12 +140,65 @@ fn measured_model(params: &ClientsParams, timeline: &ConsensusTimeline) -> DocMo
     DocModel::from_consensuses(&docs, 3)
 }
 
+/// The health monitor's verdicts on one hour's run, as distribution-layer
+/// alert notes: what the deployed consensus-health monitor would page
+/// operators with while the hour's fetch storm plays out.
+fn alert_notes(report: &RunReport) -> Vec<AlertNote> {
+    monitor::analyze(report)
+        .iter()
+        .map(|alert| AlertNote {
+            severity: alert.severity(),
+            kind: alert.kind().to_string(),
+            message: alert.to_string(),
+        })
+        .collect()
+}
+
+/// Replays a protocol's hourly timeline through a stepped
+/// [`DistSession`], feeding each hour's monitor alerts into the same
+/// telemetry stream. Equivalent to
+/// [`simulate_with_model`](partialtor_dirdist::simulate_with_model)
+/// plus the alert wiring — telemetry is observational, so the reports
+/// are bit-identical either way.
+fn replay_distribution(
+    config: &DistConfig,
+    timeline: &ConsensusTimeline,
+    model: &DocModel,
+    hourly_reports: &[RunReport],
+    tracer: &Tracer,
+) -> DistReport {
+    let mut session = DistSession::with_telemetry(config, model.clone(), tracer.clone());
+    for hour in 1..=timeline.hours {
+        let publication = timeline
+            .publications
+            .iter()
+            .find(|p| p.hour == hour)
+            .map(|p| p.available_at_secs - (hour * 3_600) as f64);
+        let alerts = hourly_reports
+            .get(hour as usize - 1)
+            .map(alert_notes)
+            .unwrap_or_default();
+        session.step_hour(HourInput {
+            publication,
+            alerts,
+            ..HourInput::default()
+        });
+    }
+    session.into_report()
+}
+
 /// Runs the client-visible timeline for the current and ICPS protocols.
 ///
 /// All `2 × hours` protocol simulations go out as one parallel sweep;
 /// the distribution layer then replays each protocol's timeline against
 /// the same fleet and cache tier.
 pub fn run_experiment(params: &ClientsParams) -> Vec<ClientsResult> {
+    run_experiment_traced(params, &Tracer::disabled())
+}
+
+/// [`run_experiment`] with a structured trace sink (the `dirsim clients
+/// --trace` surface). Both protocols' sessions share the sink.
+pub fn run_experiment_traced(params: &ClientsParams, tracer: &Tracer) -> Vec<ClientsResult> {
     let protocols = [ProtocolKind::Current, ProtocolKind::Icps];
     let plan = AttackPlan::five_of_nine().sustained_hourly(params.hours);
     let jobs: Vec<SweepJob> = protocols
@@ -179,7 +235,7 @@ pub fn run_experiment(params: &ClientsParams) -> Vec<ClientsResult> {
             ClientsResult {
                 protocol: protocol.to_string(),
                 produced_hours: hourly.iter().flatten().count() as u64,
-                dist: simulate_with_model(&config, &timeline, &model),
+                dist: replay_distribution(&config, &timeline, &model, slice, tracer),
             }
         })
         .collect()
@@ -195,6 +251,30 @@ pub fn to_json(results: &[ClientsResult]) -> crate::json::Json {
             ("dist", super::dist_report_json(&result.dist)),
         ])
     }))
+}
+
+/// Serializes the per-protocol telemetry slices for `dirsim clients
+/// --metrics`: per-hour fetch-latency percentiles and fetch-rate
+/// counters, without the rest of the report tree.
+pub fn metrics_json(results: &[ClientsResult]) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([(
+        "protocols",
+        Json::arr(results.iter().map(|result| {
+            let mut pairs = vec![
+                ("protocol".to_string(), Json::str(result.protocol.clone())),
+                (
+                    "produced_hours".to_string(),
+                    Json::from(result.produced_hours),
+                ),
+            ];
+            match super::dist_metrics_json(&result.dist) {
+                Json::Obj(rest) => pairs.extend(rest),
+                other => pairs.push(("metrics".to_string(), other)),
+            }
+            Json::Obj(pairs)
+        })),
+    )])
 }
 
 /// Renders the per-protocol hourly tables and the comparison summary.
@@ -336,6 +416,74 @@ mod tests {
         let text = render(&results);
         assert!(text.contains("Current") && text.contains("Ours"));
         assert!(text.contains("verdict"));
+    }
+
+    /// Satellite: the health monitor's verdicts ride the telemetry
+    /// stream. Under the five-of-nine attack every attacked hour of the
+    /// current protocol fails, so the monitor raises one consensus-
+    /// failure alert per hour — visible in the hour reports, the
+    /// telemetry rollup, and the structured trace.
+    #[test]
+    fn five_of_nine_raises_consensus_failure_alerts() {
+        let params = ClientsParams {
+            hours: 3,
+            clients: 50_000,
+            caches: 20,
+            relays: 2_000,
+            seed: 9,
+            ..ClientsParams::default()
+        };
+        let tracer = Tracer::enabled(1 << 18);
+        let results = run_experiment_traced(&params, &tracer);
+        let current = &results[0];
+        let icps = &results[1];
+
+        // Every attacked hour of the current protocol fails → one
+        // critical consensus-failure alert per stepped hour.
+        assert_eq!(current.produced_hours, 0);
+        assert_eq!(current.dist.telemetry.alerts, params.hours);
+        for hour in &current.dist.hours[1..] {
+            assert_eq!(hour.alerts, 1, "one alert per failed hour: {hour:?}");
+        }
+        // ICPS shrugs the same flood off: no alerts at all.
+        assert_eq!(icps.dist.telemetry.alerts, 0);
+
+        let events = tracer.drain();
+        let failures: Vec<_> = events
+            .iter()
+            .filter_map(|event| match event {
+                partialtor_obs::TraceEvent::HealthAlert {
+                    hour,
+                    severity,
+                    kind,
+                    ..
+                } => Some((*hour, *severity, kind.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failures.len() as u64, params.hours);
+        for (hour, severity, kind) in &failures {
+            assert!((1..=params.hours).contains(hour));
+            assert_eq!(*severity, "critical");
+            assert_eq!(kind, "consensus_failure");
+        }
+    }
+
+    /// The traced experiment is the untraced experiment: sharing a trace
+    /// sink does not perturb a single byte of the results.
+    #[test]
+    fn traced_experiment_matches_untraced() {
+        let params = ClientsParams {
+            hours: 2,
+            clients: 30_000,
+            caches: 10,
+            relays: 2_000,
+            seed: 5,
+            ..ClientsParams::default()
+        };
+        let plain = run_experiment(&params);
+        let traced = run_experiment_traced(&params, &Tracer::enabled(1 << 16));
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
     }
 
     #[test]

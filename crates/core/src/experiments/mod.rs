@@ -74,6 +74,90 @@ pub(crate) mod sustained {
         (timeline, plan.dist_windows())
     }
 }
+/// Serializes an optional fetch-latency summary (count plus
+/// deterministic percentiles) — `null` when nothing was observed.
+fn latency_json(latency: &Option<partialtor_dirdist::LatencySummary>) -> crate::json::Json {
+    use crate::json::Json;
+    match latency {
+        None => Json::Null,
+        Some(l) => Json::obj([
+            ("count", Json::from(l.count)),
+            ("p50_secs", Json::from(l.p50_secs)),
+            ("p90_secs", Json::from(l.p90_secs)),
+            ("p99_secs", Json::from(l.p99_secs)),
+            ("mean_secs", Json::from(l.mean_secs)),
+            ("min_secs", Json::from(l.min_secs)),
+            ("max_secs", Json::from(l.max_secs)),
+        ]),
+    }
+}
+
+/// One distribution hour as JSON: publication state, background load,
+/// fetch-latency percentiles and the hour's tier-traffic signature.
+fn hour_json(hour: &partialtor_dirdist::HourReport) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        ("hour", Json::from(hour.hour)),
+        ("published_version", Json::from(hour.published_version)),
+        (
+            "newest_cached_version",
+            Json::from(hour.newest_cached_version),
+        ),
+        ("authority_bg_bps", Json::from(hour.authority_bg_bps)),
+        ("cache_bg_bps", Json::from(hour.cache_bg_bps)),
+        ("fetch_latency", latency_json(&hour.fetch_latency)),
+        (
+            "tier_traffic",
+            Json::obj([
+                ("dir_requests", Json::from(hour.tier_traffic.dir_requests)),
+                (
+                    "dir_diff_responses",
+                    Json::from(hour.tier_traffic.dir_diff_responses),
+                ),
+                (
+                    "dir_full_responses",
+                    Json::from(hour.tier_traffic.dir_full_responses),
+                ),
+                (
+                    "dir_not_modified",
+                    Json::from(hour.tier_traffic.dir_not_modified),
+                ),
+                (
+                    "expired_events",
+                    Json::from(hour.tier_traffic.expired_events),
+                ),
+            ]),
+        ),
+        ("alerts", Json::from(hour.alerts)),
+    ])
+}
+
+/// A session's telemetry roll-up (whole-run fetch counters, alert and
+/// expired-event totals, aggregate latency histogram) as JSON.
+fn telemetry_rollup_json(telemetry: &partialtor_dirdist::TelemetrySummary) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        ("fetch_attempts", Json::from(telemetry.fetch_attempts)),
+        ("fetch_retries", Json::from(telemetry.fetch_retries)),
+        ("fetch_timeouts", Json::from(telemetry.fetch_timeouts)),
+        ("alerts", Json::from(telemetry.alerts)),
+        ("expired_events", Json::from(telemetry.expired_events)),
+        ("fetch_latency", latency_json(&telemetry.fetch_latency)),
+    ])
+}
+
+/// The telemetry slice of a distribution report — per-hour fetch-latency
+/// percentiles and traffic signatures plus the session roll-up — as a
+/// JSON tree (the payload `dirsim clients --metrics` writes, and the
+/// leading sections of the full `--json` report).
+pub fn dist_metrics_json(dist: &partialtor_dirdist::DistReport) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        ("hours", Json::arr(dist.hours.iter().map(hour_json))),
+        ("telemetry", telemetry_rollup_json(&dist.telemetry)),
+    ])
+}
+
 /// Serializes a distribution-layer report as a [`Json`](crate::json::Json)
 /// tree (the machine-readable half of `dirsim clients --json` and
 /// friends; the serde in the tree is a no-op shim, so this is built by
@@ -85,6 +169,8 @@ pub(crate) fn dist_report_json(dist: &partialtor_dirdist::DistReport) -> crate::
     let feedback = &dist.feedback;
     let placement = &dist.placement;
     Json::obj([
+        ("hours", Json::arr(dist.hours.iter().map(hour_json))),
+        ("telemetry", telemetry_rollup_json(&dist.telemetry)),
         (
             "cache",
             Json::obj([

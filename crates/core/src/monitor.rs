@@ -46,6 +46,29 @@ pub enum HealthAlert {
     },
 }
 
+impl HealthAlert {
+    /// Severity label, matching the prefix [`HealthAlert`]'s `Display`
+    /// prints.
+    pub fn severity(&self) -> &'static str {
+        match self {
+            HealthAlert::ConsensusFailure { .. }
+            | HealthAlert::ConflictingValidConsensuses { .. } => "critical",
+            HealthAlert::DigestDivergence { .. } => "warning",
+            HealthAlert::LaggingAuthority { .. } => "notice",
+        }
+    }
+
+    /// Stable machine-readable alert kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthAlert::ConsensusFailure { .. } => "consensus_failure",
+            HealthAlert::DigestDivergence { .. } => "digest_divergence",
+            HealthAlert::ConflictingValidConsensuses { .. } => "conflicting_valid_consensuses",
+            HealthAlert::LaggingAuthority { .. } => "lagging_authority",
+        }
+    }
+}
+
 impl std::fmt::Display for HealthAlert {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -250,5 +273,10 @@ mod tests {
     fn alerts_render_human_readable() {
         let alert = HealthAlert::ConsensusFailure { digests_seen: 4 };
         assert!(alert.to_string().contains("CRITICAL"));
+        assert_eq!(alert.severity(), "critical");
+        assert_eq!(alert.kind(), "consensus_failure");
+        let lag = HealthAlert::LaggingAuthority { index: 3 };
+        assert_eq!(lag.severity(), "notice");
+        assert_eq!(lag.kind(), "lagging_authority");
     }
 }

@@ -268,6 +268,7 @@ fn finish_report<N: Node>(
 
 /// Runs one scenario under the chosen protocol.
 pub fn run(protocol: ProtocolKind, scenario: &Scenario) -> RunReport {
+    let _span = partialtor_obs::span("runner.run");
     match protocol {
         ProtocolKind::Current => run_current(scenario),
         ProtocolKind::Synchronous => run_synchronous(scenario),

@@ -27,8 +27,10 @@
 use crate::docmodel::{DocClass, DocTable};
 use crate::placement::CachePlacement;
 use crate::timeline::ConsensusTimeline;
+use partialtor_obs::{span, Registry, TraceEvent, Tracer};
 use partialtor_simnet::geo::{self, Region, AUTHORITY_REGIONS};
 use partialtor_simnet::prelude::*;
+use partialtor_simnet::Metrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -205,6 +207,9 @@ impl Payload for DirMsg {
 }
 
 struct AuthorityState {
+    /// Committee size, to translate cache `NodeId`s back to ordinals in
+    /// telemetry.
+    n_authorities: usize,
     latest: Option<usize>,
     /// Per-version serving sizes, injected at publication time.
     serving: Vec<ServeSizes>,
@@ -216,6 +221,8 @@ struct AuthorityState {
     descriptor_egress_bytes: u64,
     full_responses: u64,
     diff_responses: u64,
+    tracer: Tracer,
+    registry: Registry,
 }
 
 struct CacheState {
@@ -234,7 +241,12 @@ struct CacheState {
     /// First simulated second at which the cache held version `v` (or
     /// newer) — availability as clients experience it.
     received_at: Vec<Option<f64>>,
+    /// When each version was published, so receives can be turned into
+    /// fetch latencies on the spot.
+    published_at: Vec<f64>,
     attempts: Vec<u32>,
+    tracer: Tracer,
+    registry: Registry,
 }
 
 /// Timer tags: `2 * version` polls (cache) / publications (authority),
@@ -258,6 +270,14 @@ impl CacheState {
         // escape a stalled victim (nearest-first for placed caches).
         let pick = self.authority_order
             [(self.ordinal + version + self.attempts[version] as usize - 1) % self.n_authorities];
+        self.registry.inc("cache.fetch_attempts", 1);
+        self.tracer.emit(TraceEvent::FetchAttempt {
+            at_secs: ctx.now().as_secs_f64(),
+            cache: self.ordinal as u64,
+            authority: pick as u64,
+            version: version as u64,
+            attempt: self.attempts[version] as u64,
+        });
         ctx.send(NodeId(pick), DirMsg::Request { have: self.held });
         ctx.set_timer(self.retry, retry_tag(version));
     }
@@ -293,7 +313,24 @@ impl Node for DistNode {
                     cache.request(ctx, version);
                 } else if cache.attempts[version] <= cache.max_retries {
                     // Retry against the next authority.
+                    cache.registry.inc("cache.fetch_retries", 1);
+                    cache.tracer.emit(TraceEvent::FetchRetry {
+                        at_secs: ctx.now().as_secs_f64(),
+                        cache: cache.ordinal as u64,
+                        version: version as u64,
+                        attempt: cache.attempts[version] as u64 + 1,
+                    });
                     cache.request(ctx, version);
+                } else {
+                    // Out of retries; the cache gives up on this version
+                    // (it still catches up when a newer one appears).
+                    cache.registry.inc("cache.fetch_timeouts", 1);
+                    cache.tracer.emit(TraceEvent::FetchTimeout {
+                        at_secs: ctx.now().as_secs_f64(),
+                        cache: cache.ordinal as u64,
+                        version: version as u64,
+                        attempts: cache.attempts[version] as u64,
+                    });
                 }
             }
         }
@@ -315,9 +352,19 @@ impl Node for DistNode {
                     auth.descriptor_egress_bytes += desc_bytes;
                     if is_diff {
                         auth.diff_responses += 1;
+                        auth.registry.inc("authority.diff_responses", 1);
                     } else {
                         auth.full_responses += 1;
+                        auth.registry.inc("authority.full_responses", 1);
                     }
+                    auth.tracer.emit(TraceEvent::Served {
+                        at_secs: ctx.now().as_secs_f64(),
+                        authority: ctx.id().index() as u64,
+                        cache: (from.index() - auth.n_authorities) as u64,
+                        version: latest as u64,
+                        response: if is_diff { "diff" } else { "full" },
+                        bytes: bytes + desc_bytes,
+                    });
                     ctx.send(
                         from,
                         DirMsg::Response {
@@ -328,13 +375,26 @@ impl Node for DistNode {
                         },
                     );
                 }
-                _ => ctx.send(from, DirMsg::NotModified),
+                _ => {
+                    auth.registry.inc("authority.not_modified", 1);
+                    ctx.send(from, DirMsg::NotModified)
+                }
             },
             (DistNode::Cache(cache), DirMsg::Response { version, .. })
                 if cache.held.is_none_or(|h| h < version) =>
             {
                 cache.held = Some(version);
                 let now = ctx.now().as_secs_f64();
+                // Fetch latency: publication → the document landing on
+                // this cache. Recorded both in aggregate and keyed by
+                // the receive hour, so the session can report per-hour
+                // percentiles.
+                let latency = now - cache.published_at[version];
+                cache.registry.observe("cache.fetch_latency", latency);
+                let hour = (now / 3_600.0) as u64;
+                cache
+                    .registry
+                    .observe(&format!("cache.fetch_latency.h{hour:05}"), latency);
                 for slot in cache.received_at.iter_mut().take(version + 1) {
                     if slot.is_none() {
                         *slot = Some(now);
@@ -388,6 +448,12 @@ pub struct CacheTier {
     /// Per-cache poll jitter draws, owned by the tier so publication
     /// injection stays deterministic regardless of when hours step.
     jitter_rng: StdRng,
+    /// Structured trace sink shared with every node. Telemetry is purely
+    /// observational: no RNG draw or event depends on it, so a disabled
+    /// and an enabled tier run event-for-event identically.
+    tracer: Tracer,
+    /// Always-on metrics registry shared with every node.
+    registry: Registry,
 }
 
 /// Region of authority `index` (cycling the nine-authority layout for
@@ -421,6 +487,17 @@ impl CacheTier {
     ///
     /// Panics if `config.n_authorities` is zero.
     pub fn new(config: &CacheSimConfig) -> Self {
+        CacheTier::with_telemetry(config, Tracer::disabled(), Registry::default())
+    }
+
+    /// [`CacheTier::new`] with an explicit trace sink and metrics
+    /// registry. Every node shares the handles, so up-front link windows
+    /// and all wire activity are observed from the first event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_authorities` is zero.
+    pub fn with_telemetry(config: &CacheSimConfig, tracer: Tracer, registry: Registry) -> Self {
         assert!(config.n_authorities > 0, "need at least one authority");
         let n = config.n_authorities + config.n_caches;
         let cache_regions = config.placement.regions(config.n_caches);
@@ -429,6 +506,7 @@ impl CacheTier {
             .map(|index| {
                 if index < config.n_authorities {
                     DistNode::Authority(AuthorityState {
+                        n_authorities: config.n_authorities,
                         latest: None,
                         serving: Vec::new(),
                         egress_bytes: 0,
@@ -436,6 +514,8 @@ impl CacheTier {
                         descriptor_egress_bytes: 0,
                         full_responses: 0,
                         diff_responses: 0,
+                        tracer: tracer.clone(),
+                        registry: registry.clone(),
                     })
                 } else {
                     let ordinal = index - config.n_authorities;
@@ -450,7 +530,10 @@ impl CacheTier {
                         max_retries: config.max_retries,
                         held: None,
                         received_at: Vec::new(),
+                        published_at: Vec::new(),
                         attempts: Vec::new(),
+                        tracer: tracer.clone(),
+                        registry: registry.clone(),
                     })
                 }
             })
@@ -520,6 +603,8 @@ impl CacheTier {
             versions: 0,
             cache_regions,
             jitter_rng: StdRng::seed_from_u64(config.seed ^ 0x00ca_c4e5_7a66),
+            tracer,
+            registry,
         };
         let windows = tier.config.link_windows.clone();
         tier.apply_windows(&windows);
@@ -538,6 +623,11 @@ impl CacheTier {
             "versions must be published in order"
         );
         self.versions += 1;
+        self.registry.inc("tier.publications", 1);
+        self.tracer.emit(TraceEvent::Publication {
+            at_secs: available_at_secs,
+            version: version as u64,
+        });
         let at = SimTime::from_micros((available_at_secs * 1e6) as u64);
         let n_authorities = self.config.n_authorities;
         for index in 0..n_authorities + self.config.n_caches {
@@ -548,6 +638,7 @@ impl CacheTier {
                 }
                 DistNode::Cache(cache) => {
                     cache.received_at.push(None);
+                    cache.published_at.push(available_at_secs);
                     cache.attempts.push(0);
                 }
             }
@@ -595,6 +686,19 @@ impl CacheTier {
             let end =
                 SimTime::from_micros(((window.start_secs + window.duration_secs) * 1e6) as u64);
             for (node, restore_bps) in targets {
+                self.registry.inc("tier.link_windows", 1);
+                self.tracer.emit(TraceEvent::LinkWindow {
+                    at_secs: window.start_secs,
+                    node: node.index() as u64,
+                    open: true,
+                    bps: window.bps,
+                });
+                self.tracer.emit(TraceEvent::LinkWindow {
+                    at_secs: window.start_secs + window.duration_secs,
+                    node: node.index() as u64,
+                    open: false,
+                    bps: restore_bps,
+                });
                 self.sim
                     .schedule_bandwidth_change(start, node, Some(window.bps), Some(window.bps));
                 self.sim
@@ -637,8 +741,25 @@ impl CacheTier {
 
     /// Advances the tier's simulated time to `t_secs`.
     pub fn run_to(&mut self, t_secs: f64) {
+        let _span = span("tier.run_to");
         self.sim
             .run_until(SimTime::from_micros((t_secs * 1e6) as u64));
+    }
+
+    /// The underlying engine's traffic accounting (tx/rx by message
+    /// kind, expired events).
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// The tier's metrics registry (shared with every node).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The tier's trace sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// When each version reached the cache quorum, as of the tier's

@@ -23,6 +23,7 @@
 //!   [`ChurnSchedule`](crate::ChurnSchedule) upstream decides how much
 //!   churn each hour contributes).
 
+use partialtor_obs::span;
 use partialtor_tordoc::serve::{DiffStore, Served};
 use partialtor_tordoc::Consensus;
 use serde::Serialize;
@@ -236,6 +237,7 @@ impl DocTable {
     /// `cum_churn` total churn accumulated since version 0, diffable
     /// from bases at most `retain_hours` older.
     pub fn push_version(&mut self, model: &DocModel, hour: u64, cum_churn: f64, retain_hours: u64) {
+        let _span = span("docmodel.push_version");
         let version = self.versions();
         self.consensus_full
             .push(model.consensus_full_bytes(version));

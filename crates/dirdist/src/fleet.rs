@@ -34,6 +34,7 @@ use crate::docmodel::{DocClass, DocTable};
 use crate::placement::ClientRegions;
 use crate::stats::{binomial, poisson};
 use crate::timeline::{newest_live_cached, ConsensusTimeline, Publication};
+use partialtor_obs::span;
 use partialtor_simnet::geo::Region;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -369,6 +370,7 @@ impl FleetSim {
         cached: &[Vec<Option<f64>>],
         service_budget_bytes: Option<u64>,
     ) -> (FleetHourRow, FleetHourEgress) {
+        let _span = span("fleet.step_hour");
         assert_eq!(hour, self.rows.len() as u64, "hours step in order");
         assert_eq!(
             cached.len(),

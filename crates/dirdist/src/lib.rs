@@ -100,8 +100,8 @@ pub use placement::{
     CachePlacement, ClientRegions,
 };
 pub use session::{
-    CohortPlacement, DistSession, FeedbackSummary, HourInput, HourReport, PlacementSummary,
-    RegionCacheCount,
+    AlertNote, CohortPlacement, DistSession, FeedbackSummary, HourInput, HourReport,
+    LatencySummary, PlacementSummary, RegionCacheCount, TelemetrySummary, TierHourTraffic,
 };
 pub use timeline::{ConsensusTimeline, Publication};
 
@@ -204,6 +204,12 @@ pub struct DistReport {
     pub placement: PlacementSummary,
     /// Feedback-loop summary (background loads the session applied).
     pub feedback: FeedbackSummary,
+    /// Per-hour reports, hour 0 first (fleet rows, fetch-latency
+    /// percentiles, tier traffic signatures, background loads).
+    pub hours: Vec<HourReport>,
+    /// Session-wide telemetry rollup (always collected; CLI flags only
+    /// control whether it is exported).
+    pub telemetry: TelemetrySummary,
 }
 
 /// Runs the full distribution pipeline with a synthetic document model
@@ -249,8 +255,7 @@ pub fn simulate_with_model(
             .map(|p| p.available_at_secs - (hour * 3_600) as f64);
         session.step_hour(HourInput {
             publication,
-            link_windows: Vec::new(),
-            churn: None,
+            ..HourInput::default()
         });
     }
     session.into_report()
@@ -344,8 +349,7 @@ mod tests {
         for outcome in outcomes {
             session.step_hour(HourInput {
                 publication: outcome,
-                link_windows: Vec::new(),
-                churn: None,
+                ..HourInput::default()
             });
         }
         let stepped = session.into_report();

@@ -34,8 +34,24 @@ use crate::placement::{
 };
 use crate::timeline::Publication;
 use crate::{DistConfig, DistReport};
+use partialtor_obs::{Histogram, Registry, TraceEvent, Tracer};
 use partialtor_simnet::geo::REGIONS;
 use serde::Serialize;
+
+/// A health-monitor alert handed into a stepped hour. The monitor lives
+/// upstream (it watches protocol runs, which this crate never sees), so
+/// the session takes its verdicts as plain notes: each one becomes a
+/// structured trace event and a registry count, keeping alerting on the
+/// same timeline as the distribution telemetry it explains.
+#[derive(Clone, Debug)]
+pub struct AlertNote {
+    /// Severity label (`warning`, `critical`, ...).
+    pub severity: &'static str,
+    /// Stable alert kind (e.g. `consensus_failure_streak`).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
 
 /// One hour's input to a stepped session.
 #[derive(Clone, Debug, Default)]
@@ -51,6 +67,8 @@ pub struct HourInput {
     /// Explicit churn fraction for this hour; `None` uses the session's
     /// [`ChurnSchedule`](crate::ChurnSchedule).
     pub churn: Option<f64>,
+    /// Health alerts the driver's monitor raised for this hour.
+    pub alerts: Vec<AlertNote>,
 }
 
 impl HourInput {
@@ -67,6 +85,58 @@ impl HourInput {
     pub fn failed() -> Self {
         HourInput::default()
     }
+}
+
+/// Percentile summary of one latency histogram, seconds.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencySummary {
+    /// Observations behind the percentiles.
+    pub count: u64,
+    /// Median, seconds.
+    pub p50_secs: f64,
+    /// 90th percentile, seconds.
+    pub p90_secs: f64,
+    /// 99th percentile, seconds.
+    pub p99_secs: f64,
+    /// Mean, seconds.
+    pub mean_secs: f64,
+    /// Fastest observation, seconds.
+    pub min_secs: f64,
+    /// Slowest observation, seconds.
+    pub max_secs: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram; `None` when it holds no observations.
+    pub fn from_histogram(hist: &Histogram) -> Option<Self> {
+        let nonempty = "guarded by count > 0";
+        (hist.count() > 0).then(|| LatencySummary {
+            count: hist.count(),
+            p50_secs: hist.p50().expect(nonempty),
+            p90_secs: hist.p90().expect(nonempty),
+            p99_secs: hist.p99().expect(nonempty),
+            mean_secs: hist.mean_secs().expect(nonempty),
+            min_secs: hist.min_secs().expect(nonempty),
+            max_secs: hist.max_secs().expect(nonempty),
+        })
+    }
+}
+
+/// Tier wire activity during one stepped hour — the per-hour fetch-rate
+/// signature (deltas of the engine's cumulative by-kind counters).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct TierHourTraffic {
+    /// `DIR_REQ` messages enqueued (cache → authority requests).
+    pub dir_requests: u64,
+    /// `DIR_DIFF` responses enqueued.
+    pub dir_diff_responses: u64,
+    /// `DIR_FULL` responses enqueued.
+    pub dir_full_responses: u64,
+    /// `DIR_304` responses enqueued.
+    pub dir_not_modified: u64,
+    /// Engine bookkeeping events that arrived dead (stale link
+    /// completions after rate changes, cancelled timers).
+    pub expired_events: u64,
 }
 
 /// What one stepped hour looked like.
@@ -88,6 +158,30 @@ pub struct HourReport {
     /// Feedback background load on each cache uplink during this hour,
     /// bits/s (zero with feedback off).
     pub cache_bg_bps: f64,
+    /// Publication → cache fetch latency for documents received this
+    /// hour; `None` when nothing was fetched.
+    pub fetch_latency: Option<LatencySummary>,
+    /// Tier wire activity during the hour.
+    pub tier_traffic: TierHourTraffic,
+    /// Health alerts the driver raised for the hour.
+    pub alerts: u64,
+}
+
+/// Session-wide telemetry rollup.
+#[derive(Clone, Debug, Serialize)]
+pub struct TelemetrySummary {
+    /// Cache fetch attempts (first polls and retries).
+    pub fetch_attempts: u64,
+    /// Retries among the attempts.
+    pub fetch_retries: u64,
+    /// Versions a cache gave up on after exhausting its retries.
+    pub fetch_timeouts: u64,
+    /// Health alerts raised over the session.
+    pub alerts: u64,
+    /// Engine events that arrived dead over the whole session.
+    pub expired_events: u64,
+    /// Publication → cache fetch latency over the whole session.
+    pub fetch_latency: Option<LatencySummary>,
 }
 
 /// One regional cohort's placement-derived view of the tier.
@@ -181,6 +275,17 @@ pub struct DistSession {
     bg_authority_peak: f64,
     bg_cache_sum: f64,
     bg_cache_peak: f64,
+    /// Shared with the tier's nodes; the session adds its own events
+    /// (hour summaries, health alerts).
+    tracer: Tracer,
+    /// Shared with the tier's nodes. Always on — the per-hour report
+    /// fields derived from it exist whether or not anything exports the
+    /// registry, so exporting cannot change any report.
+    registry: Registry,
+    /// Cumulative tier traffic as of the end of the previous hour, for
+    /// per-hour deltas.
+    prev_traffic: TierHourTraffic,
+    alerts_total: u64,
 }
 
 impl DistSession {
@@ -190,6 +295,15 @@ impl DistSession {
     /// in which only the baseline exists. Subsequent hours are driven
     /// by [`DistSession::step_hour`].
     pub fn new(config: &DistConfig, model: DocModel) -> Self {
+        DistSession::with_telemetry(config, model, Tracer::disabled())
+    }
+
+    /// [`DistSession::new`] with a structured trace sink. The metrics
+    /// registry is created internally and always on; tracing is purely
+    /// observational, so a traced session produces bit-identical
+    /// reports to an untraced one (a test pins this).
+    pub fn with_telemetry(config: &DistConfig, model: DocModel, tracer: Tracer) -> Self {
+        let registry = Registry::default();
         let cache_config = CacheSimConfig {
             seed: config.seed,
             n_authorities: config.n_authorities,
@@ -199,7 +313,7 @@ impl DistSession {
             placement: config.placement.clone(),
             ..CacheSimConfig::default()
         };
-        let mut tier = CacheTier::new(&cache_config);
+        let mut tier = CacheTier::with_telemetry(&cache_config, tracer.clone(), registry.clone());
 
         // The placement decides which caches each cohort fetches from,
         // and with it the latency story of the whole session.
@@ -277,8 +391,12 @@ impl DistSession {
             bg_authority_peak: 0.0,
             bg_cache_sum: 0.0,
             bg_cache_peak: 0.0,
+            tracer,
+            registry,
+            prev_traffic: TierHourTraffic::default(),
+            alerts_total: 0,
         };
-        session.finish_hour(0, None, row, egress);
+        session.finish_hour(0, None, row, egress, 0);
         session
     }
 
@@ -293,6 +411,17 @@ impl DistSession {
             .churn
             .unwrap_or_else(|| self.config.churn.churn_at(hour));
         self.cum_churn += churn.max(0.0);
+
+        for alert in &input.alerts {
+            self.registry.inc("monitor.alerts", 1);
+            self.tracer.emit(TraceEvent::HealthAlert {
+                hour,
+                severity: alert.severity,
+                kind: alert.kind.clone(),
+                message: alert.message.clone(),
+            });
+        }
+        let alerts = input.alerts.len() as u64;
 
         self.tier.apply_windows(&input.link_windows);
 
@@ -330,18 +459,32 @@ impl DistSession {
         let (row, egress) =
             self.fleet
                 .step_hour(hour, &self.publications, &self.table, &cached, budget);
-        self.finish_hour(hour, published_version, row, egress)
+        self.finish_hour(hour, published_version, row, egress, alerts)
     }
 
     /// Accounts the hour that just ran under the background load that
     /// was in effect, then (with feedback on) schedules the next hour's
     /// load from the realized egress.
+    /// Cumulative tier wire counters as of the tier's current time.
+    fn traffic_totals(&self) -> TierHourTraffic {
+        let by_kind = self.tier.metrics().by_kind();
+        let count = |kind: &str| by_kind.get(kind).map_or(0, |k| k.count);
+        TierHourTraffic {
+            dir_requests: count("DIR_REQ"),
+            dir_diff_responses: count("DIR_DIFF"),
+            dir_full_responses: count("DIR_FULL"),
+            dir_not_modified: count("DIR_304"),
+            expired_events: self.tier.metrics().expired_events(),
+        }
+    }
+
     fn finish_hour(
         &mut self,
         hour: u64,
         published_version: Option<usize>,
         row: FleetHourRow,
         egress: FleetHourEgress,
+        alerts: u64,
     ) -> HourReport {
         let (authority_bg_bps, cache_bg_bps) = self.current_bg;
         self.bg_authority_sum += authority_bg_bps;
@@ -379,6 +522,29 @@ impl DistSession {
                 .find(|p| matches!(cached.get(p.version), Some(Some(_))))
                 .map(|p| p.version)
         };
+        let totals = self.traffic_totals();
+        let tier_traffic = TierHourTraffic {
+            dir_requests: totals.dir_requests - self.prev_traffic.dir_requests,
+            dir_diff_responses: totals.dir_diff_responses - self.prev_traffic.dir_diff_responses,
+            dir_full_responses: totals.dir_full_responses - self.prev_traffic.dir_full_responses,
+            dir_not_modified: totals.dir_not_modified - self.prev_traffic.dir_not_modified,
+            expired_events: totals.expired_events - self.prev_traffic.expired_events,
+        };
+        self.prev_traffic = totals;
+        self.alerts_total += alerts;
+        let fetch_latency = LatencySummary::from_histogram(
+            &self
+                .registry
+                .histogram(&format!("cache.fetch_latency.h{hour:05}")),
+        );
+        self.tracer.emit(TraceEvent::HourSummary {
+            hour,
+            published: published_version.map(|v| v as u64),
+            newest_cached: newest_cached_version.map(|v| v as u64),
+            bootstrap_attempts: row.bootstrap_attempts,
+            refresh_fetches: row.refresh_fetches,
+            stale_fraction: row.stale_fraction,
+        });
         let report = HourReport {
             hour,
             published_version,
@@ -386,6 +552,9 @@ impl DistSession {
             fleet: row,
             authority_bg_bps,
             cache_bg_bps,
+            fetch_latency,
+            tier_traffic,
+            alerts,
         };
         self.hour_reports.push(report.clone());
         report
@@ -421,12 +590,32 @@ impl DistSession {
         &self.placement
     }
 
+    /// The session's metrics registry (shared with the cache tier).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The session's trace sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Closes the session: drains the cache tier past the horizon (late
     /// fetches still count toward cache coverage) and folds everything
     /// into the end-to-end report.
     pub fn into_report(mut self) -> DistReport {
         self.tier.run_to((self.next_hour * 3_600) as f64 + 1_800.0);
         let hours = self.next_hour.max(1) as f64;
+        let telemetry = TelemetrySummary {
+            fetch_attempts: self.registry.counter("cache.fetch_attempts"),
+            fetch_retries: self.registry.counter("cache.fetch_retries"),
+            fetch_timeouts: self.registry.counter("cache.fetch_timeouts"),
+            alerts: self.alerts_total,
+            expired_events: self.tier.metrics().expired_events(),
+            fetch_latency: LatencySummary::from_histogram(
+                &self.registry.histogram("cache.fetch_latency"),
+            ),
+        };
         DistReport {
             cache: self.tier.report(),
             fleet: self.fleet.report(),
@@ -438,6 +627,8 @@ impl DistSession {
                 mean_cache_bg_bps: self.bg_cache_sum / hours,
                 peak_cache_bg_bps: self.bg_cache_peak,
             },
+            hours: self.hour_reports,
+            telemetry,
         }
     }
 }
@@ -594,6 +785,93 @@ mod tests {
         for version in &report.cache.versions {
             assert!(version.cached_at_secs.is_some());
         }
+    }
+
+    /// The pinned telemetry guarantee: a session with tracing enabled
+    /// produces a bit-identical report to an untraced one over a
+    /// 24-hour five-of-nine campaign — telemetry observes, it never
+    /// participates.
+    #[test]
+    fn traced_session_is_bit_identical_to_untraced() {
+        let run = |tracer: Tracer| {
+            let mut cfg = config(60_000, 15, true);
+            cfg.link_windows = five_of_nine_windows(1..=24);
+            let mut session = DistSession::with_telemetry(&cfg, DocModel::synthetic(2_000), tracer);
+            for hour in 1..=27u64 {
+                let input = if hour <= 24 {
+                    HourInput::failed()
+                } else {
+                    HourInput::produced(330.0)
+                };
+                session.step_hour(input);
+            }
+            session.into_report()
+        };
+        let untraced = run(Tracer::disabled());
+        let tracer = Tracer::enabled(1 << 16);
+        let traced = run(tracer.clone());
+        assert_eq!(format!("{untraced:?}"), format!("{traced:?}"));
+        assert!(!tracer.is_empty(), "the attack must leave a trace");
+        let kinds: std::collections::BTreeSet<&'static str> =
+            tracer.drain().iter().map(|e| e.kind()).collect();
+        for kind in [
+            "publication",
+            "fetch_attempt",
+            "link_window",
+            "hour_summary",
+        ] {
+            assert!(kinds.contains(kind), "missing {kind}: {kinds:?}");
+        }
+    }
+
+    /// Per-hour telemetry lands in the hour reports: fetch-latency
+    /// percentiles for hours with fetches, per-hour traffic signatures
+    /// that sum to the session totals, and alert counts.
+    #[test]
+    fn hour_reports_carry_latency_and_traffic_signatures() {
+        let mut session = DistSession::new(&config(50_000, 10, false), DocModel::synthetic(2_000));
+        let first = session.step_hour(HourInput::produced(330.0));
+        let latency = first.fetch_latency.expect("hour 1 fetches its consensus");
+        assert!(latency.count > 0);
+        assert!(latency.p50_secs <= latency.p90_secs && latency.p90_secs <= latency.p99_secs);
+        assert!(latency.min_secs <= latency.p50_secs && latency.p99_secs <= latency.max_secs);
+        assert!(
+            first.tier_traffic.dir_requests > 0,
+            "caches must have polled: {:?}",
+            first.tier_traffic
+        );
+        assert!(
+            first.tier_traffic.dir_diff_responses > 0,
+            "steady-state fetches come back as diffs: {:?}",
+            first.tier_traffic
+        );
+
+        let mut alerted = HourInput::failed();
+        alerted.alerts.push(AlertNote {
+            severity: "critical",
+            kind: "consensus_failure_streak".into(),
+            message: "run failed".into(),
+        });
+        let second = session.step_hour(alerted);
+        assert_eq!(second.alerts, 1);
+        assert_eq!(session.registry().counter("monitor.alerts"), 1);
+
+        let report = session.into_report();
+        assert_eq!(report.hours.len(), 3);
+        assert_eq!(report.telemetry.alerts, 1);
+        assert!(report.telemetry.fetch_attempts >= report.hours[1].tier_traffic.dir_requests);
+        let hourly_requests: u64 = report
+            .hours
+            .iter()
+            .map(|h| h.tier_traffic.dir_requests)
+            .sum();
+        assert!(
+            hourly_requests <= report.telemetry.fetch_attempts,
+            "hour deltas cannot exceed the attempt total: {hourly_requests} vs {}",
+            report.telemetry.fetch_attempts
+        );
+        let session_latency = report.telemetry.fetch_latency.expect("fetches happened");
+        assert!(session_latency.count >= latency.count);
     }
 
     #[test]

@@ -129,8 +129,7 @@ proptest! {
         for outcome in &outcomes {
             session.step_hour(HourInput {
                 publication: *outcome,
-                link_windows: Vec::new(),
-                churn: None,
+                ..HourInput::default()
             });
         }
         let stepped = session.into_report();

@@ -1,0 +1,31 @@
+//! `partialtor-obs` — the workspace's telemetry substrate.
+//!
+//! Three independent instruments, all std-only and dependency-free so
+//! every layer (simnet, dirdist, core) can use them without cycles:
+//!
+//! * [`trace`] — typed, timestamped [`TraceEvent`]s emitted through a
+//!   cloneable [`Tracer`] handle. A disabled tracer is a `None` and every
+//!   emit is a near-free branch; an enabled tracer ring-buffers events
+//!   with a deterministic drop-oldest policy so long sessions cannot
+//!   exhaust memory and identical runs drop identical events.
+//! * [`metrics`] — a [`Registry`] of named counters, gauges and
+//!   fixed-bucket latency [`Histogram`]s. Histograms are mergeable
+//!   (exactly associative and commutative: durations accumulate in
+//!   integer nanoseconds) and expose deterministic p50/p90/p99
+//!   extraction bounded by the observed min/max.
+//! * [`profile`] — process-global wall-clock spans behind an atomic
+//!   flag, for `dirsim --profile`. Profiling measures the *simulator's*
+//!   own cost, so (unlike traces and metrics) its output is real time
+//!   and not deterministic; it never feeds back into reports.
+//!
+//! Everything here is **observational**: emitting a trace event or
+//! bumping a counter draws no randomness and schedules no events, so
+//! enabling telemetry leaves simulation output bit-identical.
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsSnapshot, Registry, HIST_BUCKETS};
+pub use profile::{profile_report, profiling_enabled, reset_profiler, set_profiling, span, Span};
+pub use trace::{TraceEvent, TraceValue, Tracer};

@@ -1,0 +1,122 @@
+//! Self-profiling: process-global wall-clock spans.
+//!
+//! Phases of the simulator (`engine.run`, `fleet.step_hour`, …) open a
+//! [`Span`] with [`span`]; when profiling is off (the default) the span
+//! is a no-op behind one relaxed atomic load. `dirsim --profile` turns
+//! it on and prints [`profile_report`] at exit.
+//!
+//! Unlike traces and metrics, profiling measures *real* time and is
+//! therefore not deterministic; it never contributes to simulation
+//! reports.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn table() -> &'static Mutex<BTreeMap<&'static str, PhaseStat>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<&'static str, PhaseStat>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PhaseStat {
+    calls: u64,
+    total: Duration,
+}
+
+/// Turns profiling on or off process-wide.
+pub fn set_profiling(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+pub fn profiling_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded spans (used by tests; profiling state is
+/// process-global).
+pub fn reset_profiler() {
+    table().lock().expect("profiler table").clear();
+}
+
+/// Opens a named span; the elapsed wall-clock time is charged to `name`
+/// when the returned guard drops. No-op when profiling is off.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: profiling_enabled().then(Instant::now),
+    }
+}
+
+/// RAII guard for one phase timing (see [`span`]).
+#[must_use = "a span measures the scope it is alive in"]
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        let mut table = table().lock().expect("profiler table");
+        let stat = table.entry(self.name).or_default();
+        stat.calls += 1;
+        stat.total += elapsed;
+    }
+}
+
+/// All recorded phases as `(name, calls, total_seconds)`, most
+/// expensive first (ties broken by name for stable output).
+pub fn profile_report() -> Vec<(&'static str, u64, f64)> {
+    let table = table().lock().expect("profiler table");
+    let mut rows: Vec<(&'static str, u64, f64)> = table
+        .iter()
+        .map(|(name, stat)| (*name, stat.calls, stat.total.as_secs_f64()))
+        .collect();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Profiling state is process-global, so one test exercises the whole
+    // lifecycle to avoid cross-test interference.
+    #[test]
+    fn spans_record_only_while_enabled() {
+        reset_profiler();
+        {
+            let _off = span("test.phase");
+        }
+        assert!(
+            !profile_report().iter().any(|r| r.0 == "test.phase"),
+            "disabled spans must not record"
+        );
+
+        set_profiling(true);
+        {
+            let _a = span("test.phase");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let _b = span("test.phase");
+        }
+        set_profiling(false);
+
+        let report = profile_report();
+        let row = report
+            .iter()
+            .find(|r| r.0 == "test.phase")
+            .expect("recorded phase");
+        assert_eq!(row.1, 2, "two calls recorded");
+        assert!(row.2 > 0.0, "nonzero total time");
+        reset_profiler();
+    }
+}

@@ -501,6 +501,7 @@ impl<N: Node> Simulation<N> {
         match kind {
             EventKind::TimerFire { node, timer, tag } => {
                 if self.core.cancelled.remove(&timer) {
+                    self.core.metrics.record_expired();
                     return;
                 }
                 let mut ctx = Context {
@@ -528,6 +529,9 @@ impl<N: Node> Simulation<N> {
                     transfer.bytes_left = transfer.total_bytes as f64;
                     self.core
                         .push(arrive, EventKind::DownlinkArrive { transfer });
+                } else {
+                    // Stale completion from before a rate change.
+                    self.core.metrics.record_expired();
                 }
             }
             EventKind::DownlinkArrive { mut transfer } => {
@@ -543,13 +547,17 @@ impl<N: Node> Simulation<N> {
                     self.core.downlinks[node.index()].complete(now, generation);
                 self.core.apply_downlink_action(node, action);
                 if let Some(transfer) = finished {
-                    self.core.metrics.record_rx(node, transfer.total_bytes);
+                    self.core
+                        .metrics
+                        .record_rx(node, transfer.msg.kind(), transfer.total_bytes);
                     let mut ctx = Context {
                         core: &mut self.core,
                         node,
                         n: self.nodes.len(),
                     };
                     self.nodes[node.index()].on_message(&mut ctx, transfer.from, transfer.msg);
+                } else {
+                    self.core.metrics.record_expired();
                 }
             }
             EventKind::BandwidthChange {
@@ -928,6 +936,51 @@ mod tests {
         assert_eq!(sim.metrics().node(NodeId(0)).tx_bytes, 1_064);
         assert_eq!(sim.metrics().node(NodeId(1)).rx_bytes, 1_064);
         assert_eq!(sim.metrics().by_kind()["msg"].count, 1);
+        assert_eq!(sim.metrics().by_kind()["msg"].rx_bytes, 1_064);
+        assert_eq!(sim.metrics().by_kind()["msg"].rx_count, 1);
+        assert_eq!(sim.metrics().expired_events(), 0);
+    }
+
+    #[test]
+    fn rate_changes_and_cancelled_timers_count_as_expired_events() {
+        // A mid-transfer rate change invalidates the scheduled uplink
+        // completion (one expired event); a cancelled timer adds another.
+        let topo = LatencyMatrix::uniform(2, SimDuration::from_millis(100));
+        let nodes = vec![
+            Recorder::new(vec![(
+                NodeId(1),
+                SizedPayload {
+                    tag: 7,
+                    size: 125_000,
+                },
+            )]),
+            Recorder::new(vec![]),
+        ];
+        let mut sim = Simulation::new(topo, nodes, config_1mbps());
+        sim.schedule_bandwidth_change(SimTime::from_micros(500_000), NodeId(0), Some(0.1e6), None);
+        sim.run();
+        assert_eq!(sim.node(NodeId(1)).received.len(), 1, "message delivered");
+        assert_eq!(
+            sim.metrics().expired_events(),
+            1,
+            "the pre-change uplink completion expired"
+        );
+
+        let topo = LatencyMatrix::uniform(1, SimDuration::ZERO);
+        let mut sim = Simulation::new(
+            topo,
+            vec![TimerNode {
+                fired: vec![],
+                cancel_second: true,
+            }],
+            SimConfig::default(),
+        );
+        sim.run();
+        assert_eq!(
+            sim.metrics().expired_events(),
+            1,
+            "the cancelled timer fire expired"
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct KindMetrics {
     pub bytes: u64,
     /// Messages enqueued (tx side).
     pub count: u64,
+    /// Bytes fully delivered (rx side).
+    pub rx_bytes: u64,
+    /// Messages fully delivered (rx side).
+    pub rx_count: u64,
 }
 
 /// Aggregated traffic statistics for a simulation run.
@@ -34,6 +38,7 @@ pub struct KindMetrics {
 pub struct Metrics {
     per_node: Vec<NodeMetrics>,
     by_kind: BTreeMap<&'static str, KindMetrics>,
+    expired_events: u64,
 }
 
 impl Metrics {
@@ -41,6 +46,7 @@ impl Metrics {
         Metrics {
             per_node: vec![NodeMetrics::default(); n],
             by_kind: BTreeMap::new(),
+            expired_events: 0,
         }
     }
 
@@ -53,10 +59,17 @@ impl Metrics {
         k.count += 1;
     }
 
-    pub(crate) fn record_rx(&mut self, node: NodeId, bytes: u64) {
+    pub(crate) fn record_rx(&mut self, node: NodeId, kind: &'static str, bytes: u64) {
         let m = &mut self.per_node[node.index()];
         m.rx_bytes += bytes;
         m.rx_msgs += 1;
+        let k = self.by_kind.entry(kind).or_default();
+        k.rx_bytes += bytes;
+        k.rx_count += 1;
+    }
+
+    pub(crate) fn record_expired(&mut self) {
+        self.expired_events += 1;
     }
 
     /// Counters for a single node.
@@ -64,9 +77,18 @@ impl Metrics {
         self.per_node[node.index()]
     }
 
-    /// Counters per message kind (tx side), ordered by kind name.
+    /// Counters per message kind (tx and rx sides), ordered by kind name.
     pub fn by_kind(&self) -> &BTreeMap<&'static str, KindMetrics> {
         &self.by_kind
+    }
+
+    /// Events that arrived dead: link-completion events invalidated by a
+    /// rate change (the pipe's generation moved on) plus cancelled timer
+    /// fires. The fluid-flow model never loses messages — transfers stall
+    /// instead — so this counts the engine's discarded bookkeeping
+    /// events, a cheap proxy for how much churn rate changes cause.
+    pub fn expired_events(&self) -> u64 {
+        self.expired_events
     }
 
     /// Total bytes enqueued across all nodes.
@@ -90,14 +112,26 @@ mod tests {
         m.record_tx(NodeId(0), "VOTE", 100);
         m.record_tx(NodeId(0), "VOTE", 50);
         m.record_tx(NodeId(1), "SIG", 10);
-        m.record_rx(NodeId(1), 100);
+        m.record_rx(NodeId(1), "VOTE", 100);
 
         assert_eq!(m.node(NodeId(0)).tx_bytes, 150);
         assert_eq!(m.node(NodeId(0)).tx_msgs, 2);
         assert_eq!(m.node(NodeId(1)).rx_bytes, 100);
         assert_eq!(m.by_kind()["VOTE"].bytes, 150);
         assert_eq!(m.by_kind()["VOTE"].count, 2);
+        assert_eq!(m.by_kind()["VOTE"].rx_bytes, 100);
+        assert_eq!(m.by_kind()["VOTE"].rx_count, 1);
+        assert_eq!(m.by_kind()["SIG"].rx_count, 0);
         assert_eq!(m.total_tx_bytes(), 160);
         assert_eq!(m.total_tx_msgs(), 3);
+    }
+
+    #[test]
+    fn expired_events_accumulate() {
+        let mut m = Metrics::new(1);
+        assert_eq!(m.expired_events(), 0);
+        m.record_expired();
+        m.record_expired();
+        assert_eq!(m.expired_events(), 2);
     }
 }

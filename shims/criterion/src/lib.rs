@@ -8,6 +8,10 @@
 //!   iterations, reporting mean/min/max wall-clock per iteration.
 //! * `cargo test` runs the harness with no `--bench` flag — each
 //!   function executes exactly once, so benches stay cheap smoke tests.
+//!
+//! When the `CRITERION_OUT` environment variable names a file, bench
+//! mode also appends one JSON line per benchmark (id, sample count,
+//! mean/min/max seconds) for the workspace's bench summarizer.
 
 use std::time::{Duration, Instant};
 
@@ -196,6 +200,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    write_machine_line(&id, samples, mean, min, max);
     let rate = match throughput {
         Some(Throughput::Bytes(bytes)) if mean > 0.0 => {
             format!("  {:.1} MiB/s", bytes as f64 / mean / (1024.0 * 1024.0))
@@ -211,6 +216,35 @@ fn run_one<F: FnMut(&mut Bencher)>(
         format_secs(min),
         format_secs(max),
     );
+}
+
+/// Appends one JSON line per benchmark to the file named by
+/// `CRITERION_OUT` (unset = no machine output). The workspace's bench
+/// summarizer folds these lines into `BENCH_core.json`.
+fn write_machine_line(id: &str, samples: u64, mean: f64, min: f64, max: f64) {
+    let Ok(path) = std::env::var("CRITERION_OUT") else {
+        return;
+    };
+    use std::io::Write;
+    let escaped: String = id
+        .chars()
+        .map(|c| match c {
+            '"' => "\\\"".to_string(),
+            '\\' => "\\\\".to_string(),
+            c => c.to_string(),
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"samples\":{samples},\"mean_secs\":{mean},\"min_secs\":{min},\"max_secs\":{max}}}\n"
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = appended {
+        eprintln!("criterion shim: cannot append to {path}: {error}");
+    }
 }
 
 fn format_secs(secs: f64) -> String {
