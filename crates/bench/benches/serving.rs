@@ -1,0 +1,85 @@
+//! Benchmarks of the serving path: wire-protocol parse/encode (the
+//! per-request CPU floor), `ServingStore` lookups (what a worker does
+//! per request), and the publish step that re-encodes the retained
+//! payload set on every new consensus.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use partialtor_dircached::proto::{parse_request, DocRequest, ResponseHead};
+use partialtor_dircached::{consensus_series, DocSetConfig, ServingStore};
+use std::hint::black_box;
+
+fn series() -> Vec<partialtor_tordoc::Consensus> {
+    consensus_series(&DocSetConfig {
+        seed: 11,
+        relays: 500,
+        history: 5,
+        churn_per_hour: 10,
+    })
+}
+
+fn populated_store() -> (ServingStore, Vec<partialtor_tordoc::Consensus>) {
+    let docs = series();
+    let store = ServingStore::new(3);
+    for doc in &docs {
+        store.publish(doc.clone());
+    }
+    (store, docs)
+}
+
+fn bench_proto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    let (_, docs) = populated_store();
+    let base = docs[3].digest();
+    let request = DocRequest::Consensus { base: Some(base) }.encode();
+    group.throughput(Throughput::Bytes(request.len() as u64));
+    group.bench_function("parse_request", |b| {
+        b.iter(|| parse_request(black_box(request.as_bytes())))
+    });
+    let head = ResponseHead {
+        status: 200,
+        served: "diff",
+        digest: Some(base),
+        body_len: 4_096,
+    };
+    group.bench_function("encode_response_head", |b| {
+        b.iter(|| black_box(&head).encode())
+    });
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    let (store, docs) = populated_store();
+    let base = docs[3].digest();
+    group.bench_function("store_serve_full", |b| {
+        b.iter(|| store.serve(black_box(&DocRequest::Consensus { base: None })))
+    });
+    group.bench_function("store_serve_diff", |b| {
+        b.iter(|| store.serve(black_box(&DocRequest::Consensus { base: Some(base) })))
+    });
+    // The write-side cost: publishing one more document re-encodes the
+    // retained diff and descriptor-delta set.
+    let docs_for_publish = series();
+    group.bench_function("store_publish_500_relays_retain3", |b| {
+        b.iter_batched(
+            || {
+                let store = ServingStore::new(3);
+                for doc in &docs_for_publish[..4] {
+                    store.publish(doc.clone());
+                }
+                (store, docs_for_publish[4].clone())
+            },
+            |(store, next)| {
+                store.publish(next);
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_proto, bench_store);
+criterion_main!(benches);

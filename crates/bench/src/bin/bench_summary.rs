@@ -124,6 +124,25 @@ fn main() {
         eprintln!("bench_summary: {input:?} held no benchmark lines");
         std::process::exit(2);
     }
+    // A bench that was committed but is absent from this run usually
+    // means a bench target silently stopped being built or a group was
+    // renamed — warn rather than quietly shrinking the trajectory.
+    if let Ok(existing) = std::fs::read_to_string(&output) {
+        let missing: Vec<String> = existing
+            .lines()
+            .filter_map(|line| field_str(line, "id"))
+            .filter(|id| !rows.contains_key(id))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "bench_summary: warning: {} committed bench(es) missing from this run:",
+                missing.len()
+            );
+            for id in missing {
+                eprintln!("  - {id}");
+            }
+        }
+    }
     if let Err(error) = std::fs::write(&output, render(&rows)) {
         eprintln!("bench_summary: cannot write {output:?}: {error}");
         std::process::exit(2);

@@ -580,6 +580,11 @@ const CLIENTS_SPEC: &[FlagSpec] = &[
         "--real-docs",
         "measure document sizes from real tordoc consensuses (small --relays only)",
     ),
+    value_flag(
+        "--fetch-mix",
+        "FILE",
+        "export the Current protocol's per-hour fetch mixes for dirload replay",
+    ),
     JSON_FLAG,
 ];
 
@@ -627,6 +632,11 @@ fn cmd_clients(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     };
     let results = clients::run_experiment_traced(&params, &telemetry.tracer);
     telemetry.metrics = clients::metrics_json(&results);
+    if let Some(path) = args.values.get("--fetch-mix") {
+        std::fs::write(path, clients::fetch_mix_export(&results))
+            .map_err(|e| format!("--fetch-mix: write {path}: {e}"))?;
+        eprintln!("fetch mixes written to {path}");
+    }
     if args.present("--json") {
         println!("{}", clients::to_json(&results).render());
     } else {

@@ -31,7 +31,7 @@ use crate::protocols::ProtocolKind;
 use crate::runner::{sweep, RunReport, SweepJob};
 use partialtor_dirdist::{
     AlertNote, ChurnSchedule, ConsensusTimeline, DistConfig, DistReport, DistSession, DocModel,
-    HourInput,
+    FetchMix, HourInput,
 };
 use partialtor_obs::Tracer;
 use partialtor_tordoc::prelude::*;
@@ -89,6 +89,9 @@ pub struct ClientsResult {
     pub produced_hours: u64,
     /// The distribution-layer report (cache tier + fleet).
     pub dist: DistReport,
+    /// Per-hour realized fetch mixes — the `--fetch-mix FILE` export a
+    /// `dirload` replay consumes.
+    pub fetch_mixes: Vec<FetchMix>,
 }
 
 /// Builds one real consensus per timeline version: a relay-population
@@ -166,7 +169,7 @@ fn replay_distribution(
     model: &DocModel,
     hourly_reports: &[RunReport],
     tracer: &Tracer,
-) -> DistReport {
+) -> (DistReport, Vec<FetchMix>) {
     let mut session = DistSession::with_telemetry(config, model.clone(), tracer.clone());
     for hour in 1..=timeline.hours {
         let publication = timeline
@@ -184,7 +187,8 @@ fn replay_distribution(
             ..HourInput::default()
         });
     }
-    session.into_report()
+    let fetch_mixes = session.fetch_mixes();
+    (session.into_report(), fetch_mixes)
 }
 
 /// Runs the client-visible timeline for the current and ICPS protocols.
@@ -232,13 +236,29 @@ pub fn run_experiment_traced(params: &ClientsParams, tracer: &Tracer) -> Vec<Cli
             } else {
                 DocModel::synthetic(params.relays)
             };
+            let (dist, fetch_mixes) =
+                replay_distribution(&config, &timeline, &model, slice, tracer);
             ClientsResult {
                 protocol: protocol.to_string(),
                 produced_hours: hourly.iter().flatten().count() as u64,
-                dist: replay_distribution(&config, &timeline, &model, slice, tracer),
+                dist,
+                fetch_mixes,
             }
         })
         .collect()
+}
+
+/// Renders the Current protocol's per-hour fetch mixes in the
+/// `fetchmix v1` text format (the `dirsim clients --fetch-mix FILE`
+/// export) — the Current path is the one whose storm traffic a
+/// `dirload` replay wants to reproduce against a real cache.
+pub fn fetch_mix_export(results: &[ClientsResult]) -> String {
+    results
+        .iter()
+        .find(|r| r.protocol == ProtocolKind::Current.to_string())
+        .or(results.first())
+        .map(|r| FetchMix::encode_all(&r.fetch_mixes))
+        .unwrap_or_default()
 }
 
 /// Serializes the per-protocol results for `dirsim clients --json`.
@@ -467,6 +487,42 @@ mod tests {
             assert_eq!(*severity, "critical");
             assert_eq!(kind, "consensus_failure");
         }
+    }
+
+    /// Satellite: the per-hour fetch mixes ride the experiment results
+    /// and export to the replayable text format — hour-aligned with the
+    /// fleet rows, byte-exact against their egress accounting, and
+    /// round-trippable for a `dirload` process that shares no memory
+    /// with this one.
+    #[test]
+    fn fetch_mixes_export_and_round_trip() {
+        let params = ClientsParams {
+            hours: 2,
+            clients: 30_000,
+            caches: 10,
+            relays: 2_000,
+            seed: 5,
+            ..ClientsParams::default()
+        };
+        let results = run_experiment(&params);
+        let current = &results[0];
+        assert_eq!(
+            current.fetch_mixes.len(),
+            current.dist.fleet.rows.len(),
+            "one mix per stepped hour"
+        );
+        for (mix, row) in current.fetch_mixes.iter().zip(&current.dist.fleet.rows) {
+            assert_eq!(mix.hour, row.hour);
+            assert_eq!(
+                mix.served_bytes(),
+                row.cache_egress_bytes + row.descriptor_egress_bytes,
+                "hour {}: mix bytes must match row egress",
+                row.hour
+            );
+        }
+        let text = fetch_mix_export(&results);
+        let parsed = FetchMix::parse_all(&text).expect("export parses");
+        assert_eq!(parsed, current.fetch_mixes);
     }
 
     /// The traced experiment is the untraced experiment: sharing a trace

@@ -1,0 +1,361 @@
+//! The wire protocol: a minimal HTTP/1.0 subset.
+//!
+//! Tor's directory port speaks plain HTTP; this module implements just
+//! the slice the serving path needs, as pure functions over byte
+//! buffers so the parser is trivially proptestable with no sockets
+//! involved:
+//!
+//! * `GET /tor/status-vote/current/consensus` — the latest consensus;
+//!   with an `If-Consensus-Hash: <hex>` header the server may answer
+//!   with a proposal-140 diff from that base instead (the
+//!   `DiffStore::serve` negotiation on the wire);
+//! * `GET /tor/status-vote/current/consensus/diff/<hex>` — explicitly a
+//!   diff from the named base, `404` when the base is not retained;
+//! * `GET /tor/server/all` — the descriptor set; with
+//!   `If-Consensus-Hash` only the relays churned since that base;
+//! * `GET /tor/status-vote/current/consensus-digests` — the retained
+//!   base index (latest first), which `dirload` uses to aim refreshes;
+//! * `GET /tor/status` — liveness probe; `GET /metrics` — the obs
+//!   registry as JSON.
+//!
+//! Responses carry `Content-Length`, an `X-Served` class label and,
+//! for document payloads, `X-Consensus-Digest` so clients can verify
+//! integrity end to end. Parsing never panics: anything malformed maps
+//! to a 4xx status ([`Parsed::Bad`]) the daemon answers before closing,
+//! and a request line that outgrows [`MAX_REQUEST_BYTES`] without
+//! terminating is a `414`.
+
+use partialtor_crypto::Digest32;
+
+/// Hard cap on a request's size (request line plus headers). A buffer
+/// that reaches this size with no terminator is answered `414` and
+/// closed — the bound that keeps slow-loris reads from holding memory.
+pub const MAX_REQUEST_BYTES: usize = 4_096;
+
+/// The HTTP version string the daemon and generator speak.
+pub const HTTP_VERSION: &str = "HTTP/1.0";
+
+/// One parsed, routed document request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DocRequest {
+    /// The latest consensus; with `base`, a diff from it if retained.
+    Consensus {
+        /// The digest the client already holds (`If-Consensus-Hash`).
+        base: Option<Digest32>,
+    },
+    /// Explicitly a diff from `base` to the latest document.
+    ConsensusDiff {
+        /// The diff's base digest (from the request path).
+        base: Digest32,
+    },
+    /// The descriptor set; with `base`, only relays churned since it.
+    Descriptors {
+        /// The consensus digest the client's descriptors match.
+        base: Option<Digest32>,
+    },
+    /// The retained base-digest index (latest first).
+    Digests,
+    /// Liveness probe.
+    Status,
+    /// The obs metrics registry as JSON.
+    Metrics,
+}
+
+impl DocRequest {
+    /// The request path (without the negotiation header).
+    pub fn path(&self) -> String {
+        match self {
+            DocRequest::Consensus { .. } => "/tor/status-vote/current/consensus".to_string(),
+            DocRequest::ConsensusDiff { base } => {
+                format!("/tor/status-vote/current/consensus/diff/{}", base.to_hex())
+            }
+            DocRequest::Descriptors { .. } => "/tor/server/all".to_string(),
+            DocRequest::Digests => "/tor/status-vote/current/consensus-digests".to_string(),
+            DocRequest::Status => "/tor/status".to_string(),
+            DocRequest::Metrics => "/metrics".to_string(),
+        }
+    }
+
+    /// The full request bytes ([`parse_request`] is the exact inverse —
+    /// a proptest pins the round trip).
+    pub fn encode(&self) -> String {
+        let mut out = format!("GET {} {HTTP_VERSION}\r\n", self.path());
+        let base = match self {
+            DocRequest::Consensus { base } | DocRequest::Descriptors { base } => base.as_ref(),
+            _ => None,
+        };
+        if let Some(digest) = base {
+            out.push_str(&format!("If-Consensus-Hash: {}\r\n", digest.to_hex()));
+        }
+        out.push_str("\r\n");
+        out
+    }
+}
+
+/// One step of incremental request parsing over a growing buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// A complete, routed request, and how many bytes it consumed.
+    Request(DocRequest, usize),
+    /// Malformed or unroutable input: answer with this status and
+    /// close. Never a panic, whatever the bytes.
+    Bad(u16),
+}
+
+/// Finds the end of the header block: the index just past the first
+/// blank line (`\r\n\r\n` or `\n\n`).
+fn header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .into_iter()
+        .chain(buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+        .min()
+}
+
+/// Incrementally parses one request from `buf`. Feed it the buffer
+/// after every read: [`Parsed::NeedMore`] means keep reading,
+/// [`Parsed::Bad`] means answer the status and close.
+pub fn parse_request(buf: &[u8]) -> Parsed {
+    let Some(end) = header_end(buf) else {
+        return if buf.len() >= MAX_REQUEST_BYTES {
+            Parsed::Bad(414)
+        } else {
+            Parsed::NeedMore
+        };
+    };
+    if end > MAX_REQUEST_BYTES {
+        return Parsed::Bad(414);
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..end]) else {
+        return Parsed::Bad(400);
+    };
+    let mut lines = head.lines().filter(|l| !l.is_empty());
+    let Some(request_line) = lines.next() else {
+        return Parsed::Bad(400);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Parsed::Bad(400);
+    };
+    if method != "GET" || !version.starts_with("HTTP/") {
+        return Parsed::Bad(400);
+    }
+
+    let mut base: Option<Digest32> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Parsed::Bad(400);
+        };
+        if name.trim().eq_ignore_ascii_case("if-consensus-hash") {
+            match Digest32::from_hex(value.trim()) {
+                Some(digest) => base = Some(digest),
+                None => return Parsed::Bad(400),
+            }
+        }
+        // Unknown headers are tolerated, as HTTP requires.
+    }
+
+    let doc = match target {
+        "/tor/status-vote/current/consensus" => DocRequest::Consensus { base },
+        "/tor/server/all" => DocRequest::Descriptors { base },
+        "/tor/status-vote/current/consensus-digests" => DocRequest::Digests,
+        "/tor/status" => DocRequest::Status,
+        "/metrics" => DocRequest::Metrics,
+        _ => {
+            if let Some(hex) = target.strip_prefix("/tor/status-vote/current/consensus/diff/") {
+                match Digest32::from_hex(hex) {
+                    Some(digest) => DocRequest::ConsensusDiff { base: digest },
+                    None => return Parsed::Bad(400),
+                }
+            } else {
+                return Parsed::Bad(404);
+            }
+        }
+    };
+    Parsed::Request(doc, end)
+}
+
+/// Standard reason phrase for the statuses the daemon sends.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        414 => "URI Too Long",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The response metadata the daemon writes ahead of a body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseHead {
+    /// HTTP status code.
+    pub status: u16,
+    /// Served-class label (`full`, `diff`, `descriptors`, ... — the
+    /// `X-Served` header).
+    pub served: &'static str,
+    /// Digest of the document the body yields, when it is a document.
+    pub digest: Option<Digest32>,
+    /// Body length, bytes (`Content-Length`).
+    pub body_len: usize,
+}
+
+impl ResponseHead {
+    /// Encodes the status line and headers (up to and including the
+    /// blank line).
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "{HTTP_VERSION} {} {}\r\nContent-Length: {}\r\nX-Served: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body_len,
+            self.served
+        );
+        if let Some(digest) = &self.digest {
+            out.push_str(&format!("X-Consensus-Digest: {}\r\n", digest.to_hex()));
+        }
+        out.push_str("Connection: close\r\n\r\n");
+        out
+    }
+}
+
+/// A response head parsed back on the client side (`dirload`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `X-Served` label (empty when absent).
+    pub served: String,
+    /// The `X-Consensus-Digest` header, when present and valid.
+    pub digest: Option<Digest32>,
+    /// Declared body length.
+    pub content_length: usize,
+    /// Offset where the body starts in the buffer the head was parsed
+    /// from.
+    pub body_start: usize,
+}
+
+/// Parses a response head from `buf`; `None` until the blank line has
+/// arrived or when the head is malformed beyond use.
+pub fn parse_response_head(buf: &[u8]) -> Option<ParsedResponse> {
+    let end = header_end(buf)?;
+    let head = std::str::from_utf8(&buf[..end]).ok()?;
+    let mut lines = head.lines().filter(|l| !l.is_empty());
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut served = String::new();
+    let mut digest = None;
+    let mut content_length = 0usize;
+    for line in lines {
+        let (name, value) = line.split_once(':')?;
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => content_length = value.parse().ok()?,
+            "x-served" => served = value.to_string(),
+            "x-consensus-digest" => digest = Digest32::from_hex(value),
+            _ => {}
+        }
+    }
+    Some(ParsedResponse {
+        status,
+        served,
+        digest,
+        content_length,
+        body_start: end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(tag: u8) -> Digest32 {
+        partialtor_crypto::sha256::digest(&[tag])
+    }
+
+    #[test]
+    fn canonical_requests_round_trip() {
+        let requests = [
+            DocRequest::Consensus { base: None },
+            DocRequest::Consensus {
+                base: Some(digest(1)),
+            },
+            DocRequest::ConsensusDiff { base: digest(2) },
+            DocRequest::Descriptors { base: None },
+            DocRequest::Descriptors {
+                base: Some(digest(3)),
+            },
+            DocRequest::Digests,
+            DocRequest::Status,
+            DocRequest::Metrics,
+        ];
+        for request in requests {
+            let bytes = request.encode();
+            match parse_request(bytes.as_bytes()) {
+                Parsed::Request(parsed, consumed) => {
+                    assert_eq!(parsed, request);
+                    assert_eq!(consumed, bytes.len());
+                }
+                other => panic!("{request:?} must parse: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_requests_need_more_and_oversized_close_414() {
+        let full = DocRequest::Consensus {
+            base: Some(digest(9)),
+        }
+        .encode();
+        for cut in 0..full.len() - 1 {
+            assert_eq!(
+                parse_request(&full.as_bytes()[..cut]),
+                Parsed::NeedMore,
+                "cut at {cut}"
+            );
+        }
+        let oversized = format!("GET /{} HTTP/1.0\r\n", "a".repeat(MAX_REQUEST_BYTES));
+        assert_eq!(parse_request(oversized.as_bytes()), Parsed::Bad(414));
+    }
+
+    #[test]
+    fn malformed_requests_map_to_4xx() {
+        for (input, status) in [
+            ("POST /tor/status HTTP/1.0\r\n\r\n", 400),
+            ("GET /tor/status\r\n\r\n", 400),
+            ("GET /nope HTTP/1.0\r\n\r\n", 404),
+            ("GET /tor/status-vote/current/consensus/diff/zz HTTP/1.0\r\n\r\n", 400),
+            ("GET /tor/status HTTP/1.0\r\nbroken header\r\n\r\n", 400),
+            (
+                "GET /tor/status-vote/current/consensus HTTP/1.0\r\nIf-Consensus-Hash: nope\r\n\r\n",
+                400,
+            ),
+        ] {
+            assert_eq!(parse_request(input.as_bytes()), Parsed::Bad(status), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn response_head_round_trips() {
+        let head = ResponseHead {
+            status: 200,
+            served: "diff",
+            digest: Some(digest(4)),
+            body_len: 12_345,
+        };
+        let mut bytes = head.encode().into_bytes();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let parsed = parse_response_head(&bytes).expect("head parses");
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.served, "diff");
+        assert_eq!(parsed.digest, Some(digest(4)));
+        assert_eq!(parsed.content_length, 12_345);
+        assert_eq!(parsed.body_start, bytes.len() - 16);
+    }
+}

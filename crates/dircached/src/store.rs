@@ -1,0 +1,343 @@
+//! The serving store: pre-encoded payloads behind one `RwLock`.
+//!
+//! [`ServingStore::publish`] pushes a consensus through a
+//! [`DiffStore`], takes every retained response out via
+//! [`Served::into_owned`](partialtor_tordoc::serve::Served::into_owned)
+//! (the lock-free handoff the tordoc satellite added), and pre-encodes
+//! the payload bytes workers will write:
+//! the full latest document, one diff per retained base, the full
+//! descriptor set, and per-base descriptor deltas (relays present in
+//! the latest document but not in the base). Serving a request is then
+//! a read-lock, a `BTreeMap` lookup and an `Arc` clone — the daemon's
+//! workers never encode documents and never hold the lock during I/O,
+//! so publish churn cannot tear a response half-written.
+
+use crate::proto::DocRequest;
+use partialtor_crypto::Digest32;
+use partialtor_dirdist::docmodel::MICRODESC_PER_RELAY_BYTES;
+use partialtor_tordoc::serve::{DiffStore, ServedOwned};
+use partialtor_tordoc::{Consensus, RelayId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock};
+
+/// What the store answers a routed request with: ready-to-write bytes
+/// plus the response metadata.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// HTTP status (200 or 404).
+    pub status: u16,
+    /// Served-class label (the `X-Served` header and metrics key).
+    pub served: &'static str,
+    /// Digest of the document the body yields, when it is a document.
+    pub digest: Option<Digest32>,
+    /// The payload (shared, never copied per request).
+    pub body: Arc<Vec<u8>>,
+}
+
+struct State {
+    store: DiffStore,
+    /// Digests newest-first: `[0]` is the latest, the rest retained
+    /// bases in recency order.
+    history: Vec<Digest32>,
+    latest: Option<Arc<Vec<u8>>>,
+    latest_digest: Option<Digest32>,
+    diffs: BTreeMap<Digest32, Arc<Vec<u8>>>,
+    descriptors_full: Arc<Vec<u8>>,
+    descriptor_deltas: BTreeMap<Digest32, Arc<Vec<u8>>>,
+    relay_sets: BTreeMap<Digest32, BTreeSet<RelayId>>,
+    digest_index: Arc<Vec<u8>>,
+}
+
+/// The daemon's shared document store.
+pub struct ServingStore {
+    retain: usize,
+    state: RwLock<State>,
+}
+
+/// One relay's synthetic microdescriptor: a recognizable line padded to
+/// the calibrated wire size the simulation charges for it.
+fn descriptor_bytes(id: &RelayId) -> Vec<u8> {
+    let mut line = format!("micro {}\n", id.fingerprint()).into_bytes();
+    line.resize(MICRODESC_PER_RELAY_BYTES as usize, b'#');
+    line
+}
+
+fn descriptor_payload<'a>(ids: impl Iterator<Item = &'a RelayId>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for id in ids {
+        out.extend_from_slice(&descriptor_bytes(id));
+    }
+    out
+}
+
+impl ServingStore {
+    /// An empty store retaining diffs from up to `retain` predecessors.
+    pub fn new(retain: usize) -> Self {
+        ServingStore {
+            retain,
+            state: RwLock::new(State {
+                store: DiffStore::new(retain),
+                history: Vec::new(),
+                latest: None,
+                latest_digest: None,
+                diffs: BTreeMap::new(),
+                descriptors_full: Arc::new(Vec::new()),
+                descriptor_deltas: BTreeMap::new(),
+                relay_sets: BTreeMap::new(),
+                digest_index: Arc::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Publishes a new latest consensus: recomputes the diff set and
+    /// pre-encodes every payload under the write lock. Readers blocked
+    /// for the duration see either the old document set or the new one,
+    /// never a mix.
+    pub fn publish(&self, consensus: Consensus) {
+        let digest = consensus.digest();
+        let relay_ids: BTreeSet<RelayId> = consensus.entries.iter().map(|e| e.id).collect();
+
+        let mut state = self.state.write().expect("serving store");
+        state.store.publish(consensus);
+        state.history.insert(0, digest);
+        state.history.truncate(self.retain + 1);
+        let keep = state.history.clone();
+        state
+            .relay_sets
+            .retain(|d, _| keep.contains(d) || *d == digest);
+        state.relay_sets.insert(digest, relay_ids);
+
+        // Pre-encode what each retained base will be answered with.
+        let bases: Vec<Digest32> = state.history[1..].to_vec();
+        let mut diffs = BTreeMap::new();
+        let mut deltas = BTreeMap::new();
+        let latest_ids = state.relay_sets[&digest].clone();
+        for base in bases {
+            if let Some(ServedOwned::Diff(diff)) =
+                state.store.serve(Some(&base)).map(|s| s.into_owned())
+            {
+                diffs.insert(base, Arc::new(diff.encode().into_bytes()));
+            }
+            if let Some(base_ids) = state.relay_sets.get(&base) {
+                let delta = descriptor_payload(latest_ids.difference(base_ids));
+                deltas.insert(base, Arc::new(delta));
+            }
+        }
+        let latest = state
+            .store
+            .latest()
+            .expect("just published")
+            .encode()
+            .into_bytes();
+        let mut index = String::new();
+        for (age, d) in state.history.iter().enumerate() {
+            index.push_str(&format!("digest {} age={age}\n", d.to_hex()));
+        }
+
+        state.latest = Some(Arc::new(latest));
+        state.latest_digest = Some(digest);
+        state.diffs = diffs;
+        state.descriptor_deltas = deltas;
+        state.descriptors_full = Arc::new(descriptor_payload(latest_ids.iter()));
+        state.digest_index = Arc::new(index.into_bytes());
+    }
+
+    /// Digest of the latest published document.
+    pub fn latest_digest(&self) -> Option<Digest32> {
+        self.state.read().expect("serving store").latest_digest
+    }
+
+    /// Retained digests, newest first (the latest, then the diffable
+    /// bases).
+    pub fn history(&self) -> Vec<Digest32> {
+        self.state.read().expect("serving store").history.clone()
+    }
+
+    /// Answers a routed request. Read-lock + lookup + `Arc` clone; the
+    /// lock is released before the caller touches a socket.
+    /// [`DocRequest::Metrics`] is the daemon's business (it owns the
+    /// registry) and is answered `404` here.
+    pub fn serve(&self, request: &DocRequest) -> ServeOutcome {
+        let state = self.state.read().expect("serving store");
+        let not_found = |served: &'static str| ServeOutcome {
+            status: 404,
+            served,
+            digest: None,
+            body: Arc::new(Vec::new()),
+        };
+        let Some(latest_digest) = state.latest_digest else {
+            return not_found("error");
+        };
+        let latest = state.latest.as_ref().expect("published").clone();
+        match request {
+            DocRequest::Consensus { base } => {
+                if let Some(diff) = base.as_ref().and_then(|b| state.diffs.get(b)) {
+                    ServeOutcome {
+                        status: 200,
+                        served: "diff",
+                        digest: Some(latest_digest),
+                        body: diff.clone(),
+                    }
+                } else {
+                    ServeOutcome {
+                        status: 200,
+                        served: "full",
+                        digest: Some(latest_digest),
+                        body: latest,
+                    }
+                }
+            }
+            DocRequest::ConsensusDiff { base } => match state.diffs.get(base) {
+                Some(diff) => ServeOutcome {
+                    status: 200,
+                    served: "diff",
+                    digest: Some(latest_digest),
+                    body: diff.clone(),
+                },
+                None => not_found("error"),
+            },
+            DocRequest::Descriptors { base } => {
+                match base.as_ref().and_then(|b| state.descriptor_deltas.get(b)) {
+                    Some(delta) => ServeOutcome {
+                        status: 200,
+                        served: "descriptors_delta",
+                        digest: Some(latest_digest),
+                        body: delta.clone(),
+                    },
+                    None => ServeOutcome {
+                        status: 200,
+                        served: "descriptors",
+                        digest: Some(latest_digest),
+                        body: state.descriptors_full.clone(),
+                    },
+                }
+            }
+            DocRequest::Digests => ServeOutcome {
+                status: 200,
+                served: "digests",
+                digest: Some(latest_digest),
+                body: state.digest_index.clone(),
+            },
+            DocRequest::Status => ServeOutcome {
+                status: 200,
+                served: "status",
+                digest: Some(latest_digest),
+                body: Arc::new(
+                    format!(
+                        "ok latest={} retained={}\n",
+                        latest_digest.to_hex(),
+                        state.history.len().saturating_sub(1)
+                    )
+                    .into_bytes(),
+                ),
+            },
+            DocRequest::Metrics => not_found("error"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::{consensus_series, DocSetConfig};
+    use partialtor_tordoc::ConsensusDiff;
+
+    fn store_with(history: usize) -> (ServingStore, Vec<Consensus>) {
+        let docs = consensus_series(&DocSetConfig {
+            relays: 60,
+            history,
+            churn_per_hour: 5,
+            ..DocSetConfig::default()
+        });
+        let store = ServingStore::new(3);
+        for doc in &docs {
+            store.publish(doc.clone());
+        }
+        (store, docs)
+    }
+
+    #[test]
+    fn serves_verifiable_fulls_and_diffs() {
+        let (store, docs) = store_with(3);
+        let latest = docs.last().unwrap();
+
+        let full = store.serve(&DocRequest::Consensus { base: None });
+        assert_eq!((full.status, full.served), (200, "full"));
+        assert_eq!(full.body.as_slice(), latest.encode().as_bytes());
+
+        let base = docs[1].digest();
+        let diff = store.serve(&DocRequest::Consensus { base: Some(base) });
+        assert_eq!((diff.status, diff.served), (200, "diff"));
+        let parsed = ConsensusDiff::parse(std::str::from_utf8(&diff.body).unwrap())
+            .expect("served diff parses");
+        let rebuilt = parsed.apply(&docs[1]).expect("diff applies to its base");
+        assert_eq!(rebuilt.digest(), latest.digest());
+        assert_eq!(diff.digest, Some(latest.digest()));
+    }
+
+    #[test]
+    fn unknown_base_falls_back_to_full_and_explicit_diff_404s() {
+        let (store, _) = store_with(2);
+        let stranger = partialtor_crypto::sha256::digest(b"not a consensus");
+        let fallback = store.serve(&DocRequest::Consensus {
+            base: Some(stranger),
+        });
+        assert_eq!((fallback.status, fallback.served), (200, "full"));
+        let diff = store.serve(&DocRequest::ConsensusDiff { base: stranger });
+        assert_eq!(diff.status, 404);
+    }
+
+    #[test]
+    fn descriptor_deltas_cover_exactly_the_churned_relays() {
+        let (store, docs) = store_with(3);
+        let base = &docs[1];
+        let latest = docs.last().unwrap();
+        let base_ids: BTreeSet<RelayId> = base.entries.iter().map(|e| e.id).collect();
+        let new_ids: Vec<RelayId> = latest
+            .entries
+            .iter()
+            .map(|e| e.id)
+            .filter(|id| !base_ids.contains(id))
+            .collect();
+
+        let delta = store.serve(&DocRequest::Descriptors {
+            base: Some(base.digest()),
+        });
+        assert_eq!((delta.status, delta.served), (200, "descriptors_delta"));
+        assert_eq!(
+            delta.body.len() as u64,
+            new_ids.len() as u64 * MICRODESC_PER_RELAY_BYTES,
+            "one padded descriptor per churned relay"
+        );
+        let full = store.serve(&DocRequest::Descriptors { base: None });
+        assert_eq!(
+            full.body.len() as u64,
+            latest.entries.len() as u64 * MICRODESC_PER_RELAY_BYTES
+        );
+        assert!(delta.body.len() < full.body.len());
+    }
+
+    #[test]
+    fn digest_index_lists_history_newest_first() {
+        let (store, docs) = store_with(3);
+        let index = store.serve(&DocRequest::Digests);
+        let text = String::from_utf8(index.body.to_vec()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(&docs[2].digest().to_hex()));
+        assert!(lines[0].ends_with("age=0"));
+        assert!(lines[1].contains(&docs[1].digest().to_hex()));
+        let history = store.history();
+        assert_eq!(history[0], docs[2].digest());
+    }
+
+    #[test]
+    fn empty_store_404s_everything() {
+        let store = ServingStore::new(3);
+        assert_eq!(
+            store.serve(&DocRequest::Consensus { base: None }).status,
+            404
+        );
+        assert_eq!(store.latest_digest(), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end loopback tests: a real daemon on an ephemeral port, real
+//! sockets, the real load generator. These are the in-process versions
+//! of the CI smoke — deterministic document set, short replay, and
+//! assertions on the properties the ISSUE pins: non-zero diff hit
+//! rate, a finite positive budget ratio, graceful 503 shedding at the
+//! connection limit, and a daemon that survives malformed input.
+
+use partialtor_dircached::loadgen::{self, fetch_history};
+use partialtor_dircached::{
+    budget_check, consensus_series, synthesize_mix, Daemon, DaemonConfig, DocRequest, DocSetConfig,
+    LoadConfig, ServingStore,
+};
+use partialtor_obs::{Registry, Tracer};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn served_store() -> Arc<ServingStore> {
+    let docs = consensus_series(&DocSetConfig {
+        relays: 120,
+        history: 4,
+        churn_per_hour: 8,
+        ..DocSetConfig::default()
+    });
+    let store = Arc::new(ServingStore::new(3));
+    for doc in docs {
+        store.publish(doc);
+    }
+    store
+}
+
+fn start_daemon(config: DaemonConfig) -> (Daemon, Arc<ServingStore>) {
+    let store = served_store();
+    let daemon = Daemon::start(config, store.clone()).expect("bind ephemeral port");
+    (daemon, store)
+}
+
+#[test]
+fn replay_hits_diffs_and_yields_a_finite_budget_ratio() {
+    let registry = Registry::new();
+    let tracer = Tracer::enabled(4_096);
+    let (daemon, _store) = start_daemon(DaemonConfig {
+        registry: registry.clone(),
+        tracer: tracer.clone(),
+        ..DaemonConfig::default()
+    });
+
+    let config = LoadConfig {
+        addr: daemon.local_addr().to_string(),
+        duration: Duration::from_secs(1),
+        rate: 300.0,
+        connections: 4,
+        ..LoadConfig::default()
+    };
+    let mix = synthesize_mix(config.seed);
+    let report = loadgen::run(&config, &mix).expect("replay runs");
+
+    assert!(report.completed > 0, "requests must complete: {report:?}");
+    assert_eq!(report.failed, 0, "loopback must not drop requests");
+    assert!(
+        report.diff_hits > 0,
+        "refreshes against retained bases must be diff-served: {report:?}"
+    );
+    assert!(report.latency.count() > 0);
+    assert!(report.latency.p50().is_some());
+
+    let check = budget_check(&report);
+    assert!(
+        check.ratio.is_finite() && check.ratio > 0.0,
+        "budget ratio must be finite and positive: {check:?}"
+    );
+
+    // The daemon's own telemetry saw the same traffic.
+    assert!(registry.counter("dircached.requests") >= report.sent);
+    assert!(registry.counter("dircached.served.diff") >= report.diff_hits);
+    assert!(registry.histogram("dircached.request_secs").count() > 0);
+    assert!(
+        tracer.drain().iter().any(|e| e.kind() == "http_request"),
+        "request trace events must be emitted"
+    );
+}
+
+#[test]
+fn daemon_sheds_excess_connections_with_503() {
+    let registry = Registry::new();
+    let (daemon, _store) = start_daemon(DaemonConfig {
+        workers: 1,
+        max_pending: 1,
+        registry: registry.clone(),
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+
+    // Stall the single worker with a connection that sends nothing,
+    // and fill the one queue slot with another.
+    let stall = TcpStream::connect(addr).expect("stall connect");
+    let parked = TcpStream::connect(addr).expect("parked connect");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Subsequent connections must be answered 503 immediately.
+    let mut shed = 0;
+    for _ in 0..5 {
+        let mut stream = TcpStream::connect(addr).expect("shed connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut response = String::new();
+        if stream.read_to_string(&mut response).is_ok() && response.contains("503") {
+            assert!(response.contains("X-Served: shed"), "{response}");
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "full queue must shed with 503");
+    assert!(registry.counter("dircached.shed") >= shed);
+    drop(stall);
+    drop(parked);
+}
+
+#[test]
+fn malformed_input_gets_4xx_and_daemon_survives() {
+    let (daemon, _store) = start_daemon(DaemonConfig::default());
+    let addr = daemon.local_addr();
+
+    for (bytes, expect) in [
+        (b"POST /tor/status HTTP/1.0\r\n\r\n".to_vec(), "400"),
+        (b"GET /bogus HTTP/1.0\r\n\r\n".to_vec(), "404"),
+        (vec![0xFFu8; 64_000], "414"),
+        (b"\r\n\r\n".to_vec(), "400"),
+    ] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        // The daemon may answer (and close) before a huge write finishes.
+        let _ = stream.write_all(&bytes);
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(
+            response.contains(expect),
+            "expected {expect} for {} bytes, got {response:?}",
+            bytes.len()
+        );
+    }
+
+    // After all that abuse, a well-formed request still works.
+    let mut stream = TcpStream::connect(addr).expect("connect after abuse");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    stream
+        .write_all(DocRequest::Status.encode().as_bytes())
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+}
+
+#[test]
+fn publish_churn_during_load_never_tears_responses() {
+    let (daemon, store) = start_daemon(DaemonConfig::default());
+    let addr = daemon.local_addr();
+
+    let churner = {
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let docs = consensus_series(&DocSetConfig {
+                seed: 99,
+                relays: 120,
+                history: 8,
+                churn_per_hour: 8,
+            });
+            for doc in docs {
+                store.publish(doc);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    // Hammer the consensus path while documents churn underneath; every
+    // response must be complete (Content-Length honoured) and verified
+    // against its declared digest where it names one.
+    let timeout = Duration::from_secs(2);
+    for round in 0..120 {
+        let history = fetch_history(&addr, timeout).expect("digest index");
+        let base = history.get(1).copied();
+        let request = if round % 2 == 0 {
+            DocRequest::Consensus { base }
+        } else {
+            DocRequest::Descriptors { base }
+        };
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(timeout)).unwrap();
+        stream
+            .write_all(request.encode().as_bytes())
+            .expect("write");
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).expect("read");
+        let head = partialtor_dircached::proto::parse_response_head(&buf).expect("head parses");
+        assert_eq!(head.status, 200);
+        assert_eq!(
+            buf.len() - head.body_start,
+            head.content_length,
+            "body must match Content-Length exactly (round {round}, {})",
+            head.served
+        );
+    }
+    churner.join().expect("churner");
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the wire protocol: whatever bytes arrive,
+//! the parser answers with a routed request, `NeedMore`, or a clean
+//! 4xx — never a panic — and every request the generator can encode
+//! round-trips exactly.
+
+use partialtor_crypto::Digest32;
+use partialtor_dircached::proto::{
+    parse_request, parse_response_head, DocRequest, Parsed, ResponseHead, MAX_REQUEST_BYTES,
+};
+use proptest::prelude::*;
+
+fn digest_from(bytes: &[u8]) -> Digest32 {
+    partialtor_crypto::sha256::digest(bytes)
+}
+
+fn request_from(shape: u8, tag: u8, with_base: bool) -> DocRequest {
+    let base = with_base.then(|| digest_from(&[tag]));
+    match shape % 6 {
+        0 => DocRequest::Consensus { base },
+        1 => DocRequest::ConsensusDiff {
+            base: digest_from(&[tag]),
+        },
+        2 => DocRequest::Descriptors { base },
+        3 => DocRequest::Digests,
+        4 => DocRequest::Status,
+        _ => DocRequest::Metrics,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every encodable request parses back to itself, consuming exactly
+    /// the bytes the encoder produced — even with trailing garbage in
+    /// the buffer.
+    #[test]
+    fn every_request_round_trips(
+        shape in 0u8..6,
+        tag in any::<u8>(),
+        with_base in any::<bool>(),
+        trailing in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let request = request_from(shape, tag, with_base);
+        let encoded = request.encode();
+        let mut buf = encoded.clone().into_bytes();
+        buf.extend_from_slice(&trailing);
+        match parse_request(&buf) {
+            Parsed::Request(parsed, consumed) => {
+                prop_assert_eq!(parsed, request);
+                prop_assert_eq!(consumed, encoded.len());
+            }
+            other => prop_assert!(false, "must parse: {:?}", other),
+        }
+    }
+
+    /// Arbitrary bytes never panic the parser; they resolve to a
+    /// request, a wait-for-more, or a 4xx close.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match parse_request(&bytes) {
+            Parsed::Request(..) | Parsed::NeedMore => {}
+            Parsed::Bad(status) => prop_assert!(
+                (400..500).contains(&status),
+                "malformed input maps to 4xx, got {}",
+                status
+            ),
+        }
+    }
+
+    /// Every strict prefix of a valid request is `NeedMore` — truncated
+    /// reads are waited out, not misparsed.
+    #[test]
+    fn truncations_always_need_more(
+        shape in 0u8..6,
+        tag in any::<u8>(),
+        with_base in any::<bool>(),
+        fraction in 0.0f64..1.0,
+    ) {
+        let encoded = request_from(shape, tag, with_base).encode();
+        let cut = ((encoded.len() - 1) as f64 * fraction) as usize;
+        prop_assert_eq!(parse_request(&encoded.as_bytes()[..cut]), Parsed::NeedMore);
+    }
+
+    /// A request line that grows past the cap without terminating is a
+    /// clean 414, however it is padded.
+    #[test]
+    fn oversized_requests_close_with_414(pad in any::<u8>(), extra in 0usize..256) {
+        let filler = vec![pad.clamp(b'a', b'z'); MAX_REQUEST_BYTES + extra];
+        let mut line = b"GET /".to_vec();
+        line.extend_from_slice(&filler);
+        prop_assert_eq!(parse_request(&line), Parsed::Bad(414));
+    }
+
+    /// Response heads round-trip through the client-side parser for any
+    /// status/label/length the daemon can emit.
+    #[test]
+    fn response_heads_round_trip(
+        status_index in 0usize..5,
+        served_index in 0usize..8,
+        body_len in 0usize..1_000_000,
+        with_digest in any::<bool>(),
+        tag in any::<u8>(),
+    ) {
+        let status = [200u16, 400, 404, 414, 503][status_index];
+        let served = [
+            "full", "diff", "descriptors", "descriptors_delta",
+            "digests", "status", "metrics", "shed",
+        ][served_index];
+        let head = ResponseHead {
+            status,
+            served,
+            digest: with_digest.then(|| digest_from(&[tag])),
+            body_len,
+        };
+        let bytes = head.encode().into_bytes();
+        let parsed = parse_response_head(&bytes).expect("own head must parse");
+        prop_assert_eq!(parsed.status, status);
+        prop_assert_eq!(parsed.served, served);
+        prop_assert_eq!(parsed.digest, head.digest);
+        prop_assert_eq!(parsed.content_length, body_len);
+        prop_assert_eq!(parsed.body_start, bytes.len());
+    }
+}

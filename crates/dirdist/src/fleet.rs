@@ -116,6 +116,29 @@ pub struct RegionHourSlice {
     pub request_bytes: u64,
 }
 
+/// One realized refresh flow this hour: `count` clients moved from
+/// consensus `from_version` to `to_version` (and were served the
+/// corresponding consensus response plus churned descriptors). The
+/// exact diff-base mix a serving-path replay needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct FetchTransition {
+    /// Consensus version the clients held before the fetch.
+    pub from_version: usize,
+    /// Version they fetched (the newest cached at the time).
+    pub to_version: usize,
+    /// Clients that made this move (post-budget: actually served).
+    pub count: u64,
+}
+
+/// Successful bootstraps onto one consensus version this hour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct VersionCount {
+    /// Version the bootstrapping clients landed on.
+    pub version: usize,
+    /// Clients served the full document set for it.
+    pub count: u64,
+}
+
 /// One hour of client-visible outcomes.
 #[derive(Clone, Debug, Serialize)]
 pub struct FleetHourRow {
@@ -145,6 +168,13 @@ pub struct FleetHourRow {
     /// Request-side and failed-probe bytes clients pushed at the tier
     /// this hour — the retry-storm traffic.
     pub request_bytes: u64,
+    /// Exact realized refresh flows, sorted by (from, to); counts sum
+    /// to `refresh_fetches`. Passive accounting — recording it draws no
+    /// randomness.
+    pub refresh_transitions: Vec<FetchTransition>,
+    /// Exact successful-bootstrap counts per target version, sorted;
+    /// counts sum to `bootstrap_successes`.
+    pub bootstrap_targets: Vec<VersionCount>,
     /// Per-region slices (one per cohort; integer fields sum to the
     /// aggregates above).
     pub regions: Vec<RegionHourSlice>,
@@ -381,6 +411,8 @@ impl FleetSim {
         let steps = (3_600.0 / dt).ceil() as u64;
 
         let mut scratch: Vec<HourScratch> = vec![HourScratch::default(); self.cohorts.len()];
+        let mut transitions: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        let mut bootstrap_targets: BTreeMap<usize, u64> = BTreeMap::new();
         let mut hour_egress_full = 0u64;
         let mut hour_dead_sum = 0.0;
         let mut hour_stale_sum = 0.0;
@@ -461,6 +493,7 @@ impl FleetSim {
                         }
                         *cohort.holding.get_mut(&v).expect("cohort exists") -= movers;
                         *cohort.holding.entry(target).or_insert(0) += movers;
+                        *transitions.entry((v, target)).or_insert(0) += movers;
                         scratch.refreshes += movers;
                         scratch.egress += movers * consensus.bytes;
                         hour_egress_full += movers * table.full_bytes(DocClass::Consensus, target);
@@ -494,6 +527,9 @@ impl FleetSim {
                         let served = serveable(&budget_left, attempts, bytes + desc_bytes);
                         cohort.pool -= served;
                         *cohort.holding.entry(target).or_insert(0) += served;
+                        if served > 0 {
+                            *bootstrap_targets.entry(target).or_insert(0) += served;
+                        }
                         scratch.successes += served;
                         self.total_successes += served;
                         scratch.egress += served * bytes;
@@ -587,6 +623,18 @@ impl FleetSim {
             cache_egress_full_only_bytes: hour_egress_full,
             descriptor_egress_bytes: sum(|s| s.desc_egress),
             request_bytes: sum(|s| s.request),
+            refresh_transitions: transitions
+                .into_iter()
+                .map(|((from_version, to_version), count)| FetchTransition {
+                    from_version,
+                    to_version,
+                    count,
+                })
+                .collect(),
+            bootstrap_targets: bootstrap_targets
+                .into_iter()
+                .map(|(version, count)| VersionCount { version, count })
+                .collect(),
             regions,
         };
         self.egress += row.cache_egress_bytes;

@@ -77,6 +77,7 @@
 pub mod cachesim;
 pub mod churn;
 pub mod docmodel;
+pub mod fetchmix;
 pub mod fleet;
 pub mod placement;
 pub mod session;
@@ -91,17 +92,19 @@ pub use churn::ChurnSchedule;
 pub use docmodel::{
     consensus_size_bytes, descriptors_size_bytes, DocClass, DocModel, DocTable, ResponseSize,
 };
+pub use fetchmix::{BootstrapClass, FetchMix, RefreshClass};
 pub use fleet::{
-    FleetConfig, FleetHourEgress, FleetHourRow, FleetReport, FleetSim, RegionHourSlice,
-    RegionSummary,
+    FetchTransition, FleetConfig, FleetHourEgress, FleetHourRow, FleetReport, FleetSim,
+    RegionHourSlice, RegionSummary, VersionCount,
 };
 pub use placement::{
     client_weighted_latency_ms, cohort_fetch_latency_ms, region_label, serving_caches,
     CachePlacement, ClientRegions,
 };
 pub use session::{
-    AlertNote, CohortPlacement, DistSession, FeedbackSummary, HourInput, HourReport,
-    LatencySummary, PlacementSummary, RegionCacheCount, TelemetrySummary, TierHourTraffic,
+    per_cache_service_budget_bytes, AlertNote, CohortPlacement, DistSession, FeedbackSummary,
+    HourInput, HourReport, LatencySummary, PlacementSummary, RegionCacheCount, TelemetrySummary,
+    TierHourTraffic,
 };
 pub use timeline::{ConsensusTimeline, Publication};
 

@@ -237,6 +237,17 @@ pub struct FeedbackSummary {
     pub peak_cache_bg_bps: f64,
 }
 
+/// The payload *one* directory cache can serve clients in one hour,
+/// bytes: its uplink rate minus the background load already charged to
+/// it, integrated over the hour. This is the per-cache service-budget
+/// *assumption* every simulated number rests on — exported so the real
+/// serving path (`partialtor-dircached`'s `dirload --budget-check`) can
+/// measure a daemon's achieved bytes/hour on real sockets and print the
+/// ratio against it.
+pub fn per_cache_service_budget_bytes(cache_bps: f64, cache_bg_bps: f64) -> u64 {
+    ((cache_bps - cache_bg_bps).max(0.0) / 8.0 * 3_600.0) as u64
+}
+
 /// The payload the cache tier can still serve clients in one hour,
 /// bytes: the cache uplinks' aggregate capacity minus the background
 /// load already charged to them. This is the second half of the closed
@@ -247,6 +258,9 @@ fn service_budget_bytes(
     cache_config: &CacheSimConfig,
     cache_bg_bps: f64,
 ) -> u64 {
+    // Kept as one float expression (not n_caches × the per-cache
+    // helper): the truncation order here is pinned by feedback-on
+    // session results.
     let per_link = (cache_config.cache_bps - cache_bg_bps).max(0.0);
     (per_link / 8.0 * 3_600.0 * config.n_caches as f64) as u64
 }
@@ -582,6 +596,23 @@ impl DistSession {
     /// The grown document table.
     pub fn table(&self) -> &DocTable {
         &self.table
+    }
+
+    /// The realized fetch mix of one processed hour — the distribution
+    /// `dirload` replays against a real daemon. `None` until the hour
+    /// has been stepped.
+    pub fn fetch_mix(&self, hour: u64) -> Option<crate::FetchMix> {
+        self.hour_reports
+            .get(hour as usize)
+            .map(|report| crate::FetchMix::from_row(&report.fleet, &self.table, &self.publications))
+    }
+
+    /// The fetch mixes of every hour processed so far (hour 0 first).
+    pub fn fetch_mixes(&self) -> Vec<crate::FetchMix> {
+        self.hour_reports
+            .iter()
+            .map(|report| crate::FetchMix::from_row(&report.fleet, &self.table, &self.publications))
+            .collect()
     }
 
     /// The session's placement summary (strategy, cache counts, cohort

@@ -126,6 +126,22 @@ pub enum TraceEvent {
         /// Rendered alert message.
         message: String,
     },
+    /// The `dircached` serving daemon answered (or shed) one client
+    /// request on a real socket. `at_secs` is wall-clock seconds since
+    /// the daemon started — the one event family whose clock is not
+    /// simulated.
+    HttpRequest {
+        /// Wall-clock seconds since daemon start.
+        at_secs: f64,
+        /// HTTP status sent (200, 400, 404, 414, 503).
+        status: u64,
+        /// What was served (`"full"`, `"diff"`, `"descriptors"`,
+        /// `"descriptors_delta"`, `"digests"`, `"status"`,
+        /// `"metrics"`, `"error"`, `"shed"`).
+        served: &'static str,
+        /// Body bytes written.
+        bytes: u64,
+    },
     /// End-of-hour roll-up of a distribution-session hour.
     HourSummary {
         /// Session hour.
@@ -155,6 +171,7 @@ impl TraceEvent {
             TraceEvent::LinkWindow { .. } => "link_window",
             TraceEvent::BlocklistTrigger { .. } => "blocklist_trigger",
             TraceEvent::HealthAlert { .. } => "health_alert",
+            TraceEvent::HttpRequest { .. } => "http_request",
             TraceEvent::HourSummary { .. } => "hour_summary",
         }
     }
@@ -242,6 +259,17 @@ impl TraceEvent {
                 ("severity", Str((*severity).to_string())),
                 ("alert", Str(kind.clone())),
                 ("message", Str(message.clone())),
+            ],
+            TraceEvent::HttpRequest {
+                at_secs,
+                status,
+                served,
+                bytes,
+            } => vec![
+                ("at_secs", F64(*at_secs)),
+                ("status", U64(*status)),
+                ("served", Str((*served).to_string())),
+                ("bytes", U64(*bytes)),
             ],
             TraceEvent::HourSummary {
                 hour,
@@ -450,6 +478,12 @@ mod tests {
                 severity: "CRITICAL",
                 kind: "consensus_failure".to_string(),
                 message: "no valid consensus".to_string(),
+            },
+            TraceEvent::HttpRequest {
+                at_secs: 1.25,
+                status: 200,
+                served: "diff",
+                bytes: 50_000,
             },
             TraceEvent::HourSummary {
                 hour: 2,

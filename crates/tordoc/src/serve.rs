@@ -36,6 +36,61 @@ impl Served<'_> {
     pub fn is_diff(&self) -> bool {
         matches!(self, Served::Diff(_))
     }
+
+    /// Clones the response out of the store so the borrow (and any lock
+    /// guarding the store) can be released before the payload is
+    /// encoded and written — the handoff a threaded serving daemon
+    /// needs: lock, [`DiffStore::serve`], `into_owned`, unlock, then
+    /// encode and send on a worker's own time.
+    pub fn into_owned(self) -> ServedOwned {
+        match self {
+            Served::Full(c) => ServedOwned::Full(c.clone()),
+            Served::Diff(d) => ServedOwned::Diff(d.clone()),
+        }
+    }
+}
+
+/// An owned [`Served`]: the same response, detached from the store's
+/// lifetime. Produced by [`Served::into_owned`].
+#[derive(Clone, Debug)]
+pub enum ServedOwned {
+    /// The full latest document.
+    Full(Consensus),
+    /// A diff from a retained predecessor to the latest document.
+    Diff(ConsensusDiff),
+}
+
+impl ServedOwned {
+    /// Bytes this response occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ServedOwned::Full(c) => c.wire_size(),
+            ServedOwned::Diff(d) => d.wire_size(),
+        }
+    }
+
+    /// Whether the response is a diff.
+    pub fn is_diff(&self) -> bool {
+        matches!(self, ServedOwned::Diff(_))
+    }
+
+    /// Canonical text encoding of the payload (the bytes a serving
+    /// daemon puts in a response body).
+    pub fn encode(&self) -> String {
+        match self {
+            ServedOwned::Full(c) => c.encode(),
+            ServedOwned::Diff(d) => d.encode(),
+        }
+    }
+
+    /// Digest of the document this response yields: the served document
+    /// itself for a full response, the diff's target for a diff.
+    pub fn target_digest(&self) -> Digest32 {
+        match self {
+            ServedOwned::Full(c) => c.digest(),
+            ServedOwned::Diff(d) => d.to_digest,
+        }
+    }
 }
 
 /// A serving store: the latest consensus, a bounded history of
@@ -223,6 +278,78 @@ mod tests {
         store.publish(consensus_at(12, 40, 3_600));
         let stranger = consensus_at(99, 40, 3_600).digest();
         assert!(!store.serve(Some(&stranger)).unwrap().is_diff());
+    }
+
+    /// The serving-daemon handoff pin: many threads serving under
+    /// publish churn, each taking `serve(..).into_owned()` inside the
+    /// lock and verifying on its own time, never see a torn diff —
+    /// every served diff applies cleanly to its claimed base and lands
+    /// on a digest that was actually published.
+    #[test]
+    fn concurrent_serves_under_publish_churn_never_tear() {
+        use std::collections::BTreeSet;
+        use std::sync::{Arc, Mutex};
+
+        let mut docs = vec![consensus_at(21, 80, 3_600)];
+        for hour in 1..20u64 {
+            docs.push(churned(docs.last().unwrap(), 1, 3_600 * (hour + 1)));
+        }
+        let digests: Vec<Digest32> = docs.iter().map(Consensus::digest).collect();
+        let valid: BTreeSet<Digest32> = digests.iter().copied().collect();
+        let bases = Arc::new(docs.clone());
+
+        let store = Arc::new(Mutex::new(DiffStore::new(3)));
+        store.lock().unwrap().publish(docs[0].clone());
+
+        let publisher = {
+            let store = Arc::clone(&store);
+            let docs = docs.clone();
+            std::thread::spawn(move || {
+                for doc in docs.into_iter().skip(1) {
+                    store.lock().unwrap().publish(doc);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let servers: Vec<_> = (0..4u64)
+            .map(|worker| {
+                let store = Arc::clone(&store);
+                let bases = Arc::clone(&bases);
+                let digests = digests.clone();
+                let valid = valid.clone();
+                std::thread::spawn(move || {
+                    let mut diffs_seen = 0u64;
+                    for round in 0..400u64 {
+                        let index = ((worker * 131 + round * 7) % digests.len() as u64) as usize;
+                        let owned = {
+                            let guard = store.lock().unwrap();
+                            guard.serve(Some(&digests[index])).map(Served::into_owned)
+                        };
+                        // Lock released — verification races the publisher.
+                        match owned {
+                            Some(ServedOwned::Diff(diff)) => {
+                                assert_eq!(diff.from_digest, digests[index]);
+                                let rebuilt =
+                                    diff.apply(&bases[index]).expect("served diff applies");
+                                assert!(
+                                    valid.contains(&rebuilt.digest()),
+                                    "diff target must be a published document"
+                                );
+                                diffs_seen += 1;
+                            }
+                            Some(ServedOwned::Full(doc)) => {
+                                assert!(valid.contains(&doc.digest()));
+                            }
+                            None => unreachable!("store is never empty here"),
+                        }
+                    }
+                    diffs_seen
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        let diffs: u64 = servers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(diffs > 0, "the race must actually exercise diff serving");
     }
 
     #[test]
