@@ -1,0 +1,89 @@
+//! Benchmarks of the defense subsystem feeding the cost-of-denial
+//! frontier: plan normalization, lowering onto the distribution config,
+//! reactive campaign filtering, and one full attacker best-response
+//! search at a deliberately small scale (the unit of work the frontier
+//! sweep repeats per short-listed defense).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use partialtor::adversary::AttackPlan;
+use partialtor::defense::{DefenseLever, DefensePlan};
+use partialtor::experiments::frontier::{self, FrontierParams};
+use partialtor_dirdist::{CachePlacement, DistConfig};
+use partialtor_obs::Tracer;
+use std::hint::black_box;
+
+/// Every lever once, split into redundant pieces — the shape of a
+/// mid-search candidate before normalization merges it.
+fn lever_pile() -> Vec<DefenseLever> {
+    vec![
+        DefenseLever::Blocklist { trigger_hours: 6 },
+        DefenseLever::AddCaches {
+            count: 5,
+            placement: CachePlacement::ClientWeighted,
+        },
+        DefenseLever::AddCaches {
+            count: 3,
+            placement: CachePlacement::ClientWeighted,
+        },
+        DefenseLever::ExtendLifetime {
+            extra_valid_secs: 10_800,
+        },
+        DefenseLever::RateLimit {
+            interval_scale: 2.0,
+        },
+        DefenseLever::Detector { trigger_hours: 3 },
+        DefenseLever::Blocklist { trigger_hours: 3 },
+    ]
+}
+
+fn bench_plan_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defense_plan");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("normalize_7_levers", |b| {
+        b.iter(|| black_box(DefensePlan::new(black_box(lever_pile()))))
+    });
+
+    let plan = DefensePlan::new(lever_pile());
+    let base = DistConfig {
+        clients: 50_000,
+        n_caches: 20,
+        ..DistConfig::default()
+    };
+    group.bench_function("lower_every_lever", |b| {
+        b.iter(|| black_box(plan.lower(black_box(&base))))
+    });
+
+    let campaign = AttackPlan::five_of_nine().sustained_hourly(24);
+    group.bench_function("effective_attack_24h_five_of_nine", |b| {
+        b.iter(|| black_box(plan.effective_attack(black_box(&campaign), &Tracer::disabled())))
+    });
+    group.finish();
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    // One defense budget → one triage pass plus one full attacker beam
+    // search, at a scale where the protocol memo dominates.
+    group.bench_function("best_response_small", |b| {
+        b.iter(|| {
+            let params = FrontierParams {
+                defense_budgets: vec![0.0],
+                attack_budget_usd_month: 55.0,
+                target_downtime: 0.80,
+                hours: 6,
+                beam: 1,
+                clients: 2_000,
+                caches: 4,
+                relays: 500,
+                seed: 1,
+            };
+            black_box(frontier::run_experiment(&params))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_ops, bench_best_response);
+criterion_main!(benches);

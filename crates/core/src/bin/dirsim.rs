@@ -10,6 +10,9 @@
 //!                  [--seed N] [--feedback] [--churn C|weekly] [--real-docs] [--json]
 //! dirsim adversary [--budget USD] [--hours H] [--beam K] [--clients N]
 //!                  [--caches K] [--relays N] [--seed N] [--defender H] [--json]
+//! dirsim frontier  [--defense-budget-grid USD,..] [--attack-budget USD]
+//!                  [--target FRAC] [--hours H] [--beam K] [--clients N]
+//!                  [--caches K] [--relays N] [--seed N] [--json]
 //! dirsim placement [--clients N] [--hours H] [--caches K] [--relays N]
 //!                  [--seed N] [--greedy N] [--brownout REGION] [--json]
 //! dirsim cost      [--targets K] [--flood MBPS] [--minutes M]
@@ -31,7 +34,7 @@
 use partialtor::adversary::{AttackPlan, AttackWindow, Target};
 use partialtor::attack::AttackCostModel;
 use partialtor::calibration::ATTACK_FLOOD_MBPS;
-use partialtor::experiments::{adversary, clients, placement};
+use partialtor::experiments::{adversary, clients, frontier, placement};
 use partialtor::json::Json;
 use partialtor::monitor;
 use partialtor::protocols::ProtocolKind;
@@ -686,6 +689,65 @@ fn cmd_adversary(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
     Ok(())
 }
 
+const FRONTIER_SPEC: &[FlagSpec] = &[
+    value_flag(
+        "--defense-budget-grid",
+        "USD,..",
+        "defense budgets to sweep, $/month (default 0,15,30,60,120)",
+    ),
+    value_flag(
+        "--attack-budget",
+        "USD",
+        "attacker budget, $/month (default 120)",
+    ),
+    value_flag(
+        "--target",
+        "FRAC",
+        "client-weighted downtime that counts as denial (default 0.8)",
+    ),
+    value_flag("--hours", "H", "scored horizon, hours (default 24)"),
+    value_flag("--beam", "K", "beam width, both sides (default 2)"),
+    value_flag("--clients", "N", "scoring fleet size (default 200000)"),
+    value_flag("--caches", "K", "directory caches (default 50)"),
+    RELAYS_FLAG,
+    SEED_FLAG,
+    JSON_FLAG,
+];
+
+fn cmd_frontier(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
+    let defaults = frontier::FrontierParams::default();
+    let defense_budgets = match args.values.get("--defense-budget-grid") {
+        None => defaults.defense_budgets.clone(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim().parse::<f64>().map_err(|_| {
+                    format!("--defense-budget-grid expects comma-separated dollars, got {raw:?}")
+                })
+            })
+            .collect::<Result<Vec<f64>, String>>()?,
+    };
+    let params = frontier::FrontierParams {
+        defense_budgets,
+        attack_budget_usd_month: args.f64("--attack-budget", defaults.attack_budget_usd_month)?,
+        target_downtime: args.f64("--target", defaults.target_downtime)?,
+        hours: args.u64("--hours", defaults.hours)?,
+        beam: args.u64("--beam", defaults.beam as u64)? as usize,
+        clients: args.u64("--clients", defaults.clients)?,
+        caches: args.u64("--caches", defaults.caches as u64)? as usize,
+        relays: args.u64("--relays", defaults.relays)?,
+        seed: args.u64("--seed", defaults.seed)?,
+    };
+    let result = frontier::run_experiment_traced(&params, &telemetry.tracer);
+    telemetry.metrics = frontier::to_json(&result);
+    if args.present("--json") {
+        println!("{}", telemetry.metrics.render());
+    } else {
+        print!("{}", frontier::render(&result));
+    }
+    Ok(())
+}
+
 const PLACEMENT_SPEC: &[FlagSpec] = &[
     value_flag("--clients", "N", "client fleet size (default 200000)"),
     value_flag("--hours", "H", "attacked hours simulated (default 24)"),
@@ -738,12 +800,13 @@ fn cmd_placement(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: dirsim <run|attack|sweep|clients|adversary|placement|cost|monitor> [options]
+    "usage: dirsim <run|attack|sweep|clients|adversary|frontier|placement|cost|monitor> [options]
   run       one protocol run
   attack    one run under a bandwidth-DDoS window set
   sweep     latency across a bandwidth grid
   clients   client-visible availability through the distribution layer
   adversary budget-constrained strategy search over authorities + caches
+  frontier  attacker-defender co-evolution: the cost-of-denial frontier
   placement geographic cache-placement sweep + greedy placement search
   cost      the §4.3 DDoS-for-hire price arithmetic
   monitor   run all three protocols through the bandwidth monitor
@@ -779,6 +842,12 @@ const SUBCOMMANDS: &[(&str, &str, &[FlagSpec], Handler)] = &[
         "budget-constrained strategy search over authorities + caches",
         ADVERSARY_SPEC,
         cmd_adversary,
+    ),
+    (
+        "frontier",
+        "attacker-defender co-evolution: the cost-of-denial frontier",
+        FRONTIER_SPEC,
+        cmd_frontier,
     ),
     (
         "placement",

@@ -1,0 +1,711 @@
+//! The typed defense model: one mitigation vocabulary for every layer.
+//!
+//! [`DefensePlan`] mirrors [`AttackPlan`]
+//! on the defender's side of the board. Where the attacker composes
+//! flood windows, the defender composes [`DefenseLever`]s:
+//!
+//! * **Blocklist** — the PR 4 [`BlocklistDefender`] absorbed into the
+//!   plan space: after `trigger_hours` *consecutive* attacked hours a
+//!   target's floods are filtered upstream;
+//! * **Added caches** — rent `count` extra directory caches, placed by
+//!   a [`CachePlacement`] strategy, on top of the existing tier;
+//! * **Consensus-lifetime extension** — publish consensuses that stay
+//!   valid `extra_valid_secs` longer, so clients ride out longer
+//!   production outages before going stale;
+//! * **Rate limit** — stretch the fleet's bootstrap-retry and
+//!   refresh-spread intervals by `interval_scale`, damping the §2.1
+//!   retry storms at the cost of slower recovery;
+//! * **Detector** — Danner-style fetch-rate anomaly detection: a
+//!   target whose link shows a saturating flood signature in
+//!   `trigger_hours` *cumulative* (not necessarily consecutive) hours
+//!   is scrubbed from then on — the counter that rotation cannot reset.
+//!
+//! Plans are normalized on construction (duplicate levers merge:
+//! triggers take the minimum, cache counts sum, lifetime extensions and
+//! rate scales take the maximum), so building a plan from its own
+//! [`DefensePlan::levers`] is the identity and cost is invariant under
+//! splitting or reordering levers — the same contract
+//! `AttackPlan` gives the attacker's side, and what the frontier search
+//! relies on when it dedups candidate defenses.
+//!
+//! Each lever prices in $/month through [`DefenseCostModel`] (the same
+//! shape as the attacker's
+//! [`StressorPricing`](crate::attack::StressorPricing) arithmetic),
+//! lowers onto
+//! the distribution layer through [`DefensePlan::lower`] (a
+//! [`DistConfig`] transformer), and reacts to a campaign through
+//! [`DefensePlan::effective_attack`] (an
+//! [`AttackPlan`] transformer). Every lowered lever and every reactive
+//! filtering announces itself as a
+//! [`TraceEvent::DefenseAction`], so `--trace` output interleaves the
+//! defender's moves with the attacker's window events.
+
+use crate::adversary::{AttackPlan, AttackWindow, BlocklistDefender, Target};
+use crate::calibration::{AUTHORITY_LINK_BPS, CACHE_LINK_BPS, FLOOD_SATURATION_FRACTION};
+use partialtor_dirdist::{CachePlacement, DistConfig, FetchRateDetector};
+use partialtor_obs::{TraceEvent, Tracer};
+use std::collections::{BTreeMap, BTreeSet};
+
+const HOUR_US: u64 = 3_600_000_000;
+
+/// One mitigation the defender can deploy. Levers are the unit the
+/// frontier search composes; a [`DefensePlan`] is their normalized sum.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DefenseLever {
+    /// Filter a target's floods after this many *consecutive* attacked
+    /// hours (the absorbed [`BlocklistDefender`]).
+    Blocklist {
+        /// Consecutive attacked hours before the filter engages (≥ 1).
+        trigger_hours: u64,
+    },
+    /// Rent `count` extra directory caches placed by `placement`.
+    AddCaches {
+        /// Caches added on top of the configured tier.
+        count: usize,
+        /// Where the added caches live.
+        placement: CachePlacement,
+    },
+    /// Publish consensuses that stay valid this much longer.
+    ExtendLifetime {
+        /// Extra validity lifetime, seconds.
+        extra_valid_secs: u64,
+    },
+    /// Stretch the fleet's fetch intervals by this factor (≥ 1).
+    RateLimit {
+        /// Multiplier on bootstrap-retry and refresh-spread intervals.
+        interval_scale: f64,
+    },
+    /// Scrub a target after this many *cumulative* hours with a
+    /// saturating flood signature on its link.
+    Detector {
+        /// Cumulative flagged hours before the scrubbing engages (≥ 1).
+        trigger_hours: u64,
+    },
+}
+
+/// A normalized set of [`DefenseLever`]s — the defender's counterpart
+/// of [`AttackPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DefensePlan {
+    /// Blocklist trigger, hours (None = lever not deployed).
+    blocklist_trigger_hours: Option<u64>,
+    /// Caches added on top of the configured tier.
+    added_caches: usize,
+    /// Placement of the added caches ([`CachePlacement::Uniform`] when
+    /// none are added).
+    cache_placement: CachePlacement,
+    /// Extra consensus validity, seconds.
+    extra_valid_secs: u64,
+    /// Fleet fetch-interval multiplier (1.0 = lever not deployed).
+    rate_limit_scale: f64,
+    /// Detector trigger, cumulative flagged hours (None = not deployed).
+    detector_trigger_hours: Option<u64>,
+}
+
+impl Default for DefensePlan {
+    fn default() -> Self {
+        DefensePlan::empty()
+    }
+}
+
+impl DefensePlan {
+    /// The do-nothing defense.
+    pub fn empty() -> Self {
+        DefensePlan {
+            blocklist_trigger_hours: None,
+            added_caches: 0,
+            cache_placement: CachePlacement::Uniform,
+            extra_valid_secs: 0,
+            rate_limit_scale: 1.0,
+            detector_trigger_hours: None,
+        }
+    }
+
+    /// Builds a normalized plan from any bag of levers: duplicate
+    /// levers merge (minimum trigger, summed cache counts, maximum
+    /// extension and scale), neutral levers vanish, and lever order
+    /// never matters.
+    pub fn new(levers: Vec<DefenseLever>) -> Self {
+        let mut plan = DefensePlan::empty();
+        // Among AddCaches levers the placement with the smallest label
+        // wins, so merging is order-independent; a plan with no added
+        // caches always resets to the neutral placement.
+        let mut placements: Vec<CachePlacement> = Vec::new();
+        for lever in levers {
+            match lever {
+                DefenseLever::Blocklist { trigger_hours } => {
+                    let t = trigger_hours.max(1);
+                    plan.blocklist_trigger_hours = Some(
+                        plan.blocklist_trigger_hours
+                            .map_or(t, |existing| existing.min(t)),
+                    );
+                }
+                DefenseLever::AddCaches { count, placement } => {
+                    if count > 0 {
+                        plan.added_caches += count;
+                        placements.push(placement);
+                    }
+                }
+                DefenseLever::ExtendLifetime { extra_valid_secs } => {
+                    plan.extra_valid_secs = plan.extra_valid_secs.max(extra_valid_secs);
+                }
+                DefenseLever::RateLimit { interval_scale } => {
+                    plan.rate_limit_scale = plan.rate_limit_scale.max(interval_scale).max(1.0);
+                }
+                DefenseLever::Detector { trigger_hours } => {
+                    let t = trigger_hours.max(1);
+                    plan.detector_trigger_hours = Some(
+                        plan.detector_trigger_hours
+                            .map_or(t, |existing| existing.min(t)),
+                    );
+                }
+            }
+        }
+        if let Some(placement) = placements
+            .into_iter()
+            .min_by(|a, b| a.label().cmp(&b.label()))
+        {
+            plan.cache_placement = placement;
+        }
+        plan
+    }
+
+    /// A single-lever blocklist plan.
+    pub fn blocklist(trigger_hours: u64) -> Self {
+        DefensePlan::new(vec![DefenseLever::Blocklist { trigger_hours }])
+    }
+
+    /// A single-lever added-caches plan.
+    pub fn add_caches(count: usize, placement: CachePlacement) -> Self {
+        DefensePlan::new(vec![DefenseLever::AddCaches { count, placement }])
+    }
+
+    /// A single-lever consensus-lifetime-extension plan.
+    pub fn extend_lifetime(extra_valid_secs: u64) -> Self {
+        DefensePlan::new(vec![DefenseLever::ExtendLifetime { extra_valid_secs }])
+    }
+
+    /// A single-lever rate-limit plan.
+    pub fn rate_limit(interval_scale: f64) -> Self {
+        DefensePlan::new(vec![DefenseLever::RateLimit { interval_scale }])
+    }
+
+    /// A single-lever detector plan.
+    pub fn detector(trigger_hours: u64) -> Self {
+        DefensePlan::new(vec![DefenseLever::Detector { trigger_hours }])
+    }
+
+    /// The plan's levers in canonical order (neutral levers omitted).
+    /// `DefensePlan::new(plan.levers()) == plan` — normalization is
+    /// idempotent.
+    pub fn levers(&self) -> Vec<DefenseLever> {
+        let mut levers = Vec::new();
+        if let Some(trigger_hours) = self.blocklist_trigger_hours {
+            levers.push(DefenseLever::Blocklist { trigger_hours });
+        }
+        if self.added_caches > 0 {
+            levers.push(DefenseLever::AddCaches {
+                count: self.added_caches,
+                placement: self.cache_placement.clone(),
+            });
+        }
+        if self.extra_valid_secs > 0 {
+            levers.push(DefenseLever::ExtendLifetime {
+                extra_valid_secs: self.extra_valid_secs,
+            });
+        }
+        if self.rate_limit_scale > 1.0 {
+            levers.push(DefenseLever::RateLimit {
+                interval_scale: self.rate_limit_scale,
+            });
+        }
+        if let Some(trigger_hours) = self.detector_trigger_hours {
+            levers.push(DefenseLever::Detector { trigger_hours });
+        }
+        levers
+    }
+
+    /// True when no lever is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.levers().is_empty()
+    }
+
+    /// The union of two plans (merged under the normalization rules).
+    pub fn union(&self, other: &DefensePlan) -> Self {
+        let mut levers = self.levers();
+        levers.extend(other.levers());
+        DefensePlan::new(levers)
+    }
+
+    /// Human-readable plan summary, e.g.
+    /// `blocklist@6h + 16 caches (client-weighted) + valid+3h`.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(t) = self.blocklist_trigger_hours {
+            parts.push(format!("blocklist@{t}h"));
+        }
+        if self.added_caches > 0 {
+            parts.push(format!(
+                "{} caches ({})",
+                self.added_caches,
+                self.cache_placement.label()
+            ));
+        }
+        if self.extra_valid_secs > 0 {
+            parts.push(format!("valid+{}h", self.extra_valid_secs as f64 / 3_600.0));
+        }
+        if self.rate_limit_scale > 1.0 {
+            parts.push(format!("rate\u{d7}{}", self.rate_limit_scale));
+        }
+        if let Some(t) = self.detector_trigger_hours {
+            parts.push(format!("detector@{t}h"));
+        }
+        if parts.is_empty() {
+            "no defense".to_string()
+        } else {
+            parts.join(" + ")
+        }
+    }
+
+    /// Monthly cost under `model`, USD.
+    pub fn cost_with(&self, model: &DefenseCostModel) -> f64 {
+        let mut usd = self.added_caches as f64 * model.usd_per_cache_month;
+        if let Some(t) = self.blocklist_trigger_hours {
+            usd += model.blocklist_base_usd_month / t as f64;
+        }
+        if let Some(t) = self.detector_trigger_hours {
+            usd += model.detector_base_usd_month / t as f64;
+        }
+        usd += self.extra_valid_secs as f64 / 3_600.0 * model.usd_per_valid_hour_month;
+        usd += (self.rate_limit_scale - 1.0).max(0.0) * model.rate_limit_usd_month;
+        usd
+    }
+
+    /// Monthly cost under the default [`DefenseCostModel`], USD.
+    pub fn cost_per_month(&self) -> f64 {
+        self.cost_with(&DefenseCostModel::default())
+    }
+
+    /// The *effective* campaign once this defense has reacted: the
+    /// blocklist filters targets after consecutive attacked hours, then
+    /// the detector scrubs targets after cumulative hours with a
+    /// saturating flood signature. The attacker keeps paying for
+    /// filtered floods — cost is a property of the plan, not of its
+    /// effect. Emits one [`TraceEvent::DefenseAction`] per filtered
+    /// target.
+    pub fn effective_attack(&self, plan: &AttackPlan, tracer: &Tracer) -> AttackPlan {
+        let mut effective = plan.clone();
+        if let Some(trigger) = self.blocklist_trigger_hours {
+            // Delegate to the absorbed defender so the PR 4 semantics
+            // (and its pinned tests) stay authoritative, re-announcing
+            // each of its triggers as a defense action.
+            let relay = Tracer::enabled(1 << 10);
+            effective = BlocklistDefender {
+                trigger_hours: trigger,
+            }
+            .apply_traced(&effective, &relay);
+            for event in relay.drain() {
+                if let TraceEvent::BlocklistTrigger { hour, target } = event {
+                    tracer.emit(TraceEvent::BlocklistTrigger {
+                        hour,
+                        target: target.clone(),
+                    });
+                    tracer.emit(TraceEvent::DefenseAction {
+                        action: "blocklist",
+                        hour,
+                        target,
+                    });
+                }
+            }
+        }
+        if let Some(trigger) = self.detector_trigger_hours {
+            effective = detector_filter(&effective, trigger, tracer);
+        }
+        effective
+    }
+
+    /// Threads every distribution-layer lever into a [`DistConfig`]:
+    /// added caches grow the tier (via
+    /// [`CachePlacement::Augmented`] when they are placed differently
+    /// from the base), the lifetime extension lengthens
+    /// `valid_secs`, the rate limit scales the fleet's fetch intervals,
+    /// and the detector arms the session's [`FetchRateDetector`].
+    pub fn lower(&self, base: &DistConfig) -> DistConfig {
+        self.lower_traced(base, &Tracer::disabled())
+    }
+
+    /// [`DefensePlan::lower`], emitting one
+    /// [`TraceEvent::DefenseAction`] per lever it threads.
+    pub fn lower_traced(&self, base: &DistConfig, tracer: &Tracer) -> DistConfig {
+        let mut config = base.clone();
+        if self.added_caches > 0 {
+            config.placement = if base.placement == self.cache_placement {
+                base.placement.clone()
+            } else {
+                CachePlacement::Augmented {
+                    base: Box::new(base.placement.clone()),
+                    base_n: base.n_caches,
+                    added: Box::new(self.cache_placement.clone()),
+                }
+            };
+            config.n_caches = base.n_caches + self.added_caches;
+            tracer.emit(TraceEvent::DefenseAction {
+                action: "add_caches",
+                hour: 0,
+                target: format!(
+                    "tier +{} ({})",
+                    self.added_caches,
+                    self.cache_placement.label()
+                ),
+            });
+        }
+        if self.extra_valid_secs > 0 {
+            config.valid_secs = base.valid_secs + self.extra_valid_secs;
+            tracer.emit(TraceEvent::DefenseAction {
+                action: "extend_lifetime",
+                hour: 0,
+                target: "consensus".to_string(),
+            });
+        }
+        if self.rate_limit_scale > 1.0 {
+            config.fetch_rate_scale = base.fetch_rate_scale.max(1.0) * self.rate_limit_scale;
+            tracer.emit(TraceEvent::DefenseAction {
+                action: "rate_limit",
+                hour: 0,
+                target: "fleet".to_string(),
+            });
+        }
+        if let Some(trigger_hours) = self.detector_trigger_hours {
+            config.detector = Some(FetchRateDetector {
+                trigger_hours,
+                ..FetchRateDetector::default()
+            });
+            tracer.emit(TraceEvent::DefenseAction {
+                action: "detector",
+                hour: 0,
+                target: "tier".to_string(),
+            });
+        }
+        config
+    }
+}
+
+/// True when the window's flood would saturate its victim's link — the
+/// signature the plan-level detector model can see. Sub-saturating
+/// floods stay below the radar (Danner et al.'s detection-hard regime).
+fn detectable(window: &AttackWindow) -> bool {
+    let link_bps = match window.target {
+        Target::Authority(_) => AUTHORITY_LINK_BPS,
+        Target::Cache(_) => CACHE_LINK_BPS,
+    };
+    window.flood_mbps * 1e6 >= FLOOD_SATURATION_FRACTION * link_bps
+}
+
+/// The detector lever as a plan transformer: a target is scrubbed from
+/// the hour after its `trigger`-th *cumulative* hour with a detectable
+/// window — unlike the blocklist's consecutive-hours counter, rotating
+/// the victims does not reset it.
+fn detector_filter(plan: &AttackPlan, trigger: u64, tracer: &Tracer) -> AttackPlan {
+    let trigger = trigger.max(1);
+    let mut flagged: BTreeMap<Target, BTreeSet<u64>> = BTreeMap::new();
+    for w in plan.windows() {
+        if !detectable(w) {
+            continue;
+        }
+        let first = w.start.as_micros() / HOUR_US;
+        let last = (w.end().as_micros().saturating_sub(1)) / HOUR_US;
+        flagged.entry(w.target).or_default().extend(first..=last);
+    }
+    let mut blocked_from: BTreeMap<Target, u64> = BTreeMap::new();
+    for (target, hours) in &flagged {
+        if let Some(&hour) = hours.iter().nth(trigger as usize - 1) {
+            blocked_from.insert(*target, hour + 1);
+        }
+    }
+    for (target, &from) in &blocked_from {
+        tracer.emit(TraceEvent::DefenseAction {
+            action: "detector",
+            hour: from,
+            target: target.to_string(),
+        });
+    }
+    AttackPlan::new(
+        plan.windows()
+            .iter()
+            .filter_map(|w| {
+                let Some(&from) = blocked_from.get(&w.target) else {
+                    return Some(*w);
+                };
+                let cutoff = partialtor_simnet::SimTime::from_micros(from.saturating_mul(HOUR_US));
+                if w.start >= cutoff {
+                    None
+                } else if w.end() <= cutoff {
+                    Some(*w)
+                } else {
+                    // A long window is scrubbed mid-flight.
+                    Some(AttackWindow {
+                        duration: cutoff.since(w.start),
+                        ..*w
+                    })
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Defender-side $/month pricing — the counterpart of the attacker's
+/// [`StressorPricing`](crate::attack::StressorPricing). Reactive levers
+/// price by aggressiveness (a faster trigger costs more operator
+/// attention and more false-positive fallout), structural levers by
+/// rental and risk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DefenseCostModel {
+    /// Renting one directory cache, $/month — the same arithmetic the
+    /// attacker's stressor budget uses for flood capacity, pointed the
+    /// other way.
+    pub usd_per_cache_month: f64,
+    /// Operating the blocklist at a 1-hour trigger, $/month; an
+    /// `h`-hour trigger costs `1/h` of it.
+    pub blocklist_base_usd_month: f64,
+    /// Operating the anomaly detector at a 1-hour trigger, $/month;
+    /// an `h`-hour trigger costs `1/h` of it.
+    pub detector_base_usd_month: f64,
+    /// Each extra hour of consensus validity, $/month — priced as risk:
+    /// a longer-lived consensus is a longer window for a compromised
+    /// relay set to stay routable.
+    pub usd_per_valid_hour_month: f64,
+    /// Each unit of fetch-interval stretch beyond 1×, $/month — priced
+    /// as client experience: slower bootstrap and staler clients.
+    pub rate_limit_usd_month: f64,
+}
+
+impl Default for DefenseCostModel {
+    fn default() -> Self {
+        DefenseCostModel {
+            usd_per_cache_month: 5.0,
+            blocklist_base_usd_month: 180.0,
+            detector_base_usd_month: 120.0,
+            usd_per_valid_hour_month: 10.0,
+            rate_limit_usd_month: 15.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::ATTACK_FLOOD_MBPS;
+    use partialtor_simnet::{SimDuration, SimTime};
+
+    fn rotating(hours: u64) -> AttackPlan {
+        let targets: Vec<Target> = (0..9).map(Target::Authority).collect();
+        AttackPlan::rotate(
+            &targets,
+            SimDuration::from_secs(3_600),
+            SimDuration::from_secs(300),
+            ATTACK_FLOOD_MBPS,
+            hours,
+        )
+        .shifted(3_600)
+    }
+
+    #[test]
+    fn normalization_merges_levers_and_drops_neutral_ones() {
+        let plan = DefensePlan::new(vec![
+            DefenseLever::Blocklist { trigger_hours: 6 },
+            DefenseLever::Blocklist { trigger_hours: 3 },
+            DefenseLever::AddCaches {
+                count: 5,
+                placement: CachePlacement::ClientWeighted,
+            },
+            DefenseLever::AddCaches {
+                count: 3,
+                placement: CachePlacement::ClientWeighted,
+            },
+            DefenseLever::AddCaches {
+                count: 0,
+                placement: CachePlacement::Spread,
+            },
+            DefenseLever::RateLimit {
+                interval_scale: 0.5,
+            },
+            DefenseLever::ExtendLifetime {
+                extra_valid_secs: 3_600,
+            },
+            DefenseLever::ExtendLifetime {
+                extra_valid_secs: 7_200,
+            },
+        ]);
+        assert_eq!(
+            plan,
+            DefensePlan::blocklist(3)
+                .union(&DefensePlan::add_caches(8, CachePlacement::ClientWeighted))
+                .union(&DefensePlan::extend_lifetime(7_200))
+        );
+        // The sub-1 rate limit is neutral and vanished.
+        assert_eq!(plan.levers().len(), 3);
+        // Round trip: a plan rebuilt from its own levers is itself.
+        assert_eq!(DefensePlan::new(plan.levers()), plan);
+        assert!(DefensePlan::empty().is_empty());
+        assert_eq!(DefensePlan::empty().label(), "no defense");
+        assert_eq!(
+            plan.label(),
+            "blocklist@3h + 8 caches (client-weighted) + valid+2h"
+        );
+    }
+
+    #[test]
+    fn the_absorbed_blocklist_matches_the_legacy_defender_exactly() {
+        let static_plan = AttackPlan::five_of_nine().sustained_hourly(8);
+        let rotating_plan = rotating(8);
+        for plan in [&static_plan, &rotating_plan] {
+            for trigger in [1, 3, 6] {
+                assert_eq!(
+                    DefensePlan::blocklist(trigger).effective_attack(plan, &Tracer::disabled()),
+                    BlocklistDefender {
+                        trigger_hours: trigger
+                    }
+                    .apply(plan),
+                    "trigger {trigger}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_detector_counts_cumulative_hours_so_rotation_does_not_escape() {
+        let plan = rotating(9);
+        // Rotating one-auth-per-hour floods: each authority is flooded
+        // in exactly one hour, so a consecutive-hours blocklist at 2
+        // filters nothing...
+        assert_eq!(
+            DefensePlan::blocklist(2).effective_attack(&plan, &Tracer::disabled()),
+            plan
+        );
+        // ...but a sustained rotating campaign over 36 hours floods each
+        // authority in 4 separate hours, and the cumulative detector at
+        // 3 scrubs every one of them after its third appearance —
+        // dropping each victim's fourth window.
+        let sustained = rotating(36);
+        let tracer = Tracer::enabled(1 << 10);
+        let scrubbed = DefensePlan::detector(3).effective_attack(&sustained, &tracer);
+        assert!(
+            scrubbed.windows().len() < sustained.windows().len(),
+            "the detector must filter repeat offenders: {} vs {}",
+            scrubbed.windows().len(),
+            sustained.windows().len()
+        );
+        let actions = tracer.drain();
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|e| matches!(
+                    e,
+                    TraceEvent::DefenseAction {
+                        action: "detector",
+                        ..
+                    }
+                ))
+                .count(),
+            9,
+            "every rotated victim is eventually scrubbed"
+        );
+        // Sub-saturating floods stay below the radar.
+        let quiet = AttackPlan::new(vec![AttackWindow::new(
+            Target::Authority(0),
+            SimTime::ZERO,
+            SimDuration::from_secs(3_600 * 24),
+            100.0,
+        )]);
+        assert_eq!(
+            DefensePlan::detector(1).effective_attack(&quiet, &Tracer::disabled()),
+            quiet
+        );
+    }
+
+    #[test]
+    fn costs_follow_the_model_and_are_invariant_under_lever_splits() {
+        let model = DefenseCostModel::default();
+        assert_eq!(DefensePlan::empty().cost_per_month(), 0.0);
+        assert_eq!(DefensePlan::blocklist(6).cost_with(&model), 30.0);
+        assert_eq!(DefensePlan::detector(3).cost_with(&model), 40.0);
+        assert_eq!(
+            DefensePlan::add_caches(8, CachePlacement::ClientWeighted).cost_with(&model),
+            40.0
+        );
+        assert_eq!(
+            DefensePlan::extend_lifetime(3 * 3_600).cost_with(&model),
+            30.0
+        );
+        assert_eq!(DefensePlan::rate_limit(2.0).cost_with(&model), 15.0);
+        let split = DefensePlan::add_caches(3, CachePlacement::ClientWeighted)
+            .union(&DefensePlan::add_caches(5, CachePlacement::ClientWeighted));
+        assert_eq!(
+            split.cost_with(&model),
+            DefensePlan::add_caches(8, CachePlacement::ClientWeighted).cost_with(&model)
+        );
+    }
+
+    #[test]
+    fn lowering_threads_every_lever_into_the_dist_config() {
+        let plan = DefensePlan::new(vec![
+            DefenseLever::AddCaches {
+                count: 16,
+                placement: CachePlacement::ClientWeighted,
+            },
+            DefenseLever::ExtendLifetime {
+                extra_valid_secs: 7_200,
+            },
+            DefenseLever::RateLimit {
+                interval_scale: 2.0,
+            },
+            DefenseLever::Detector { trigger_hours: 3 },
+        ]);
+        let base = DistConfig {
+            n_caches: 40,
+            ..DistConfig::default()
+        };
+        let tracer = Tracer::enabled(1 << 10);
+        let lowered = plan.lower_traced(&base, &tracer);
+        assert_eq!(lowered.n_caches, 56);
+        assert_eq!(
+            lowered.placement,
+            CachePlacement::Augmented {
+                base: Box::new(CachePlacement::Uniform),
+                base_n: 40,
+                added: Box::new(CachePlacement::ClientWeighted),
+            }
+        );
+        assert_eq!(lowered.valid_secs, base.valid_secs + 7_200);
+        assert_eq!(lowered.fetch_rate_scale, 2.0);
+        assert_eq!(
+            lowered.detector,
+            Some(FetchRateDetector {
+                trigger_hours: 3,
+                ..FetchRateDetector::default()
+            })
+        );
+        let actions: Vec<&'static str> = tracer
+            .drain()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::DefenseAction { action, .. } => Some(*action),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            actions,
+            vec!["add_caches", "extend_lifetime", "rate_limit", "detector"]
+        );
+        // Same-placement growth skips the Augmented wrapper; the empty
+        // plan is the identity lowering.
+        let grown = DefensePlan::add_caches(8, CachePlacement::Uniform).lower(&base);
+        assert_eq!(grown.placement, CachePlacement::Uniform);
+        assert_eq!(grown.n_caches, 48);
+        let identity = DefensePlan::empty().lower(&base);
+        assert_eq!(identity.n_caches, base.n_caches);
+        assert_eq!(identity.valid_secs, base.valid_secs);
+        assert_eq!(identity.fetch_rate_scale, base.fetch_rate_scale);
+        assert_eq!(identity.detector, None);
+    }
+}

@@ -25,8 +25,9 @@
 //! whenever the budget affords it, so the search result is always at
 //! least as good as the fixed baseline at equal cost.
 
-use crate::adversary::{AttackPlan, AttackWindow, BlocklistDefender, Target};
+use crate::adversary::{AttackPlan, AttackWindow, Target};
 use crate::calibration::{ATTACK_FLOOD_MBPS, CACHE_FLOOD_MBPS, N_AUTHORITIES};
+use crate::defense::DefensePlan;
 use crate::protocols::ProtocolKind;
 use crate::runner::{par_map, sweep, RunReport, SweepJob};
 use partialtor_dirdist::{simulate, DistConfig};
@@ -95,29 +96,29 @@ const FLOOD_STEP_MBPS: u64 = 60;
 /// first `authorities` authorities and first `caches` caches attacked
 /// identically every hour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct CampaignShape {
+pub(crate) struct CampaignShape {
     /// Authorities flooded at `flood_mbps` from each run start.
-    authorities: usize,
+    pub(crate) authorities: usize,
     /// Authority window length, seconds.
-    auth_window_secs: u64,
+    pub(crate) auth_window_secs: u64,
     /// Per-victim authority flood rate, Mbit/s — a searchable axis the
     /// budget constraint prices linearly. Weaker floods are cheaper but
     /// fall below the queue-collapse knee
     /// (`calibration::FLOOD_SATURATION_FRACTION`) and leave the victim
     /// a workable residual.
-    flood_mbps: u64,
+    pub(crate) flood_mbps: u64,
     /// Caches knocked offline at [`CACHE_FLOOD_MBPS`].
-    caches: usize,
+    pub(crate) caches: usize,
     /// Cache window length, seconds.
-    cache_window_secs: u64,
+    pub(crate) cache_window_secs: u64,
     /// Rotate the victim indices by one position each hour (same cost,
     /// same per-hour pattern size — but no victim is ever attacked in
     /// enough consecutive hours to trip a blocklist defender).
-    rotate: bool,
+    pub(crate) rotate: bool,
 }
 
 impl CampaignShape {
-    const EMPTY: CampaignShape = CampaignShape {
+    pub(crate) const EMPTY: CampaignShape = CampaignShape {
         authorities: 0,
         auth_window_secs: 300,
         flood_mbps: DEFAULT_FLOOD_MBPS,
@@ -127,7 +128,7 @@ impl CampaignShape {
     };
 
     /// The paper's fixed baseline as a shape.
-    const FIVE_OF_NINE: CampaignShape = CampaignShape {
+    pub(crate) const FIVE_OF_NINE: CampaignShape = CampaignShape {
         authorities: 5,
         auth_window_secs: 300,
         flood_mbps: DEFAULT_FLOOD_MBPS,
@@ -137,7 +138,7 @@ impl CampaignShape {
     };
 
     /// The rotating variant of the paper's baseline.
-    const FIVE_OF_NINE_ROTATING: CampaignShape = CampaignShape {
+    pub(crate) const FIVE_OF_NINE_ROTATING: CampaignShape = CampaignShape {
         rotate: true,
         ..CampaignShape::FIVE_OF_NINE
     };
@@ -168,7 +169,7 @@ impl CampaignShape {
     }
 
     /// The full campaign over `hours` hourly runs, on the day's clock.
-    fn plan(&self, hours: u64) -> AttackPlan {
+    pub(crate) fn plan(&self, hours: u64) -> AttackPlan {
         AttackPlan::new(
             (1..=hours)
                 .flat_map(|hour| {
@@ -187,12 +188,12 @@ impl CampaignShape {
     /// Monthly price of sustaining this shape (independent of `hours`
     /// and of rotation — the hourly pattern's size is what the stressor
     /// bills for).
-    fn cost_usd_month(&self) -> f64 {
+    pub(crate) fn cost_usd_month(&self) -> f64 {
         AttackPlan::new(self.windows_for_hour(0)).cost_per_month()
     }
 
     /// Human-readable shape summary.
-    fn label(&self) -> String {
+    pub(crate) fn label(&self) -> String {
         let mut base = match (self.authorities, self.caches) {
             (0, 0) => "no attack".to_string(),
             (a, 0) => format!("{a} auth × {} s", self.auth_window_secs),
@@ -213,7 +214,7 @@ impl CampaignShape {
     }
 
     /// The neighbouring shapes one beam step away.
-    fn expansions(&self, max_caches: usize) -> Vec<CampaignShape> {
+    pub(crate) fn expansions(&self, max_caches: usize) -> Vec<CampaignShape> {
         let mut out = Vec::new();
         if self.authorities < N_AUTHORITIES {
             out.push(CampaignShape {
@@ -315,13 +316,13 @@ pub struct AdversaryResult {
 
 /// Canonical key of one run-local plan slice: the normalized windows'
 /// fields, verbatim (flood as raw bits so the key stays `Ord`/`Eq`).
-type SliceKey = Vec<(Target, u64, u64, u64)>;
+pub(crate) type SliceKey = Vec<(Target, u64, u64, u64)>;
 
 /// Memoized per-hour protocol outcomes: one entry per distinct
 /// `(seed, run-local authority window set)`.
-type OutcomeMemo = BTreeMap<(u64, SliceKey), Option<f64>>;
+pub(crate) type OutcomeMemo = BTreeMap<(u64, SliceKey), Option<f64>>;
 
-fn slice_key(slice: &AttackPlan) -> SliceKey {
+pub(crate) fn slice_key(slice: &AttackPlan) -> SliceKey {
     slice
         .windows()
         .iter()
@@ -341,7 +342,7 @@ fn slice_key(slice: &AttackPlan) -> SliceKey {
 /// the zero-gradient plateau — every sub-majority authority campaign
 /// scores identically, so a cheapest-first frontier would never reach
 /// the fifth authority on its own.
-fn frontier_rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
+pub(crate) fn frontier_rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
     b.client_weighted_downtime
         .partial_cmp(&a.client_weighted_downtime)
         .expect("finite downtime")
@@ -373,7 +374,7 @@ fn frontier_rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
 /// Ranks scores for *reporting*: more downtime first, then cheaper,
 /// then smaller shape — the best plan is the cheapest equally effective
 /// one.
-fn rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
+pub(crate) fn rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
     b.client_weighted_downtime
         .partial_cmp(&a.client_weighted_downtime)
         .expect("finite downtime")
@@ -403,11 +404,16 @@ fn rank(a: &PlanScore, b: &PlanScore) -> std::cmp::Ordering {
 }
 
 /// The plan a shape's victims actually experience: the raw campaign,
-/// filtered through the configured defender.
+/// filtered through the configured defender — since PR 9 a thin wrapper
+/// over the [`DefensePlan`] blocklist lever, which absorbed the legacy
+/// [`BlocklistDefender`](crate::adversary::BlocklistDefender)
+/// bit-for-bit.
 fn effective_plan(params: &AdversaryParams, shape: &CampaignShape) -> AttackPlan {
     let plan = shape.plan(params.hours);
     match params.defender_trigger_hours {
-        Some(trigger_hours) => BlocklistDefender { trigger_hours }.apply(&plan),
+        Some(trigger_hours) => {
+            DefensePlan::blocklist(trigger_hours).effective_attack(&plan, &Tracer::disabled())
+        }
         None => plan,
     }
 }
@@ -579,7 +585,8 @@ pub fn run_experiment_traced(params: &AdversaryParams, tracer: &Tracer) -> Adver
     // sink attached, so the trace records which of its targets got
     // filtered and when.
     if let Some(trigger_hours) = params.defender_trigger_hours {
-        BlocklistDefender { trigger_hours }.apply_traced(&best_shape.plan(params.hours), tracer);
+        DefensePlan::blocklist(trigger_hours)
+            .effective_attack(&best_shape.plan(params.hours), tracer);
     }
     let scores: Vec<PlanScore> = pairs.into_iter().map(|(_, score)| score).collect();
 

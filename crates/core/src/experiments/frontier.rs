@@ -1,0 +1,686 @@
+//! The cost-of-denial frontier: attacker–defender co-evolution.
+//!
+//! The adversary search (PR 3) answers "given $X/month, how much
+//! downtime can an attacker buy?" against a *fixed* environment. This
+//! experiment closes the loop: for each point on a defense-budget grid
+//! it plays alternating best responses — the defender picks the
+//! strongest affordable [`DefensePlan`] from a typed playbook, the
+//! attacker answers with a full beam search over campaign shapes scored
+//! against the *defended* environment — and reports, per defense
+//! budget, the cheapest campaign that still reaches the target
+//! client-weighted downtime. The resulting table is the paper's §4 cost
+//! model turned into a frontier: dollars of mitigation on one axis,
+//! dollars of denial on the other.
+//!
+//! Two structural guarantees keep the table honest:
+//!
+//! * **Shared memoization** — every protocol simulation is keyed by
+//!   `(seed, run-local window slice)` exactly as in the adversary
+//!   search, and the memo is shared across all defenses and budgets, so
+//!   two defenses that filter a campaign down to the same slices pay
+//!   for the protocol runs once.
+//! * **Structural monotonicity** — each budget's candidate set always
+//!   includes the previous budget's winning defense, and a defense's
+//!   best response is deterministic and budget-independent, so the
+//!   reported attacker cost can never *decrease* as the defense budget
+//!   grows (an unreachable target counts as infinite cost).
+//!
+//! The attacker's answer per defense is *cheapest-at-target*, not
+//! best-downtime: among every campaign the beam search evaluated, the
+//! least expensive one whose downtime meets the target. When no
+//! affordable campaign reaches it, the row reports `None` — the defense
+//! has priced denial out of the attacker's budget entirely.
+
+use crate::defense::{DefenseCostModel, DefensePlan};
+use crate::protocols::ProtocolKind;
+use crate::runner::{par_map, sweep, RunReport, SweepJob};
+use partialtor_dirdist::{simulate, CachePlacement, DistConfig};
+use partialtor_obs::{span, Tracer};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::adversary::{frontier_rank, rank, slice_key, CampaignShape, OutcomeMemo, PlanScore};
+
+/// Search parameters (the `dirsim frontier` surface).
+#[derive(Clone, Debug)]
+pub struct FrontierParams {
+    /// Defense budgets to sweep, dollars per 30-day month (sorted and
+    /// deduplicated before the sweep).
+    pub defense_budgets: Vec<f64>,
+    /// The attacker's budget, dollars per 30-day month.
+    pub attack_budget_usd_month: f64,
+    /// Client-weighted downtime the attacker must reach for a campaign
+    /// to count as denial.
+    pub target_downtime: f64,
+    /// Hourly runs in the scored horizon.
+    pub hours: u64,
+    /// Beam width — of the attacker's shape search *and* of the
+    /// defender's candidate short-list per budget.
+    pub beam: usize,
+    /// Reference fleet size used for scoring.
+    pub clients: u64,
+    /// Directory caches in the scored distribution tier (the defender's
+    /// added caches come on top of these).
+    pub caches: usize,
+    /// Relay population.
+    pub relays: u64,
+    /// Base seed (protocol runs, cache tier, fleet).
+    pub seed: u64,
+}
+
+impl Default for FrontierParams {
+    fn default() -> Self {
+        FrontierParams {
+            defense_budgets: vec![0.0, 15.0, 30.0, 60.0, 120.0],
+            attack_budget_usd_month: 120.0,
+            target_downtime: 0.80,
+            hours: 24,
+            beam: 2,
+            clients: 200_000,
+            caches: 50,
+            relays: 8_000,
+            seed: 1,
+        }
+    }
+}
+
+/// One row of the frontier table: the winning defense at one budget and
+/// the attacker's best response to it.
+#[derive(Clone, Debug, Serialize)]
+pub struct FrontierRow {
+    /// The defense budget this row was computed for, dollars per month.
+    pub defense_budget_usd_month: f64,
+    /// The winning defense plan's summary.
+    pub defense_label: String,
+    /// What the winning defense actually costs, dollars per month.
+    pub defense_cost_usd_month: f64,
+    /// Cheapest campaign reaching the target downtime under this
+    /// defense, dollars per month — `None` when no affordable campaign
+    /// reaches it (the defense priced denial out of the budget).
+    pub attacker_cost_usd_month: Option<f64>,
+    /// The reported campaign: the cheapest-at-target one, or — when the
+    /// target is unreachable — the attacker's best effort.
+    pub attack_label: String,
+    /// Client-weighted downtime of the reported campaign.
+    pub attack_downtime: f64,
+}
+
+/// The frontier table plus the sweep's fixed parameters.
+#[derive(Clone, Debug, Serialize)]
+pub struct FrontierResult {
+    /// The attacker's budget every row was searched under.
+    pub attack_budget_usd_month: f64,
+    /// The downtime threshold that counts as denial.
+    pub target_downtime: f64,
+    /// Scored horizon, hours.
+    pub hours: u64,
+    /// Beam width used on both sides.
+    pub beam: usize,
+    /// One row per defense budget, ascending.
+    pub rows: Vec<FrontierRow>,
+}
+
+/// The attacker's answer to one defense: the best campaign found and
+/// the cheapest one reaching the target.
+#[derive(Clone, Debug)]
+struct BestResponse {
+    /// Highest-downtime affordable campaign (reporting rank).
+    best: PlanScore,
+    /// Cheapest evaluated campaign whose downtime meets the target.
+    cheapest_at_target: Option<PlanScore>,
+}
+
+/// The defender's typed playbook: every composition of levers the
+/// frontier considers, cheapest first. Costs under
+/// [`DefenseCostModel::default`] span $0 (do nothing) to ~$225 (every
+/// lever at once), so the grid has meaningful candidates at every
+/// budget the CLI exposes.
+fn playbook() -> Vec<DefensePlan> {
+    let hour = 3_600;
+    let mut plans = vec![
+        DefensePlan::empty(),
+        DefensePlan::rate_limit(2.0),
+        DefensePlan::extend_lifetime(3 * hour),
+        DefensePlan::blocklist(6),
+        DefensePlan::detector(3),
+        DefensePlan::add_caches(8, CachePlacement::ClientWeighted),
+        DefensePlan::blocklist(3),
+        DefensePlan::detector(2),
+        DefensePlan::blocklist(6).union(&DefensePlan::extend_lifetime(3 * hour)),
+        DefensePlan::extend_lifetime(9 * hour),
+        DefensePlan::detector(2)
+            .union(&DefensePlan::blocklist(6))
+            .union(&DefensePlan::rate_limit(2.0))
+            .union(&DefensePlan::extend_lifetime(3 * hour)),
+        DefensePlan::add_caches(16, CachePlacement::ClientWeighted)
+            .union(&DefensePlan::detector(2)),
+        DefensePlan::blocklist(1),
+    ];
+    plans.sort_by(|a, b| {
+        a.cost_per_month()
+            .partial_cmp(&b.cost_per_month())
+            .expect("finite defense costs")
+            .then_with(|| a.label().cmp(&b.label()))
+    });
+    plans
+}
+
+/// The undefended scoring environment every defense lowers onto.
+fn base_config(params: &FrontierParams) -> DistConfig {
+    DistConfig {
+        seed: params.seed,
+        clients: params.clients,
+        relays: params.relays,
+        n_caches: params.caches,
+        ..DistConfig::default()
+    }
+}
+
+/// Runs all protocol simulations the given shapes still need under
+/// `defense`, extending the shared memo. Mirrors the adversary search's
+/// sweep batching; only the campaign filter differs.
+fn fill_memo(
+    params: &FrontierParams,
+    defense: &DefensePlan,
+    shapes: &[CampaignShape],
+    memo: &mut OutcomeMemo,
+) {
+    let mut queued = BTreeSet::new();
+    let mut keys = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    for shape in shapes {
+        let plan = defense.effective_attack(&shape.plan(params.hours), &Tracer::disabled());
+        for hour in 1..=params.hours {
+            let scenario =
+                super::sustained::hourly_scenario(&plan, hour, params.seed, params.relays);
+            let key = (scenario.seed, slice_key(&scenario.attack));
+            if memo.contains_key(&key) || !queued.insert(key.clone()) {
+                continue;
+            }
+            keys.push(key);
+            jobs.push(SweepJob::new(ProtocolKind::Current, scenario));
+        }
+    }
+    let reports: Vec<RunReport> = sweep(&jobs);
+    for (key, report) in keys.into_iter().zip(&reports) {
+        memo.insert(
+            key,
+            report
+                .success
+                .then(|| report.last_valid_secs.unwrap_or(0.0)),
+        );
+    }
+}
+
+/// Scores one campaign shape against one lowered defense (pure memo
+/// lookup + distribution simulation). The timeline honours the lowered
+/// config's consensus lifetimes, so an `ExtendLifetime` lever changes
+/// what the fleet experiences, not just a config field.
+fn score_shape(
+    params: &FrontierParams,
+    defense: &DefensePlan,
+    lowered: &DistConfig,
+    shape: &CampaignShape,
+    memo: &OutcomeMemo,
+) -> PlanScore {
+    let plan = defense.effective_attack(&shape.plan(params.hours), &Tracer::disabled());
+    let outcomes: Vec<Option<f64>> = (1..=params.hours)
+        .map(|hour| {
+            let scenario =
+                super::sustained::hourly_scenario(&plan, hour, params.seed, params.relays);
+            *memo
+                .get(&(scenario.seed, slice_key(&scenario.attack)))
+                .expect("memo filled for every scored shape")
+        })
+        .collect();
+    let (timeline, windows) = super::sustained::dist_view_with_lifetimes(
+        &plan,
+        &outcomes,
+        lowered.fresh_secs,
+        lowered.valid_secs,
+    );
+    let dist = simulate(
+        &DistConfig {
+            link_windows: windows,
+            ..lowered.clone()
+        },
+        &timeline,
+    );
+    PlanScore {
+        label: shape.label(),
+        authorities: shape.authorities,
+        caches: shape.caches,
+        auth_window_secs: shape.auth_window_secs,
+        flood_mbps: shape.flood_mbps,
+        cache_window_secs: shape.cache_window_secs,
+        rotate: shape.rotate,
+        windows: plan.windows().len(),
+        cost_usd_month: shape.cost_usd_month(),
+        produced_hours: outcomes.iter().flatten().count() as u64,
+        client_weighted_downtime: dist.fleet.client_weighted_downtime,
+    }
+}
+
+/// The attacker's full beam search against one defense — the same shape
+/// space, seeding and ranking as the adversary experiment, scored
+/// against the defended environment.
+fn best_response(
+    params: &FrontierParams,
+    defense: &DefensePlan,
+    memo: &mut OutcomeMemo,
+) -> BestResponse {
+    let _span = span("frontier.best_response");
+    let affordable =
+        |shape: &CampaignShape| shape.cost_usd_month() <= params.attack_budget_usd_month + 1e-9;
+    let lowered = defense.lower(&base_config(params));
+
+    let mut evaluated: BTreeMap<CampaignShape, PlanScore> = BTreeMap::new();
+    let mut generation = vec![CampaignShape::EMPTY];
+    if affordable(&CampaignShape::FIVE_OF_NINE) {
+        generation.push(CampaignShape::FIVE_OF_NINE);
+        generation.push(CampaignShape::FIVE_OF_NINE_ROTATING);
+    }
+
+    for _ in 0..32 {
+        let fresh: Vec<CampaignShape> = generation
+            .iter()
+            .filter(|s| !evaluated.contains_key(s))
+            .copied()
+            .collect();
+        if !fresh.is_empty() {
+            fill_memo(params, defense, &fresh, memo);
+            let frozen: &OutcomeMemo = memo;
+            let scores = par_map(&fresh, |shape| {
+                score_shape(params, defense, &lowered, shape, frozen)
+            });
+            for (shape, score) in fresh.iter().zip(scores) {
+                evaluated.insert(*shape, score);
+            }
+        }
+
+        let mut ranked: Vec<(&CampaignShape, &PlanScore)> = evaluated.iter().collect();
+        ranked.sort_by(|a, b| frontier_rank(a.1, b.1));
+        let next: Vec<CampaignShape> = ranked
+            .iter()
+            .take(params.beam.max(1))
+            .flat_map(|(shape, _)| shape.expansions(params.caches))
+            .filter(&affordable)
+            .filter(|s| !evaluated.contains_key(s))
+            .collect();
+        if next.is_empty() {
+            break;
+        }
+        generation = next;
+        generation.sort();
+        generation.dedup();
+    }
+
+    let mut pairs: Vec<PlanScore> = evaluated.into_values().collect();
+    pairs.sort_by(rank);
+    let best = pairs
+        .iter()
+        .find(|s| s.cost_usd_month <= params.attack_budget_usd_month + 1e-9)
+        .expect("the empty shape is always affordable")
+        .clone();
+    let cheapest_at_target = pairs
+        .iter()
+        .filter(|s| {
+            s.cost_usd_month <= params.attack_budget_usd_month + 1e-9
+                && s.client_weighted_downtime + 1e-9 >= params.target_downtime
+        })
+        .min_by(|a, b| {
+            a.cost_usd_month
+                .partial_cmp(&b.cost_usd_month)
+                .expect("finite cost")
+                .then_with(|| rank(a, b))
+        })
+        .cloned();
+    BestResponse {
+        best,
+        cheapest_at_target,
+    }
+}
+
+/// Cheap defender triage: the probe downtime a defense concedes to the
+/// paper's baseline and its rotating twin. One memo fill plus two
+/// distribution runs per defense — enough signal to short-list which
+/// defenses deserve a full attacker search.
+fn probe_downtime(params: &FrontierParams, defense: &DefensePlan, memo: &mut OutcomeMemo) -> f64 {
+    let probes = [
+        CampaignShape::FIVE_OF_NINE,
+        CampaignShape::FIVE_OF_NINE_ROTATING,
+    ];
+    let lowered = defense.lower(&base_config(params));
+    fill_memo(params, defense, &probes, memo);
+    let frozen: &OutcomeMemo = memo;
+    par_map(&probes, |shape| {
+        score_shape(params, defense, &lowered, shape, frozen)
+    })
+    .into_iter()
+    .map(|s| s.client_weighted_downtime)
+    .fold(0.0, f64::max)
+}
+
+/// The attacker cost a best response represents for ranking defenses:
+/// an unreachable target is infinitely expensive.
+fn denial_cost(response: &BestResponse) -> f64 {
+    response
+        .cheapest_at_target
+        .as_ref()
+        .map_or(f64::INFINITY, |s| s.cost_usd_month)
+}
+
+/// Runs the frontier sweep.
+pub fn run_experiment(params: &FrontierParams) -> FrontierResult {
+    run_experiment_traced(params, &Tracer::disabled())
+}
+
+/// [`run_experiment`] with a structured trace sink: each row's winning
+/// defense is replayed against its reported campaign — lowered levers
+/// and reactive filtering both announce themselves as
+/// [`DefenseAction`](partialtor_obs::TraceEvent::DefenseAction) events.
+pub fn run_experiment_traced(params: &FrontierParams, tracer: &Tracer) -> FrontierResult {
+    let _span = span("frontier.run_experiment");
+    let mut budgets = params.defense_budgets.clone();
+    budgets.sort_by(|a, b| a.partial_cmp(b).expect("finite defense budgets"));
+    budgets.dedup();
+
+    let model = DefenseCostModel::default();
+    let candidates = playbook();
+
+    let mut memo = OutcomeMemo::new();
+    // Best responses keyed by defense label: a defense's response is
+    // budget-independent, so winners recur across the grid for free.
+    let mut responses: BTreeMap<String, BestResponse> = BTreeMap::new();
+    let mut probes: BTreeMap<String, f64> = BTreeMap::new();
+
+    let mut rows = Vec::new();
+    let mut previous_winner: Option<DefensePlan> = None;
+    for budget in budgets {
+        let affordable: Vec<&DefensePlan> = candidates
+            .iter()
+            .filter(|d| d.cost_with(&model) <= budget + 1e-9)
+            .collect();
+
+        // Short-list: the `beam` affordable defenses conceding the
+        // least probe downtime, plus the previous budget's winner (the
+        // monotonicity anchor — its response is already cached).
+        let mut triaged: Vec<(&DefensePlan, f64)> = affordable
+            .iter()
+            .map(|d| {
+                let probe = *probes
+                    .entry(d.label())
+                    .or_insert_with(|| probe_downtime(params, d, &mut memo));
+                (*d, probe)
+            })
+            .collect();
+        triaged.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite downtime")
+                .then_with(|| {
+                    a.0.cost_with(&model)
+                        .partial_cmp(&b.0.cost_with(&model))
+                        .expect("finite cost")
+                })
+                .then_with(|| a.0.label().cmp(&b.0.label()))
+        });
+        let mut shortlist: Vec<DefensePlan> = triaged
+            .into_iter()
+            .take(params.beam.max(1))
+            .map(|(d, _)| d.clone())
+            .collect();
+        if let Some(winner) = &previous_winner {
+            if !shortlist.contains(winner) {
+                shortlist.push(winner.clone());
+            }
+        }
+
+        // Full attacker search per short-listed defense; the winner
+        // maximizes the attacker's cost of denial, ties broken toward
+        // the cheaper defense.
+        let mut scored: Vec<(DefensePlan, BestResponse)> = Vec::new();
+        for defense in shortlist {
+            let response = match responses.get(&defense.label()) {
+                Some(cached) => cached.clone(),
+                None => {
+                    let fresh = best_response(params, &defense, &mut memo);
+                    responses.insert(defense.label(), fresh.clone());
+                    fresh
+                }
+            };
+            scored.push((defense, response));
+        }
+        scored.sort_by(|a, b| {
+            denial_cost(&b.1)
+                .partial_cmp(&denial_cost(&a.1))
+                .expect("denial costs are ordered")
+                .then_with(|| {
+                    a.0.cost_with(&model)
+                        .partial_cmp(&b.0.cost_with(&model))
+                        .expect("finite cost")
+                })
+                .then_with(|| a.0.label().cmp(&b.0.label()))
+        });
+        let (winner, response) = scored.into_iter().next().expect("empty plan is affordable");
+
+        let reported = response
+            .cheapest_at_target
+            .clone()
+            .unwrap_or_else(|| response.best.clone());
+        rows.push(FrontierRow {
+            defense_budget_usd_month: budget,
+            defense_label: winner.label(),
+            defense_cost_usd_month: winner.cost_with(&model),
+            attacker_cost_usd_month: response
+                .cheapest_at_target
+                .as_ref()
+                .map(|s| s.cost_usd_month),
+            attack_label: reported.label.clone(),
+            attack_downtime: reported.client_weighted_downtime,
+        });
+
+        // Replay the row's endgame into the trace: the winner's levers
+        // lowering onto the tier, then its reaction to the reported
+        // campaign.
+        if tracer.is_enabled() {
+            winner.lower_traced(&base_config(params), tracer);
+            let shape = CampaignShape {
+                authorities: reported.authorities,
+                auth_window_secs: reported.auth_window_secs,
+                flood_mbps: reported.flood_mbps,
+                caches: reported.caches,
+                cache_window_secs: reported.cache_window_secs,
+                rotate: reported.rotate,
+            };
+            winner.effective_attack(&shape.plan(params.hours), tracer);
+        }
+
+        previous_winner = Some(winner);
+    }
+
+    FrontierResult {
+        attack_budget_usd_month: params.attack_budget_usd_month,
+        target_downtime: params.target_downtime,
+        hours: params.hours,
+        beam: params.beam,
+        rows,
+    }
+}
+
+/// Renders the frontier table for `dirsim frontier`.
+pub fn render(result: &FrontierResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== Cost-of-denial frontier: attacker ${:.2}/month vs defense budget grid ===\n",
+        result.attack_budget_usd_month
+    ));
+    out.push_str(&format!(
+        "(per defense budget: the best affordable defense, and the cheapest campaign\n \
+         reaching {:.0}% client-weighted downtime over {} h against it; beam {})\n\n",
+        100.0 * result.target_downtime,
+        result.hours,
+        result.beam
+    ));
+    out.push_str(&format!(
+        "{:>9} {:<42} {:>9}  {:<34} {:>9}\n",
+        "$ defense", "defense plan", "$ denial", "cheapest denying campaign", "downtime"
+    ));
+    for row in &result.rows {
+        let denial = match row.attacker_cost_usd_month {
+            Some(cost) => format!("{cost:.2}"),
+            None => "∞".to_string(),
+        };
+        out.push_str(&format!(
+            "{:>9.2} {:<42} {:>9}  {:<34} {:>8.1}%\n",
+            row.defense_budget_usd_month,
+            format!("{} (${:.2})", row.defense_label, row.defense_cost_usd_month),
+            denial,
+            row.attack_label,
+            100.0 * row.attack_downtime,
+        ));
+    }
+    if let Some(row) = result
+        .rows
+        .iter()
+        .find(|r| r.attacker_cost_usd_month.is_none())
+    {
+        out.push_str(&format!(
+            "\nfirst defense pricing denial out of budget: {} at ${:.2}/month\n",
+            row.defense_label, row.defense_cost_usd_month
+        ));
+    }
+    out
+}
+
+/// Serializes the frontier for `dirsim frontier --json`.
+pub fn to_json(result: &FrontierResult) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        (
+            "attack_budget_usd_month",
+            Json::from(result.attack_budget_usd_month),
+        ),
+        ("target_downtime", Json::from(result.target_downtime)),
+        ("hours", Json::from(result.hours)),
+        ("beam", Json::from(result.beam)),
+        (
+            "rows",
+            Json::arr(result.rows.iter().map(|row| {
+                Json::obj([
+                    (
+                        "defense_budget_usd_month",
+                        Json::from(row.defense_budget_usd_month),
+                    ),
+                    ("defense_label", Json::str(row.defense_label.clone())),
+                    (
+                        "defense_cost_usd_month",
+                        Json::from(row.defense_cost_usd_month),
+                    ),
+                    (
+                        "attacker_cost_usd_month",
+                        Json::from(row.attacker_cost_usd_month),
+                    ),
+                    ("attack_label", Json::str(row.attack_label.clone())),
+                    ("attack_downtime", Json::from(row.attack_downtime)),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params(budgets: Vec<f64>) -> FrontierParams {
+        FrontierParams {
+            defense_budgets: budgets,
+            attack_budget_usd_month: 55.0,
+            target_downtime: 0.80,
+            hours: 24,
+            beam: 1,
+            clients: 12_000,
+            caches: 6,
+            relays: 2_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn the_playbook_is_normalized_and_spans_the_grid() {
+        let plans = playbook();
+        assert!(plans[0].is_empty(), "the frontier starts from do-nothing");
+        let costs: Vec<f64> = plans.iter().map(|p| p.cost_per_month()).collect();
+        assert!(
+            costs.windows(2).all(|w| w[0] <= w[1]),
+            "playbook must be sorted cheapest-first: {costs:?}"
+        );
+        assert_eq!(costs[0], 0.0);
+        assert!(
+            *costs.last().expect("non-empty playbook") >= 100.0,
+            "the playbook must reach the expensive end of the grid"
+        );
+        for plan in &plans {
+            assert_eq!(
+                DefensePlan::new(plan.levers()),
+                *plan,
+                "playbook entries must already be normalized"
+            );
+        }
+    }
+
+    #[test]
+    fn an_unfunded_defender_concedes_the_five_of_nine_optimum() {
+        let result = run_experiment(&small_params(vec![0.0]));
+        assert_eq!(result.rows.len(), 1);
+        let row = &result.rows[0];
+        assert_eq!(row.defense_label, "no defense");
+        assert_eq!(row.defense_cost_usd_month, 0.0);
+        let cost = row
+            .attacker_cost_usd_month
+            .expect("an undefended target is deniable within $55");
+        assert!(
+            (cost - 53.28).abs() < 0.05,
+            "the cheapest denial should be the paper's $53.28 five-of-nine campaign, got {cost}"
+        );
+        assert!(
+            row.attack_downtime >= 0.80,
+            "five-of-nine must clear the target: {}",
+            row.attack_downtime
+        );
+    }
+
+    #[test]
+    fn a_funded_defender_raises_the_cost_of_denial_monotonically() {
+        let result = run_experiment(&small_params(vec![0.0, 60.0]));
+        assert_eq!(result.rows.len(), 2);
+        let free = &result.rows[0];
+        let funded = &result.rows[1];
+
+        // Monotonicity: attacker cost never decreases with defense
+        // budget (None = the target is priced out = infinite).
+        let denial = |row: &FrontierRow| row.attacker_cost_usd_month.unwrap_or(f64::INFINITY);
+        assert!(
+            denial(funded) >= denial(free),
+            "attacker cost must be non-decreasing: {:?} then {:?}",
+            free.attacker_cost_usd_month,
+            funded.attacker_cost_usd_month
+        );
+
+        // The measurable raise: $60/month funds a defense that a $55
+        // attacker cannot deny through — the cumulative-hour detector
+        // scrubs static and rotating saturating floods alike, and
+        // sub-saturating floods never break consensus.
+        assert!(
+            funded.attacker_cost_usd_month.is_none(),
+            "at $60 the winning defense should price denial out entirely, got {:?} via {}",
+            funded.attacker_cost_usd_month,
+            funded.attack_label
+        );
+        assert!(
+            funded.attack_downtime < 0.80,
+            "the attacker's best effort must fall short of the target: {}",
+            funded.attack_downtime
+        );
+    }
+}

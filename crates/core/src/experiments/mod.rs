@@ -69,8 +69,20 @@ pub(crate) mod sustained {
         plan: &AttackPlan,
         outcomes: &[Option<f64>],
     ) -> (ConsensusTimeline, Vec<LinkWindow>) {
-        let timeline =
-            ConsensusTimeline::from_hourly_outcomes(outcomes, 3_600, CONSENSUS_VALID_SECS);
+        dist_view_with_lifetimes(plan, outcomes, 3_600, CONSENSUS_VALID_SECS)
+    }
+
+    /// [`dist_view`] with explicit consensus lifetimes — the frontier
+    /// experiment's path, where a defense plan may have extended the
+    /// validity horizon and the timeline must agree with the lowered
+    /// [`DistConfig`](partialtor_dirdist::DistConfig).
+    pub fn dist_view_with_lifetimes(
+        plan: &AttackPlan,
+        outcomes: &[Option<f64>],
+        fresh_secs: u64,
+        valid_secs: u64,
+    ) -> (ConsensusTimeline, Vec<LinkWindow>) {
+        let timeline = ConsensusTimeline::from_hourly_outcomes(outcomes, fresh_secs, valid_secs);
         (timeline, plan.dist_windows())
     }
 }
@@ -334,6 +346,7 @@ pub mod fig11_recovery;
 pub mod fig1_attack_log;
 pub mod fig6_relays;
 pub mod fig7_bandwidth;
+pub mod frontier;
 pub mod placement;
 pub mod table1_complexity;
 pub mod table2_rounds;

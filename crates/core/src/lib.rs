@@ -15,6 +15,8 @@
 //! * [`protocols`] — the three directory protocols as simulation nodes;
 //! * [`adversary`] — the typed attack model ([`AttackPlan`] over
 //!   authorities *and* caches) every layer consumes;
+//! * [`defense`] — the typed mitigation model ([`DefensePlan`]) with
+//!   its own $/month cost arithmetic, the attacker's counterpart;
 //! * [`attack`] — stressor pricing and the §4.3 cost arithmetic;
 //! * [`monitor`] — the consensus-health monitor of Table 1's footnote;
 //! * [`runner`] — scenario orchestration returning uniform reports;
@@ -45,6 +47,7 @@ pub mod adversary;
 pub mod attack;
 pub mod authority_log;
 pub mod calibration;
+pub mod defense;
 pub mod document;
 pub mod experiments;
 pub mod json;
@@ -55,6 +58,7 @@ pub mod signing;
 
 pub use adversary::{AttackPlan, AttackWindow, Target};
 pub use attack::{AttackCostModel, StressorPricing};
+pub use defense::{DefenseCostModel, DefenseLever, DefensePlan};
 pub use document::DirDocument;
 pub use protocols::ProtocolKind;
 pub use runner::{run, AuthorityReport, RunReport, Scenario};

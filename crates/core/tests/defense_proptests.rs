@@ -1,0 +1,163 @@
+//! Property tests for [`partialtor::defense::DefensePlan`]
+//! normalization: idempotence, lever-order independence, and cost
+//! invariance under lever splitting/duplication — the defender-side
+//! mirror of `plan_proptests.rs`.
+
+use partialtor::defense::{DefenseLever, DefensePlan};
+use partialtor_dirdist::CachePlacement;
+use proptest::prelude::*;
+
+/// Rate-limit scales drawn from an exact-f64 vocabulary, so equal-scale
+/// levers merge exactly (the `max` in normalization is bitwise).
+const SCALES: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 4.0];
+
+const PLACEMENTS: [CachePlacement; 4] = [
+    CachePlacement::Uniform,
+    CachePlacement::Spread,
+    CachePlacement::ClientWeighted,
+    CachePlacement::Authorities,
+];
+
+fn sampled_levers(specs: &[(u8, u8, u16, u8)]) -> Vec<DefenseLever> {
+    specs
+        .iter()
+        .map(|&(kind, small, wide, pick)| match kind % 5 {
+            0 => DefenseLever::Blocklist {
+                trigger_hours: small as u64 % 12,
+            },
+            1 => DefenseLever::AddCaches {
+                count: small as usize % 24,
+                placement: PLACEMENTS[pick as usize % PLACEMENTS.len()].clone(),
+            },
+            2 => DefenseLever::ExtendLifetime {
+                extra_valid_secs: wide as u64 * 10,
+            },
+            3 => DefenseLever::RateLimit {
+                interval_scale: SCALES[pick as usize % SCALES.len()],
+            },
+            _ => DefenseLever::Detector {
+                trigger_hours: small as u64 % 12,
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rebuilding a plan from its own canonical levers is the identity.
+    #[test]
+    fn normalization_is_idempotent(
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), 0u16..3_600, any::<u8>()),
+            0..10,
+        ),
+    ) {
+        let plan = DefensePlan::new(sampled_levers(&specs));
+        let again = DefensePlan::new(plan.levers());
+        prop_assert_eq!(&plan, &again);
+        prop_assert!(
+            (again.cost_per_month() - plan.cost_per_month()).abs() < 1e-9,
+            "round-tripping must not change the price"
+        );
+    }
+
+    /// The order levers are listed in is irrelevant — the plan and its
+    /// price only depend on the normalized sum.
+    #[test]
+    fn lever_order_is_irrelevant(
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), 0u16..3_600, any::<u8>()),
+            0..10,
+        ),
+    ) {
+        let levers = sampled_levers(&specs);
+        let mut reversed = levers.clone();
+        reversed.reverse();
+        let plan = DefensePlan::new(levers);
+        let flipped = DefensePlan::new(reversed);
+        prop_assert_eq!(&plan, &flipped);
+        prop_assert!((plan.cost_per_month() - flipped.cost_per_month()).abs() < 1e-9);
+    }
+
+    /// Splitting an added-cache lever in two and duplicating any
+    /// non-additive lever leaves the plan — and therefore its price —
+    /// unchanged, and union never forgets a lever.
+    #[test]
+    fn cost_is_invariant_under_split_and_duplication(
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), 0u16..3_600, any::<u8>()),
+            1..10,
+        ),
+        pick in any::<proptest::sample::Index>(),
+        extra in 1u8..20,
+    ) {
+        let levers = sampled_levers(&specs);
+        let plan = DefensePlan::new(levers.clone());
+        let canonical = plan.levers();
+
+        // Split every cache lever at `extra` caches: the counts sum
+        // back during normalization.
+        let mut split: Vec<DefenseLever> = Vec::new();
+        for lever in &canonical {
+            match lever {
+                DefenseLever::AddCaches { count, placement } if *count > 1 => {
+                    let first = (*count).min(extra as usize);
+                    split.push(DefenseLever::AddCaches {
+                        count: first,
+                        placement: placement.clone(),
+                    });
+                    if *count > first {
+                        split.push(DefenseLever::AddCaches {
+                            count: count - first,
+                            placement: placement.clone(),
+                        });
+                    }
+                }
+                other => split.push(other.clone()),
+            }
+        }
+        let split_plan = DefensePlan::new(split);
+        prop_assert_eq!(&split_plan, &plan, "split cache levers re-merge");
+        prop_assert!((split_plan.cost_per_month() - plan.cost_per_month()).abs() < 1e-9);
+
+        // Duplicate one non-additive lever (min/max absorption): the
+        // plan and its price are unchanged.
+        if !canonical.is_empty() {
+            let victim = canonical[pick.index(canonical.len())].clone();
+            if !matches!(victim, DefenseLever::AddCaches { .. }) {
+                let mut duplicated = canonical.clone();
+                duplicated.push(victim);
+                let doubled = DefensePlan::new(duplicated);
+                prop_assert_eq!(&doubled, &plan);
+                prop_assert!(
+                    (doubled.cost_per_month() - plan.cost_per_month()).abs() < 1e-9
+                );
+            }
+        }
+
+        // Union with itself is the identity for non-additive levers
+        // and doubles only the cache count.
+        let self_union = plan.union(&plan);
+        prop_assert_eq!(
+            DefensePlan::new(self_union.levers()),
+            self_union,
+            "unions stay normalized"
+        );
+    }
+}
+
+/// The defender-side price pins mirroring the attacker's $53.28 pin:
+/// the playbook anchors the frontier grid at these exact prices.
+#[test]
+fn the_default_cost_model_prices_the_playbook_anchors() {
+    assert_eq!(DefensePlan::empty().cost_per_month(), 0.0);
+    assert!((DefensePlan::blocklist(6).cost_per_month() - 30.0).abs() < 1e-9);
+    assert!((DefensePlan::detector(3).cost_per_month() - 40.0).abs() < 1e-9);
+    assert!(
+        (DefensePlan::add_caches(8, CachePlacement::ClientWeighted).cost_per_month() - 40.0).abs()
+            < 1e-9
+    );
+    assert!((DefensePlan::extend_lifetime(3 * 3_600).cost_per_month() - 30.0).abs() < 1e-9);
+    assert!((DefensePlan::rate_limit(2.0).cost_per_month() - 15.0).abs() < 1e-9);
+}

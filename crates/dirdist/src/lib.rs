@@ -103,8 +103,8 @@ pub use placement::{
 };
 pub use session::{
     per_cache_service_budget_bytes, AlertNote, CohortPlacement, DistSession, FeedbackSummary,
-    HourInput, HourReport, LatencySummary, PlacementSummary, RegionCacheCount, TelemetrySummary,
-    TierHourTraffic,
+    FetchRateDetector, HourInput, HourReport, LatencySummary, PlacementSummary, RegionCacheCount,
+    TelemetrySummary, TierHourTraffic,
 };
 pub use timeline::{ConsensusTimeline, Publication};
 
@@ -154,6 +154,15 @@ pub struct DistConfig {
     pub fresh_secs: u64,
     /// Consensus validity lifetime, seconds from the nominal hour.
     pub valid_secs: u64,
+    /// Per-client fetch rate limit, expressed as a multiplier (≥ 1.0)
+    /// on the fleet's bootstrap-retry and refresh-spread intervals —
+    /// the defender's "back off, clients" lever. The default `1.0` is
+    /// bit-identical to the pre-defense fleet.
+    pub fetch_rate_scale: f64,
+    /// Danner-style fetch-rate anomaly detector over the session's
+    /// per-hour [`TierHourTraffic`] signatures; `None` (the default)
+    /// is fully inert.
+    pub detector: Option<FetchRateDetector>,
 }
 
 impl Default for DistConfig {
@@ -173,6 +182,8 @@ impl Default for DistConfig {
             client_regions: ClientRegions::Worldwide,
             fresh_secs: 3_600,
             valid_secs: 10_800,
+            fetch_rate_scale: 1.0,
+            detector: None,
         }
     }
 }

@@ -46,6 +46,20 @@ pub enum CachePlacement {
     /// `regions[i % regions.len()]` (empty = unplaced). The greedy
     /// placement search emits these.
     Explicit(Vec<Region>),
+    /// A tier grown by a defense plan: the first `base_n` caches keep
+    /// the `base` layout (including per-cache `None` placements that
+    /// [`CachePlacement::Explicit`] cannot express) and every cache
+    /// beyond them follows `added`. The defense lowering emits these so
+    /// rented mitigation caches can be placed independently of the
+    /// pre-existing tier.
+    Augmented {
+        /// Layout of the original tier.
+        base: Box<CachePlacement>,
+        /// Size of the original tier.
+        base_n: usize,
+        /// Layout of the caches added beyond `base_n`.
+        added: Box<CachePlacement>,
+    },
 }
 
 impl CachePlacement {
@@ -70,6 +84,16 @@ impl CachePlacement {
             CachePlacement::Explicit(regions) => (0..n)
                 .map(|i| regions.get(i % regions.len().max(1)).copied())
                 .collect(),
+            CachePlacement::Augmented {
+                base,
+                base_n,
+                added,
+            } => {
+                let keep = n.min(*base_n);
+                let mut regions = base.regions(keep);
+                regions.extend(added.regions(n - keep));
+                regions
+            }
         }
     }
 
@@ -82,6 +106,9 @@ impl CachePlacement {
             CachePlacement::ClientWeighted => "client-weighted".to_string(),
             CachePlacement::Authorities => "authority-colocated".to_string(),
             CachePlacement::Explicit(_) => "explicit".to_string(),
+            CachePlacement::Augmented { base, added, .. } => {
+                format!("{} (+{})", base.label(), added.label())
+            }
         }
     }
 }
@@ -263,6 +290,27 @@ mod tests {
             (geo::midpoint_ms(Region::Apac, Region::Europe)
                 + geo::midpoint_ms(Region::Apac, Region::UsEast))
                 / 2.0
+        );
+    }
+
+    #[test]
+    fn augmented_placement_keeps_the_base_and_places_the_growth() {
+        let augmented = CachePlacement::Augmented {
+            base: Box::new(CachePlacement::Uniform),
+            base_n: 3,
+            added: Box::new(CachePlacement::SingleRegion(Region::Europe)),
+        };
+        assert_eq!(
+            augmented.regions(5),
+            vec![None, None, None, Some(Region::Europe), Some(Region::Europe)],
+        );
+        // Shrinking below the base keeps only the base prefix; growing
+        // places every extra cache.
+        assert_eq!(augmented.regions(2), vec![None, None]);
+        assert_eq!(augmented.regions(3), vec![None, None, None]);
+        assert_eq!(
+            augmented.label(),
+            "unplaced (worldwide 60 ms) (+all-in-europe)".to_string()
         );
     }
 

@@ -26,7 +26,7 @@
 //! the wrapper and a manually stepped session are bit-for-bit
 //! identical (a test pins this).
 
-use crate::cachesim::{CacheSimConfig, CacheTier, LinkWindow, ServeSizes};
+use crate::cachesim::{CacheSimConfig, CacheTier, LinkWindow, ServeSizes, TierNode};
 use crate::docmodel::{DocModel, DocTable};
 use crate::fleet::{FleetConfig, FleetHourEgress, FleetHourRow, FleetSim};
 use crate::placement::{
@@ -37,6 +37,7 @@ use crate::{DistConfig, DistReport};
 use partialtor_obs::{Histogram, Registry, TraceEvent, Tracer};
 use partialtor_simnet::geo::REGIONS;
 use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A health-monitor alert handed into a stepped hour. The monitor lives
 /// upstream (it watches protocol runs, which this crate never sees), so
@@ -84,6 +85,46 @@ impl HourInput {
     /// An hour whose run failed.
     pub fn failed() -> Self {
         HourInput::default()
+    }
+}
+
+/// Danner-style fetch-rate anomaly detector ([`DistConfig::detector`]):
+/// watches the session's per-hour fetch-rate signatures — the tier's
+/// [`TierHourTraffic`] request count plus the fleet's realized
+/// bootstrap/refresh fetch rows, the retry-storm observable — and,
+/// once a node's link has been overridden during `trigger_hours`
+/// anomalous hours (cumulative, not necessarily consecutive), filters
+/// that node's not-yet-applied capacity windows: upstream scrubbing
+/// driven by signatures the defender can actually see, not by attacker
+/// bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FetchRateDetector {
+    /// Directory fetch attempts per client per hour above which the
+    /// hour counts as anomalous. A healthy fleet refreshes well under
+    /// once per client-hour; a bootstrap retry storm attempts once per
+    /// minute per dead client.
+    pub rate_threshold: f64,
+    /// Anomalous hours a node must be implicated in before its windows
+    /// are filtered.
+    pub trigger_hours: u64,
+}
+
+impl Default for FetchRateDetector {
+    fn default() -> Self {
+        FetchRateDetector {
+            rate_threshold: 2.0,
+            trigger_hours: 3,
+        }
+    }
+}
+
+/// Stable label of a tier node for trace events (`auth3`, `cache12`,
+/// `region:europe`) — matches the adversary model's target labels.
+fn node_label(node: &TierNode) -> String {
+    match node {
+        TierNode::Authority(i) => format!("auth{i}"),
+        TierNode::Cache(i) => format!("cache{i}"),
+        TierNode::Region(region) => format!("region:{region}"),
     }
 }
 
@@ -300,6 +341,19 @@ pub struct DistSession {
     /// per-hour deltas.
     prev_traffic: TierHourTraffic,
     alerts_total: u64,
+    /// Capacity windows not yet injected into the tier — detector
+    /// sessions defer post-hour-0 [`DistConfig::link_windows`] so a
+    /// flagged node's windows can be filtered before they apply. Empty
+    /// (and every window applied up front, the legacy path) when no
+    /// detector is configured.
+    pending_windows: Vec<LinkWindow>,
+    /// Windows the tier has accepted, for per-hour anomaly attribution
+    /// (tracked only when a detector is configured).
+    applied_windows: Vec<LinkWindow>,
+    /// Anomalous hours each node has been implicated in so far.
+    detector_flags: BTreeMap<TierNode, u64>,
+    /// Nodes whose future windows the detector filters.
+    detector_filtered: BTreeSet<TierNode>,
 }
 
 impl DistSession {
@@ -318,12 +372,26 @@ impl DistSession {
     /// reports to an untraced one (a test pins this).
     pub fn with_telemetry(config: &DistConfig, model: DocModel, tracer: Tracer) -> Self {
         let registry = Registry::default();
+        // With a detector configured, only hour-0 windows are injected
+        // up front; later ones are deferred so the detector can veto
+        // them once their node is flagged. Without one, every window is
+        // applied up front — the legacy (bit-pinned) path.
+        let (initial_windows, pending_windows): (Vec<LinkWindow>, Vec<LinkWindow>) =
+            if config.detector.is_some() {
+                config
+                    .link_windows
+                    .iter()
+                    .copied()
+                    .partition(|w| w.start_secs < 3_600.0)
+            } else {
+                (config.link_windows.clone(), Vec::new())
+            };
         let cache_config = CacheSimConfig {
             seed: config.seed,
             n_authorities: config.n_authorities,
             n_caches: config.n_caches,
             direct_client_load_bps: config.direct_client_load_bps(),
-            link_windows: config.link_windows.clone(),
+            link_windows: initial_windows.clone(),
             placement: config.placement.clone(),
             ..CacheSimConfig::default()
         };
@@ -372,10 +440,16 @@ impl DistSession {
         tier.publish(0, 0.0, ServeSizes::for_version(&table, 0));
         tier.run_to(3_600.0);
 
-        let mut fleet = FleetSim::new(&FleetConfig {
+        // The defender's rate-limit lever stretches both client fetch
+        // intervals; ×1.0 is bit-identical to the pre-defense fleet.
+        let rate_scale = config.fetch_rate_scale.max(1.0);
+        let mut fleet_config = FleetConfig {
             regions: config.client_regions.clone(),
             ..FleetConfig::sized(config.clients, config.seed ^ 0x0005_eedf_1ee7)
-        });
+        };
+        fleet_config.bootstrap_retry_secs *= rate_scale;
+        fleet_config.refresh_spread_secs *= rate_scale;
+        let mut fleet = FleetSim::new(&fleet_config);
         let publications = vec![baseline];
         let cached: Vec<Vec<Option<f64>>> = serving_sets
             .iter()
@@ -409,6 +483,14 @@ impl DistSession {
             registry,
             prev_traffic: TierHourTraffic::default(),
             alerts_total: 0,
+            pending_windows,
+            applied_windows: if config.detector.is_some() {
+                initial_windows
+            } else {
+                Vec::new()
+            },
+            detector_flags: BTreeMap::new(),
+            detector_filtered: BTreeSet::new(),
         };
         session.finish_hour(0, None, row, egress, 0);
         session
@@ -437,7 +519,39 @@ impl DistSession {
         }
         let alerts = input.alerts.len() as u64;
 
-        self.tier.apply_windows(&input.link_windows);
+        let mut windows = input.link_windows;
+        if self.config.detector.is_some() {
+            // Release the deferred config windows that start this hour,
+            // then drop every window on a node the detector has already
+            // filtered.
+            let hour_end = ((hour + 1) * 3_600) as f64;
+            let mut due = Vec::new();
+            self.pending_windows.retain(|w| {
+                if w.start_secs < hour_end {
+                    due.push(*w);
+                    false
+                } else {
+                    true
+                }
+            });
+            windows.extend(due);
+            let filtered = &self.detector_filtered;
+            let tracer = &self.tracer;
+            windows.retain(|w| {
+                if filtered.contains(&w.node) {
+                    tracer.emit(TraceEvent::DefenseAction {
+                        action: "detector_drop",
+                        hour,
+                        target: node_label(&w.node),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            self.applied_windows.extend(windows.iter().copied());
+        }
+        self.tier.apply_windows(&windows);
 
         let published_version = input.publication.map(|offset| {
             assert!(offset >= 0.0, "publication offset must be within the hour");
@@ -545,6 +659,39 @@ impl DistSession {
             expired_events: totals.expired_events - self.prev_traffic.expired_events,
         };
         self.prev_traffic = totals;
+        if let Some(detector) = self.config.detector {
+            // The hour's realized fetch rate, attempts per client: tier
+            // requests plus the fleet's bootstrap/refresh fetches. A
+            // retry storm pushes this an order of magnitude past any
+            // healthy hour; the nodes whose links ran overridden during
+            // an anomalous hour are the suspects.
+            let fetches = tier_traffic.dir_requests + row.bootstrap_attempts + row.refresh_fetches;
+            if fetches as f64 > detector.rate_threshold * self.config.clients.max(1) as f64 {
+                let start = (hour * 3_600) as f64;
+                let end = ((hour + 1) * 3_600) as f64;
+                let mut suspects: Vec<TierNode> = self
+                    .applied_windows
+                    .iter()
+                    .filter(|w| w.start_secs < end && w.start_secs + w.duration_secs > start)
+                    .map(|w| w.node)
+                    .collect();
+                suspects.sort();
+                suspects.dedup();
+                for node in suspects {
+                    let flags = self.detector_flags.entry(node).or_insert(0);
+                    *flags += 1;
+                    if *flags >= detector.trigger_hours.max(1)
+                        && self.detector_filtered.insert(node)
+                    {
+                        self.tracer.emit(TraceEvent::DefenseAction {
+                            action: "detector",
+                            hour: hour + 1,
+                            target: node_label(&node),
+                        });
+                    }
+                }
+            }
+        }
         self.alerts_total += alerts;
         let fetch_latency = LatencySummary::from_histogram(
             &self
@@ -736,6 +883,79 @@ mod tests {
         assert!(
             last_open.dead_fraction < 0.05,
             "open-loop recovery must complete: {last_open:?}"
+        );
+    }
+
+    /// The detector lever end to end: flooded authorities inflate the
+    /// tier's per-hour fetch-rate signature, the detector flags them
+    /// after `trigger_hours` anomalous hours, their later windows are
+    /// dropped before they reach the tier, and the fleet measurably
+    /// recovers — with every move visible as a `DefenseAction` trace.
+    #[test]
+    fn detector_flags_flooded_authorities_and_drops_their_later_windows() {
+        // An offline flood on every cache link, hours 1–8: the tier
+        // stops absorbing the outage, clients expire after the validity
+        // horizon, and the dead fleet's bootstrap retries become the
+        // fetch-rate anomaly the detector watches.
+        let windows: Vec<LinkWindow> = (1..=8)
+            .flat_map(|h| {
+                (0..10).map(move |i| LinkWindow {
+                    node: TierNode::Cache(i),
+                    start_secs: (h * 3_600) as f64,
+                    duration_secs: 3_600.0,
+                    bps: 0.0,
+                })
+            })
+            .collect();
+        let run = |detector: Option<FetchRateDetector>| {
+            let mut cfg = config(60_000, 10, false);
+            cfg.link_windows = windows.clone();
+            cfg.detector = detector;
+            let tracer = Tracer::enabled(1 << 14);
+            let mut session =
+                DistSession::with_telemetry(&cfg, DocModel::synthetic(cfg.relays), tracer.clone());
+            for _ in 1..12 {
+                session.step_hour(HourInput::produced(330.0));
+            }
+            (session.into_report(), tracer)
+        };
+        let (undefended, _) = run(None);
+        let (defended, tracer) = run(Some(FetchRateDetector {
+            rate_threshold: 1.5,
+            trigger_hours: 2,
+        }));
+
+        let events = tracer.drain();
+        let flagged: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::DefenseAction {
+                    action: "detector",
+                    target,
+                    ..
+                } => Some(target.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            flagged.iter().any(|t| t == "cache0"),
+            "the detector must flag the flooded caches: {flagged:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::DefenseAction {
+                    action: "detector_drop",
+                    ..
+                }
+            )),
+            "filtered nodes' later windows must be dropped"
+        );
+        assert!(
+            defended.fleet.client_weighted_downtime < undefended.fleet.client_weighted_downtime,
+            "filtering the flood must recover availability: {} (detector) vs {}",
+            defended.fleet.client_weighted_downtime,
+            undefended.fleet.client_weighted_downtime
         );
     }
 

@@ -115,6 +115,21 @@ pub enum TraceEvent {
         /// Human-readable target description.
         target: String,
     },
+    /// A lowered defense lever acted on the scenario (blocklist or
+    /// detector filtering, added caches, lifetime extension, client
+    /// rate limiting).
+    DefenseAction {
+        /// Defense lever that fired (stable machine-readable name,
+        /// e.g. `"blocklist"`, `"detector"`, `"add_caches"`,
+        /// `"extend_lifetime"`, `"rate_limit"`).
+        action: &'static str,
+        /// Campaign hour the action takes effect (0 for levers that
+        /// apply to the whole session).
+        hour: u64,
+        /// Human-readable target description (`"auth3"`, `"fleet"`,
+        /// `"tier"`, ...).
+        target: String,
+    },
     /// The consensus-health monitor raised an alert for an hour.
     HealthAlert {
         /// Session hour the alert belongs to.
@@ -170,6 +185,7 @@ impl TraceEvent {
             TraceEvent::Served { .. } => "served",
             TraceEvent::LinkWindow { .. } => "link_window",
             TraceEvent::BlocklistTrigger { .. } => "blocklist_trigger",
+            TraceEvent::DefenseAction { .. } => "defense_action",
             TraceEvent::HealthAlert { .. } => "health_alert",
             TraceEvent::HttpRequest { .. } => "http_request",
             TraceEvent::HourSummary { .. } => "hour_summary",
@@ -249,6 +265,15 @@ impl TraceEvent {
             TraceEvent::BlocklistTrigger { hour, target } => {
                 vec![("hour", U64(*hour)), ("target", Str(target.clone()))]
             }
+            TraceEvent::DefenseAction {
+                action,
+                hour,
+                target,
+            } => vec![
+                ("action", Str((*action).to_string())),
+                ("hour", U64(*hour)),
+                ("target", Str(target.clone())),
+            ],
             TraceEvent::HealthAlert {
                 hour,
                 severity,
@@ -472,6 +497,11 @@ mod tests {
             TraceEvent::BlocklistTrigger {
                 hour: 6,
                 target: "authority 3".to_string(),
+            },
+            TraceEvent::DefenseAction {
+                action: "detector",
+                hour: 4,
+                target: "auth2".to_string(),
             },
             TraceEvent::HealthAlert {
                 hour: 2,
