@@ -78,6 +78,7 @@ fn bench_best_response(c: &mut Criterion) {
                 caches: 4,
                 relays: 500,
                 seed: 1,
+                attribution: false,
             };
             black_box(frontier::run_experiment(&params))
         })

@@ -12,6 +12,20 @@
 //! the summarizer keeps the **last** line per id. The output is one
 //! JSON document, one benchmark per line, sorted by id — diff-friendly
 //! for the committed `BENCH_core.json`.
+//!
+//! `--check BASELINE` turns the tool into a regression gate instead of
+//! a writer: every baseline bench present in the fresh run must stay
+//! within its per-bench noise tolerance of the committed mean;
+//! baseline benches absent from the run are skipped (CI checks a
+//! bench-target subset). The tolerance floor is `--tolerance FRAC`
+//! (default 0.30, i.e. ±30%), widened per bench to the larger of the
+//! committed and fresh relative sample spreads `(max-min)/mean` —
+//! tiny allocation-bound benches are bimodal across processes and
+//! their own spread is the honest noise estimate. Long benches are
+//! the noisy ones on shared CI runners, so `--max-mean-secs SECS`
+//! restricts the gate to the stable fast group (baseline means at or
+//! below the cutoff); the rest are reported but never fail the check.
+//! Exits nonzero on any regression.
 
 use partialtor::json::Json;
 use std::collections::BTreeMap;
@@ -71,24 +85,158 @@ fn render(rows: &BTreeMap<String, BenchRow>) -> String {
     out
 }
 
+/// Compares the fresh rows against a committed baseline; returns the
+/// process exit code. Only baseline benches with `mean_secs <= cutoff`
+/// gate the run; slower ones are reported informationally.
+fn check(
+    rows: &BTreeMap<String, BenchRow>,
+    baseline_path: &str,
+    tolerance: f64,
+    cutoff: f64,
+) -> i32 {
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("bench_summary: cannot read baseline {baseline_path:?}: {error}");
+            return 2;
+        }
+    };
+    // (id, committed mean, committed relative spread (max-min)/mean).
+    let baseline: Vec<(String, f64, f64)> = baseline_text
+        .lines()
+        .filter_map(|line| {
+            let id = field_str(line, "id")?;
+            let mean = field_num(line, "mean_secs")?;
+            let spread = if mean > 0.0 {
+                (field_num(line, "max_secs")? - field_num(line, "min_secs")?) / mean
+            } else {
+                0.0
+            };
+            Some((id, mean, spread))
+        })
+        .collect();
+    if baseline.is_empty() {
+        eprintln!("bench_summary: baseline {baseline_path:?} held no benchmark lines");
+        return 2;
+    }
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for (id, committed_mean, spread) in &baseline {
+        let enforced = *committed_mean <= cutoff;
+        let Some(fresh) = rows.get(id) else {
+            // CI checks a bench-target subset, so committed benches from
+            // targets that didn't run are expected to be absent.
+            println!("  skip  {id}: not in this run");
+            continue;
+        };
+        // Per-bench noise tolerance: the flag sets the floor, but a
+        // bench whose samples spread wider than that — in the committed
+        // baseline or in this run (tiny allocation-bound benches are
+        // bimodal across processes) — gets that observed spread as the
+        // allowance instead.
+        let fresh_spread = if fresh.mean_secs > 0.0 {
+            (fresh.max_secs - fresh.min_secs) / fresh.mean_secs
+        } else {
+            0.0
+        };
+        let allowed = tolerance.max(*spread).max(fresh_spread);
+        let ratio = fresh.mean_secs / committed_mean;
+        let verdict = if ratio > 1.0 + allowed {
+            "SLOWER"
+        } else if ratio < 1.0 - allowed {
+            "faster"
+        } else {
+            "ok"
+        };
+        let line = format!(
+            "{id}: {:.6}s vs committed {:.6}s ({:+.1}%, allowed ±{:.0}%) {verdict}",
+            fresh.mean_secs,
+            committed_mean,
+            100.0 * (ratio - 1.0),
+            100.0 * allowed,
+        );
+        if enforced {
+            gated += 1;
+            println!("  gate  {line}");
+            if ratio > 1.0 + allowed {
+                failures.push(line);
+            }
+        } else {
+            println!("  info  {line}");
+        }
+    }
+    if gated == 0 {
+        eprintln!(
+            "bench_summary: no baseline bench fell under the {cutoff}s cutoff — nothing gated"
+        );
+        return 2;
+    }
+    if failures.is_empty() {
+        println!(
+            "check passed: {gated} gated bench(es) within per-bench tolerance (floor ±{:.0}%) of {baseline_path}",
+            100.0 * tolerance
+        );
+        0
+    } else {
+        eprintln!(
+            "bench_summary: {} regression(s) beyond per-bench tolerance (floor ±{:.0}%):",
+            failures.len(),
+            100.0 * tolerance
+        );
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        1
+    }
+}
+
+const USAGE: &str = "usage: bench_summary <criterion-out.jsonl> [-o BENCH_core.json]
+       bench_summary <criterion-out.jsonl> --check BENCH_core.json
+                     [--tolerance FRAC] [--max-mean-secs SECS]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input = None;
     let mut output = "BENCH_core.json".to_string();
+    let mut baseline = None;
+    let mut tolerance = 0.30;
+    let mut cutoff = f64::INFINITY;
     let mut tokens = args.iter();
+    let value = |tokens: &mut std::slice::Iter<String>, flag: &str| match tokens.next() {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("bench_summary: {flag} expects a value");
+            std::process::exit(2);
+        }
+    };
     while let Some(token) = tokens.next() {
         match token.as_str() {
             "-h" | "--help" => {
-                println!("usage: bench_summary <criterion-out.jsonl> [-o BENCH_core.json]");
+                println!("{USAGE}");
                 return;
             }
-            "-o" | "--output" => match tokens.next() {
-                Some(path) => output = path.clone(),
-                None => {
-                    eprintln!("bench_summary: -o expects a path");
-                    std::process::exit(2);
-                }
-            },
+            "-o" | "--output" => output = value(&mut tokens, "-o"),
+            "--check" => baseline = Some(value(&mut tokens, "--check")),
+            "--tolerance" => {
+                let raw = value(&mut tokens, "--tolerance");
+                tolerance = match raw.parse::<f64>() {
+                    Ok(frac) if frac > 0.0 => frac,
+                    _ => {
+                        eprintln!("bench_summary: --tolerance expects a positive fraction");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--max-mean-secs" => {
+                let raw = value(&mut tokens, "--max-mean-secs");
+                cutoff = match raw.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 => secs,
+                    _ => {
+                        eprintln!("bench_summary: --max-mean-secs expects positive seconds");
+                        std::process::exit(2);
+                    }
+                };
+            }
             path if input.is_none() => input = Some(path.to_string()),
             extra => {
                 eprintln!("bench_summary: unexpected argument {extra:?}");
@@ -97,7 +245,7 @@ fn main() {
         }
     }
     let Some(input) = input else {
-        eprintln!("usage: bench_summary <criterion-out.jsonl> [-o BENCH_core.json]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
     let text = match std::fs::read_to_string(&input) {
@@ -123,6 +271,9 @@ fn main() {
     if rows.is_empty() {
         eprintln!("bench_summary: {input:?} held no benchmark lines");
         std::process::exit(2);
+    }
+    if let Some(baseline_path) = baseline {
+        std::process::exit(check(&rows, &baseline_path, tolerance, cutoff));
     }
     // A bench that was committed but is absent from this run usually
     // means a bench target silently stopped being built or a group was

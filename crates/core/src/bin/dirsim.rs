@@ -7,12 +7,15 @@
 //!                  [--flood MBPS] [--relays N] [--seed N]
 //! dirsim sweep     [--protocol ...] [--relays N] [--seed N]
 //! dirsim clients   [--clients N] [--hours H | --days N] [--caches K] [--relays N]
-//!                  [--seed N] [--feedback] [--churn C|weekly] [--real-docs] [--json]
+//!                  [--seed N] [--feedback] [--churn C|weekly] [--real-docs]
+//!                  [--attribution] [--json]
+//! dirsim attribute [--clients N] [--hours H] [--caches K] [--relays N]
+//!                  [--seed N] [--feedback] [--json]
 //! dirsim adversary [--budget USD] [--hours H] [--beam K] [--clients N]
 //!                  [--caches K] [--relays N] [--seed N] [--defender H] [--json]
 //! dirsim frontier  [--defense-budget-grid USD,..] [--attack-budget USD]
 //!                  [--target FRAC] [--hours H] [--beam K] [--clients N]
-//!                  [--caches K] [--relays N] [--seed N] [--json]
+//!                  [--caches K] [--relays N] [--seed N] [--attribution] [--json]
 //! dirsim placement [--clients N] [--hours H] [--caches K] [--relays N]
 //!                  [--seed N] [--greedy N] [--brownout REGION] [--json]
 //! dirsim cost      [--targets K] [--flood MBPS] [--minutes M]
@@ -21,7 +24,10 @@
 //!
 //! Every subcommand accepts `--json` (machine-readable output on
 //! stdout) and the global telemetry flags: `--trace FILE` writes the
-//! structured event trace as JSONL, `--metrics FILE` writes the
+//! structured event trace as JSONL (each line carrying the event's span
+//! id and causal parent), `--trace-chrome FILE` writes the same records
+//! as Chrome trace-event JSON (load in `chrome://tracing` or Perfetto —
+//! causal chains render as flow arrows), `--metrics FILE` writes the
 //! subcommand's metrics tree as JSON, `--profile` prints a per-phase
 //! wall-clock profile to stderr at exit. Telemetry is observational —
 //! enabling any of it leaves the simulation output bit-identical.
@@ -34,13 +40,14 @@
 use partialtor::adversary::{AttackPlan, AttackWindow, Target};
 use partialtor::attack::AttackCostModel;
 use partialtor::calibration::ATTACK_FLOOD_MBPS;
-use partialtor::experiments::{adversary, clients, frontier, placement};
+use partialtor::experiments::{adversary, attribute, clients, frontier, placement};
 use partialtor::json::Json;
 use partialtor::monitor;
 use partialtor::protocols::ProtocolKind;
 use partialtor::runner::{set_sweep_threads, sweep, sweep_one, RunReport, Scenario, SweepJob};
+use partialtor::trace_export::{chrome_trace, trace_line};
 use partialtor_obs::trace::DEFAULT_TRACE_CAPACITY;
-use partialtor_obs::{profile_report, set_profiling, TraceEvent, TraceValue, Tracer};
+use partialtor_obs::{profile_report, set_profiling, Tracer};
 use partialtor_simnet::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -80,7 +87,12 @@ const GLOBAL_FLAGS: &[FlagSpec] = &[
     value_flag(
         "--trace",
         "FILE",
-        "write the structured event trace (JSONL)",
+        "write the structured event trace (JSONL, with span/cause ids)",
+    ),
+    value_flag(
+        "--trace-chrome",
+        "FILE",
+        "write the trace as Chrome trace-event JSON (chrome://tracing, Perfetto)",
     ),
     value_flag("--metrics", "FILE", "write the subcommand's metrics (JSON)"),
     bool_flag(
@@ -202,7 +214,7 @@ impl Telemetry {
             set_profiling(true);
         }
         Telemetry {
-            tracer: if args.present("--trace") {
+            tracer: if args.present("--trace") || args.present("--trace-chrome") {
                 Tracer::enabled(DEFAULT_TRACE_CAPACITY)
             } else {
                 Tracer::disabled()
@@ -212,19 +224,27 @@ impl Telemetry {
     }
 
     /// Writes the requested export files and prints the profile after
-    /// the handler ran.
+    /// the handler ran. The ring is drained once; the JSONL and Chrome
+    /// exports render the same records.
     fn finish(self, args: &Args) -> Result<(), String> {
-        if let Some(path) = args.values.get("--trace") {
+        if args.present("--trace") || args.present("--trace-chrome") {
             let dropped = self.tracer.dropped();
             if dropped > 0 {
                 eprintln!("dirsim: trace ring dropped {dropped} oldest events");
             }
-            let mut out = String::new();
-            for event in self.tracer.drain() {
-                out.push_str(&trace_line(&event).render());
-                out.push('\n');
+            let records = self.tracer.drain_records();
+            if let Some(path) = args.values.get("--trace") {
+                let mut out = String::new();
+                for record in &records {
+                    out.push_str(&trace_line(record).render());
+                    out.push('\n');
+                }
+                std::fs::write(path, out).map_err(|e| format!("writing trace {path:?}: {e}"))?;
             }
-            std::fs::write(path, out).map_err(|e| format!("writing trace {path:?}: {e}"))?;
+            if let Some(path) = args.values.get("--trace-chrome") {
+                std::fs::write(path, format!("{}\n", chrome_trace(&records).render()))
+                    .map_err(|e| format!("writing chrome trace {path:?}: {e}"))?;
+            }
         }
         if let Some(path) = args.values.get("--metrics") {
             std::fs::write(path, format!("{}\n", self.metrics.render()))
@@ -238,21 +258,6 @@ impl Telemetry {
         }
         Ok(())
     }
-}
-
-/// One trace event as a flat JSON object: `{"event": <kind>, ...}`.
-fn trace_line(event: &TraceEvent) -> Json {
-    let mut pairs = vec![("event".to_string(), Json::str(event.kind()))];
-    for (name, value) in event.fields() {
-        let value = match value {
-            TraceValue::U64(v) => Json::from(v),
-            TraceValue::F64(v) => Json::from(v),
-            TraceValue::Bool(v) => Json::from(v),
-            TraceValue::Str(v) => Json::Str(v),
-        };
-        pairs.push((name.to_string(), value));
-    }
-    Json::Obj(pairs)
 }
 
 /// One protocol run as JSON (`dirsim run --json`, and the `report` node
@@ -588,6 +593,10 @@ const CLIENTS_SPEC: &[FlagSpec] = &[
         "FILE",
         "export the Current protocol's per-hour fetch mixes for dirload replay",
     ),
+    bool_flag(
+        "--attribution",
+        "decompose each hour's downtime into additive blame causes (observational)",
+    ),
     JSON_FLAG,
 ];
 
@@ -632,6 +641,7 @@ fn cmd_clients(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
         feedback: args.present("--feedback"),
         churn: churn_schedule(args)?,
         real_docs: args.present("--real-docs"),
+        attribution: args.present("--attribution"),
     };
     let results = clients::run_experiment_traced(&params, &telemetry.tracer);
     telemetry.metrics = clients::metrics_json(&results);
@@ -644,6 +654,39 @@ fn cmd_clients(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
         println!("{}", clients::to_json(&results).render());
     } else {
         print!("{}", clients::render(&results));
+    }
+    Ok(())
+}
+
+const ATTRIBUTE_SPEC: &[FlagSpec] = &[
+    value_flag("--clients", "N", "client fleet size (default 3000000)"),
+    value_flag("--hours", "H", "attacked hours simulated (default 24)"),
+    value_flag("--caches", "K", "directory caches (default 200)"),
+    RELAYS_FLAG,
+    SEED_FLAG,
+    bool_flag(
+        "--feedback",
+        "close the fetch-feedback loop (hour h's client load hits hour h+1's links)",
+    ),
+    JSON_FLAG,
+];
+
+fn cmd_attribute(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
+    let defaults = attribute::AttributeParams::default();
+    let params = attribute::AttributeParams {
+        hours: args.u64("--hours", defaults.hours)?,
+        clients: args.u64("--clients", defaults.clients)?,
+        caches: args.u64("--caches", defaults.caches as u64)? as usize,
+        relays: args.u64("--relays", defaults.relays)?,
+        seed: args.u64("--seed", defaults.seed)?,
+        feedback: args.present("--feedback"),
+    };
+    let result = attribute::run_experiment_traced(&params, &telemetry.tracer);
+    telemetry.metrics = attribute::to_json(&result);
+    if args.present("--json") {
+        println!("{}", telemetry.metrics.render());
+    } else {
+        print!("{}", attribute::render(&result));
     }
     Ok(())
 }
@@ -711,6 +754,10 @@ const FRONTIER_SPEC: &[FlagSpec] = &[
     value_flag("--caches", "K", "directory caches (default 50)"),
     RELAYS_FLAG,
     SEED_FLAG,
+    bool_flag(
+        "--attribution",
+        "decompose each row's downtime into additive blame causes (observational)",
+    ),
     JSON_FLAG,
 ];
 
@@ -737,6 +784,7 @@ fn cmd_frontier(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
         caches: args.u64("--caches", defaults.caches as u64)? as usize,
         relays: args.u64("--relays", defaults.relays)?,
         seed: args.u64("--seed", defaults.seed)?,
+        attribution: args.present("--attribution"),
     };
     let result = frontier::run_experiment_traced(&params, &telemetry.tracer);
     telemetry.metrics = frontier::to_json(&result);
@@ -800,11 +848,12 @@ fn cmd_placement(args: &Args, telemetry: &mut Telemetry) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: dirsim <run|attack|sweep|clients|adversary|frontier|placement|cost|monitor> [options]
+    "usage: dirsim <run|attack|sweep|clients|attribute|adversary|frontier|placement|cost|monitor> [options]
   run       one protocol run
   attack    one run under a bandwidth-DDoS window set
   sweep     latency across a bandwidth grid
   clients   client-visible availability through the distribution layer
+  attribute exact blame decomposition of the five-of-nine downtime
   adversary budget-constrained strategy search over authorities + caches
   frontier  attacker-defender co-evolution: the cost-of-denial frontier
   placement geographic cache-placement sweep + greedy placement search
@@ -812,7 +861,9 @@ const USAGE: &str =
   monitor   run all three protocols through the bandwidth monitor
 run `dirsim <subcommand> --help` for the subcommand's options;
 every subcommand also accepts --threads N (1 = serial sweeps),
---trace FILE (JSONL event trace), --metrics FILE (metrics JSON)
+--trace FILE (JSONL event trace with span/cause ids),
+--trace-chrome FILE (Chrome trace-event JSON for chrome://tracing),
+--metrics FILE (metrics JSON)
 and --profile (per-phase wall-clock profile on stderr)";
 
 /// Subcommand table: name, one-line description, flag spec, handler.
@@ -836,6 +887,12 @@ const SUBCOMMANDS: &[(&str, &str, &[FlagSpec], Handler)] = &[
         "client-visible availability through the distribution layer",
         CLIENTS_SPEC,
         cmd_clients,
+    ),
+    (
+        "attribute",
+        "exact blame decomposition of the five-of-nine downtime",
+        ATTRIBUTE_SPEC,
+        cmd_attribute,
     ),
     (
         "adversary",

@@ -63,6 +63,10 @@ pub struct ClientsParams {
     /// Measure document sizes from real `tordoc` consensuses instead of
     /// the synthetic model.
     pub real_docs: bool,
+    /// Compute the per-hour downtime blame decomposition
+    /// (observational; see
+    /// [`DistConfig::attribution`](partialtor_dirdist::DistConfig)).
+    pub attribution: bool,
 }
 
 impl Default for ClientsParams {
@@ -76,6 +80,7 @@ impl Default for ClientsParams {
             feedback: false,
             churn: ChurnSchedule::default(),
             real_docs: false,
+            attribution: false,
         }
     }
 }
@@ -229,6 +234,7 @@ pub fn run_experiment_traced(params: &ClientsParams, tracer: &Tracer) -> Vec<Cli
                 churn: params.churn.clone(),
                 feedback: params.feedback,
                 link_windows: windows,
+                attribution: params.attribution,
                 ..DistConfig::default()
             };
             let model = if params.real_docs {

@@ -34,7 +34,7 @@
 use crate::defense::{DefenseCostModel, DefensePlan};
 use crate::protocols::ProtocolKind;
 use crate::runner::{par_map, sweep, RunReport, SweepJob};
-use partialtor_dirdist::{simulate, CachePlacement, DistConfig};
+use partialtor_dirdist::{simulate, AttributionRollup, CachePlacement, DistConfig};
 use partialtor_obs::{span, Tracer};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -66,6 +66,12 @@ pub struct FrontierParams {
     pub relays: u64,
     /// Base seed (protocol runs, cache tier, fleet).
     pub seed: u64,
+    /// Decompose each row's reported downtime into additive causes: the
+    /// reported campaign is replayed under the winning defense with
+    /// [`DistConfig::attribution`] on, so the table says not just how
+    /// much downtime each defense dollar reclaimed but *which cause* it
+    /// eliminated. Observational — the search itself is untouched.
+    pub attribution: bool,
 }
 
 impl Default for FrontierParams {
@@ -80,6 +86,7 @@ impl Default for FrontierParams {
             caches: 50,
             relays: 8_000,
             seed: 1,
+            attribution: false,
         }
     }
 }
@@ -103,6 +110,10 @@ pub struct FrontierRow {
     pub attack_label: String,
     /// Client-weighted downtime of the reported campaign.
     pub attack_downtime: f64,
+    /// Blame decomposition of `attack_downtime`; `Some` only when
+    /// [`FrontierParams::attribution`] was on. Its parts sum bit-exactly
+    /// to `attack_downtime`.
+    pub attribution: Option<AttributionRollup>,
 }
 
 /// The frontier table plus the sweep's fixed parameters.
@@ -223,6 +234,18 @@ fn score_shape(
     shape: &CampaignShape,
     memo: &OutcomeMemo,
 ) -> PlanScore {
+    score_with_report(params, defense, lowered, shape, memo).0
+}
+
+/// [`score_shape`] plus the distribution run's attribution rollup (the
+/// `Some` path when `lowered.attribution` is on).
+fn score_with_report(
+    params: &FrontierParams,
+    defense: &DefensePlan,
+    lowered: &DistConfig,
+    shape: &CampaignShape,
+    memo: &OutcomeMemo,
+) -> (PlanScore, Option<AttributionRollup>) {
     let plan = defense.effective_attack(&shape.plan(params.hours), &Tracer::disabled());
     let outcomes: Vec<Option<f64>> = (1..=params.hours)
         .map(|hour| {
@@ -246,7 +269,7 @@ fn score_shape(
         },
         &timeline,
     );
-    PlanScore {
+    let score = PlanScore {
         label: shape.label(),
         authorities: shape.authorities,
         caches: shape.caches,
@@ -258,7 +281,42 @@ fn score_shape(
         cost_usd_month: shape.cost_usd_month(),
         produced_hours: outcomes.iter().flatten().count() as u64,
         client_weighted_downtime: dist.fleet.client_weighted_downtime,
-    }
+    };
+    (score, dist.attribution)
+}
+
+/// Replays one row's reported campaign under its winning defense with
+/// the attribution ladder on and returns the blame rollup. A pure
+/// re-observation of the row's own score: the replay reuses the memoized
+/// protocol outcomes and the same lowered config, and attribution is
+/// observational, so the replayed downtime is bit-identical to
+/// `reported.client_weighted_downtime` — the rollup decomposes exactly
+/// the number the row prints.
+fn attribute_reported(
+    params: &FrontierParams,
+    defense: &DefensePlan,
+    reported: &PlanScore,
+    memo: &mut OutcomeMemo,
+) -> AttributionRollup {
+    let shape = CampaignShape {
+        authorities: reported.authorities,
+        auth_window_secs: reported.auth_window_secs,
+        flood_mbps: reported.flood_mbps,
+        caches: reported.caches,
+        cache_window_secs: reported.cache_window_secs,
+        rotate: reported.rotate,
+    };
+    // The search already memoized this shape's outcomes; re-filling is a
+    // cheap no-op that keeps this function total.
+    fill_memo(params, defense, &[shape], memo);
+    let lowered = DistConfig {
+        attribution: true,
+        ..defense.lower(&base_config(params))
+    };
+    let score = score_with_report(params, defense, &lowered, &shape, memo);
+    score
+        .1
+        .expect("attribution was enabled on the lowered config")
 }
 
 /// The attacker's full beam search against one defense — the same shape
@@ -467,6 +525,9 @@ pub fn run_experiment_traced(params: &FrontierParams, tracer: &Tracer) -> Fronti
             .cheapest_at_target
             .clone()
             .unwrap_or_else(|| response.best.clone());
+        let attribution = params
+            .attribution
+            .then(|| attribute_reported(params, &winner, &reported, &mut memo));
         rows.push(FrontierRow {
             defense_budget_usd_month: budget,
             defense_label: winner.label(),
@@ -477,6 +538,7 @@ pub fn run_experiment_traced(params: &FrontierParams, tracer: &Tracer) -> Fronti
                 .map(|s| s.cost_usd_month),
             attack_label: reported.label.clone(),
             attack_downtime: reported.client_weighted_downtime,
+            attribution,
         });
 
         // Replay the row's endgame into the trace: the winner's levers
@@ -549,6 +611,24 @@ pub fn render(result: &FrontierResult) -> String {
             row.defense_label, row.defense_cost_usd_month
         ));
     }
+    if result.rows.iter().any(|r| r.attribution.is_some()) {
+        out.push_str("\ndowntime blame per row (parts sum exactly to the downtime column):\n");
+        for row in &result.rows {
+            let Some(rollup) = &row.attribution else {
+                continue;
+            };
+            out.push_str(&format!(
+                "  ${:>6.2} defense: dominated by {}\n",
+                row.defense_budget_usd_month,
+                rollup.parts.dominant().0
+            ));
+            for (name, value) in rollup.parts.named() {
+                if value > 0.0 {
+                    out.push_str(&format!("    {name:<26} {:>7.2}%\n", 100.0 * value));
+                }
+            }
+        }
+    }
     out
 }
 
@@ -582,6 +662,13 @@ pub fn to_json(result: &FrontierResult) -> crate::json::Json {
                     ),
                     ("attack_label", Json::str(row.attack_label.clone())),
                     ("attack_downtime", Json::from(row.attack_downtime)),
+                    (
+                        "attribution",
+                        match &row.attribution {
+                            None => Json::Null,
+                            Some(rollup) => super::attribution_rollup_json(rollup),
+                        },
+                    ),
                 ])
             })),
         ),
@@ -603,6 +690,7 @@ mod tests {
             caches: 6,
             relays: 2_000,
             seed: 1,
+            attribution: false,
         }
     }
 
@@ -681,6 +769,61 @@ mod tests {
             funded.attack_downtime < 0.80,
             "the attacker's best effort must fall short of the target: {}",
             funded.attack_downtime
+        );
+    }
+
+    /// `--attribution` explains each row's downtime exactly: the parts
+    /// sum bit-exactly to the downtime column, the undefended row blames
+    /// the lost quorum, and turning the flag on changes nothing else
+    /// about the table.
+    #[test]
+    fn attribution_explains_each_row_exactly_and_observationally() {
+        // Deliberately small (6 h instead of 24): this runs the search
+        // twice, and the properties checked are scale-free. The scale
+        // still has to be big enough that the $55 budget buys denial —
+        // at 6 hours the five-of-nine flood yields 57% downtime.
+        let tiny = |attribution| FrontierParams {
+            defense_budgets: vec![0.0, 30.0],
+            attack_budget_usd_month: 55.0,
+            hours: 6,
+            beam: 1,
+            clients: 8_000,
+            caches: 6,
+            relays: 2_000,
+            attribution,
+            ..FrontierParams::default()
+        };
+        let plain = run_experiment(&tiny(false));
+        let attributed = run_experiment(&tiny(true));
+        assert_eq!(plain.rows.len(), attributed.rows.len());
+        for (p, a) in plain.rows.iter().zip(&attributed.rows) {
+            assert!(p.attribution.is_none());
+            assert_eq!(p.defense_label, a.defense_label);
+            assert_eq!(p.attack_label, a.attack_label);
+            assert_eq!(
+                p.attack_downtime.to_bits(),
+                a.attack_downtime.to_bits(),
+                "attribution must not perturb the search"
+            );
+            let rollup = a.attribution.as_ref().expect("attribution on");
+            assert_eq!(
+                rollup.parts.sum().to_bits(),
+                a.attack_downtime.to_bits(),
+                "parts must sum bit-exactly to the row's downtime"
+            );
+            assert!(rollup.parts.named().iter().all(|(_, v)| *v >= 0.0));
+        }
+        let undefended = &attributed.rows[0];
+        let (dominant, share) = undefended
+            .attribution
+            .as_ref()
+            .expect("attribution on")
+            .parts
+            .dominant();
+        assert!(share > 0.0, "undefended row must have downtime to blame");
+        assert_eq!(
+            dominant, "quorum_lost",
+            "the undefended five-of-nine denial works by killing the quorum"
         );
     }
 }

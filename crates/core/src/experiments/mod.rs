@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod adversary;
+pub mod attribute;
 pub mod availability;
 pub mod clients;
 pub mod cost;
@@ -104,6 +105,50 @@ fn latency_json(latency: &Option<partialtor_dirdist::LatencySummary>) -> crate::
     }
 }
 
+/// One additive blame decomposition as JSON: the seven cause parts in
+/// canonical order plus the dominant cause's name. The parts sum
+/// bit-exactly to the downtime they decompose, so the JSON is
+/// re-checkable by any consumer.
+pub(crate) fn cause_parts_json(parts: &partialtor_dirdist::CauseParts) -> crate::json::Json {
+    use crate::json::Json;
+    let mut pairs: Vec<(String, Json)> = parts
+        .named()
+        .iter()
+        .map(|(name, value)| (name.to_string(), Json::from(*value)))
+        .collect();
+    pairs.push(("dominant".to_string(), Json::str(parts.dominant().0)));
+    Json::Obj(pairs)
+}
+
+/// A whole-run attribution rollup as JSON (`null`-free: callers emit it
+/// only when attribution ran).
+pub(crate) fn attribution_rollup_json(
+    rollup: &partialtor_dirdist::AttributionRollup,
+) -> crate::json::Json {
+    use crate::json::Json;
+    Json::obj([
+        (
+            "client_weighted_downtime",
+            Json::from(rollup.client_weighted_downtime),
+        ),
+        ("parts", cause_parts_json(&rollup.parts)),
+    ])
+}
+
+/// An hour's attribution as JSON — `null` when attribution was off.
+fn hour_attribution_json(
+    attribution: &Option<partialtor_dirdist::HourAttribution>,
+) -> crate::json::Json {
+    use crate::json::Json;
+    match attribution {
+        None => Json::Null,
+        Some(a) => Json::obj([
+            ("downtime", Json::from(a.downtime)),
+            ("parts", cause_parts_json(&a.parts)),
+        ]),
+    }
+}
+
 /// One distribution hour as JSON: publication state, background load,
 /// fetch-latency percentiles and the hour's tier-traffic signature.
 fn hour_json(hour: &partialtor_dirdist::HourReport) -> crate::json::Json {
@@ -141,6 +186,7 @@ fn hour_json(hour: &partialtor_dirdist::HourReport) -> crate::json::Json {
             ]),
         ),
         ("alerts", Json::from(hour.alerts)),
+        ("attribution", hour_attribution_json(&hour.attribution)),
     ])
 }
 
@@ -154,6 +200,7 @@ fn telemetry_rollup_json(telemetry: &partialtor_dirdist::TelemetrySummary) -> cr
         ("fetch_timeouts", Json::from(telemetry.fetch_timeouts)),
         ("alerts", Json::from(telemetry.alerts)),
         ("expired_events", Json::from(telemetry.expired_events)),
+        ("trace_dropped", Json::from(telemetry.trace_dropped)),
         ("fetch_latency", latency_json(&telemetry.fetch_latency)),
     ])
 }
@@ -183,6 +230,13 @@ pub(crate) fn dist_report_json(dist: &partialtor_dirdist::DistReport) -> crate::
     Json::obj([
         ("hours", Json::arr(dist.hours.iter().map(hour_json))),
         ("telemetry", telemetry_rollup_json(&dist.telemetry)),
+        (
+            "attribution",
+            match &dist.attribution {
+                None => Json::Null,
+                Some(rollup) => attribution_rollup_json(rollup),
+            },
+        ),
         (
             "cache",
             Json::obj([

@@ -55,6 +55,7 @@ pub mod monitor;
 pub mod protocols;
 pub mod runner;
 pub mod signing;
+pub mod trace_export;
 
 pub use adversary::{AttackPlan, AttackWindow, Target};
 pub use attack::{AttackCostModel, StressorPricing};

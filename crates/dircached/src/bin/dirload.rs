@@ -3,14 +3,17 @@
 //! Loads a `FetchMix` (from a `dirsim clients --fetch-mix` export, or
 //! synthesized from a small feedback-on session by default), replays it
 //! open-loop at `--rate`, and reports achieved throughput, latency
-//! percentiles and the diff hit rate. `--budget-check` scales the
+//! percentiles (p50/p90/p99/p99.9, read back from the shared obs
+//! registry the run publishes into) and the diff hit rate.
+//! `--budget-check` scales the
 //! measured payload rate to an hour and prints the ratio against the
 //! per-cache service budget the simulation assumes. `--metrics FILE`
 //! writes the report as JSON for machines (CI) to parse.
 
 use partialtor_dircached::loadgen;
-use partialtor_dircached::{budget_check, synthesize_mix, LoadConfig, LoadReport};
+use partialtor_dircached::{budget_check, synthesize_mix, LoadConfig, LoadReport, LATENCY_METRIC};
 use partialtor_dirdist::FetchMix;
+use partialtor_obs::{Histogram, Registry};
 use partialtor_simnet::geo::Region;
 use std::time::Duration;
 
@@ -127,7 +130,11 @@ fn load_mix(args: &Args) -> Result<FetchMix, String> {
     }
 }
 
-fn render_table(report: &LoadReport, budget: Option<&partialtor_dircached::BudgetCheck>) {
+fn render_table(
+    report: &LoadReport,
+    latency: &Histogram,
+    budget: Option<&partialtor_dircached::BudgetCheck>,
+) {
     fn ms(v: Option<f64>) -> String {
         v.map_or_else(|| "-".to_string(), |s| format!("{:.2}", s * 1_000.0))
     }
@@ -152,11 +159,12 @@ fn render_table(report: &LoadReport, budget: Option<&partialtor_dircached::Budge
         report.wall_secs
     );
     println!(
-        "  latency ms   p50={} p90={} p99={} (n={})",
-        ms(report.latency.p50()),
-        ms(report.latency.p90()),
-        ms(report.latency.p99()),
-        report.latency.count()
+        "  latency ms   p50={} p90={} p99={} p99.9={} (n={})",
+        ms(latency.p50()),
+        ms(latency.p90()),
+        ms(latency.p99()),
+        ms(latency.p999()),
+        latency.count()
     );
     if let Some(check) = budget {
         println!(
@@ -181,13 +189,18 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let report = match loadgen::run(&args.load, &mix) {
+    // The run publishes into a shared obs registry; the table reads the
+    // latency percentiles back out of it, so the numbers printed are the
+    // registry's merged histogram, not a private side copy.
+    let registry = Registry::new();
+    let report = match loadgen::run_with_registry(&args.load, &mix, &registry) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("dirload: {error}");
             std::process::exit(1);
         }
     };
+    let latency = registry.histogram(LATENCY_METRIC);
     let budget = args.budget.then(|| budget_check(&report));
     let json = report.to_json(budget.as_ref());
     if let Some(path) = &args.metrics {
@@ -199,6 +212,6 @@ fn main() {
     if args.json {
         println!("{json}");
     } else {
-        render_table(&report, budget.as_ref());
+        render_table(&report, &latency, budget.as_ref());
     }
 }

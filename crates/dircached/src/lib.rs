@@ -33,6 +33,8 @@ pub mod store;
 
 pub use daemon::{metrics_json, Daemon, DaemonConfig};
 pub use docs::{consensus_series, DocSetConfig};
-pub use loadgen::{budget_check, synthesize_mix, BudgetCheck, LoadConfig, LoadReport};
+pub use loadgen::{
+    budget_check, synthesize_mix, BudgetCheck, LoadConfig, LoadReport, LATENCY_METRIC,
+};
 pub use proto::{DocRequest, Parsed, ResponseHead, MAX_REQUEST_BYTES};
 pub use store::{ServeOutcome, ServingStore};

@@ -24,13 +24,17 @@ use partialtor_dirdist::{
     per_cache_service_budget_bytes, CacheSimConfig, DistConfig, DistSession, DocModel, FetchMix,
     HourInput, LinkWindow, TierNode,
 };
-use partialtor_obs::Histogram;
+use partialtor_obs::{Histogram, Registry};
 use partialtor_simnet::geo::{midpoint_ms, Region, CLIENT_WEIGHTS, REGIONS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Registry name the merged per-request latency histogram publishes
+/// under (see [`LoadReport::publish_metrics`]).
+pub const LATENCY_METRIC: &str = "dirload.request_latency";
 
 /// Load-run parameters.
 #[derive(Clone, Debug)]
@@ -140,6 +144,20 @@ impl LoadReport {
         }
     }
 
+    /// Publishes the run into a shared obs [`Registry`]: the outcome
+    /// counters under `dirload.*` and the latency histogram — merged
+    /// exactly, not resampled — under [`LATENCY_METRIC`]. Lets a
+    /// harness aggregate several runs (or a run plus a daemon's own
+    /// registry) in one snapshot.
+    pub fn publish_metrics(&self, registry: &Registry) {
+        registry.inc("dirload.sent", self.sent);
+        registry.inc("dirload.completed", self.completed);
+        registry.inc("dirload.failed", self.failed);
+        registry.inc("dirload.shed", self.shed);
+        registry.inc("dirload.payload_bytes", self.payload_bytes);
+        registry.merge_histogram(LATENCY_METRIC, &self.latency);
+    }
+
     /// Fraction of refresh consensus requests answered with a diff.
     pub fn diff_hit_rate(&self) -> f64 {
         if self.refresh_requests > 0 {
@@ -163,7 +181,8 @@ impl LoadReport {
                 "\"bootstrap_fulls\":{},\"refresh_requests\":{},\"diff_hits\":{},",
                 "\"descriptor_requests\":{},\"probes\":{},\"payload_bytes\":{},",
                 "\"wall_secs\":{:.6},\"achieved_rps\":{:.3},\"diff_hit_rate\":{:.6},",
-                "\"latency\":{{\"count\":{},\"p50_secs\":{},\"p90_secs\":{},\"p99_secs\":{}}}"
+                "\"latency\":{{\"count\":{},\"p50_secs\":{},\"p90_secs\":{},",
+                "\"p99_secs\":{},\"p999_secs\":{}}}"
             ),
             self.sent,
             self.completed,
@@ -182,6 +201,7 @@ impl LoadReport {
             opt(self.latency.p50()),
             opt(self.latency.p90()),
             opt(self.latency.p99()),
+            opt(self.latency.p999()),
         );
         if let Some(check) = budget {
             out.push_str(&format!(
@@ -416,6 +436,17 @@ pub fn fetch_history(addr: &SocketAddr, timeout: Duration) -> Option<Vec<Digest3
 /// aim refreshes, then drives `connections` workers through the
 /// open-loop schedule. Returns the merged report.
 pub fn run(config: &LoadConfig, mix: &FetchMix) -> Result<LoadReport, String> {
+    run_with_registry(config, mix, &Registry::new())
+}
+
+/// [`run`], publishing the merged outcome into a caller-supplied obs
+/// [`Registry`] (counters plus the [`LATENCY_METRIC`] histogram) so the
+/// run's metrics live alongside whatever else the harness collects.
+pub fn run_with_registry(
+    config: &LoadConfig,
+    mix: &FetchMix,
+    registry: &Registry,
+) -> Result<LoadReport, String> {
     let addr: SocketAddr = config
         .addr
         .to_socket_addrs()
@@ -501,6 +532,7 @@ pub fn run(config: &LoadConfig, mix: &FetchMix) -> Result<LoadReport, String> {
         }
     });
     report.wall_secs = start.elapsed().as_secs_f64();
+    report.publish_metrics(registry);
     Ok(report)
 }
 
@@ -572,6 +604,30 @@ mod tests {
         let json = report.to_json(Some(&budget_check(&report)));
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"budget\""));
+        assert!(json.contains("\"p999_secs\""));
         assert!(!json.contains("inf") && !json.contains("NaN"));
+    }
+
+    #[test]
+    fn publish_metrics_merges_into_the_shared_registry() {
+        let mut report = LoadReport::default();
+        for i in 0..1_000 {
+            report.latency.observe(0.001 * (1 + i % 10) as f64);
+        }
+        report.sent = 1_000;
+        report.completed = 990;
+        report.failed = 8;
+        report.shed = 2;
+
+        let registry = Registry::new();
+        registry.inc("dirload.sent", 5); // pre-existing runs accumulate
+        report.publish_metrics(&registry);
+
+        assert_eq!(registry.counter("dirload.sent"), 1_005);
+        assert_eq!(registry.counter("dirload.completed"), 990);
+        let merged = registry.histogram(LATENCY_METRIC);
+        assert_eq!(merged.count(), report.latency.count());
+        assert_eq!(merged.p999(), report.latency.p999());
+        assert!(report.latency.p999() >= report.latency.p50());
     }
 }

@@ -27,7 +27,7 @@
 use crate::docmodel::{DocClass, DocTable};
 use crate::placement::CachePlacement;
 use crate::timeline::ConsensusTimeline;
-use partialtor_obs::{span, Registry, TraceEvent, Tracer};
+use partialtor_obs::{span, Registry, SpanId, TraceEvent, Tracer};
 use partialtor_simnet::geo::{self, Region, AUTHORITY_REGIONS};
 use partialtor_simnet::prelude::*;
 use partialtor_simnet::Metrics;
@@ -170,7 +170,11 @@ impl ServeSizes {
 #[derive(Clone, Debug)]
 enum DirMsg {
     /// Cache → authority: "send me the newest consensus; I hold `have`".
-    Request { have: Option<usize> },
+    /// `span` is the raw id of the cache's fetch-attempt trace span
+    /// (`0` when tracing is off) so the authority's `Served` event can
+    /// link back to the attempt that provoked it; it rides in the
+    /// header's [`CONTROL_BYTES`] and never changes the wire size.
+    Request { have: Option<usize>, span: u64 },
     /// Authority → cache: a consensus (full or diff) bringing the cache
     /// to `version`, plus the descriptors it lacks.
     Response {
@@ -245,6 +249,12 @@ struct CacheState {
     /// fetch latencies on the spot.
     published_at: Vec<f64>,
     attempts: Vec<u32>,
+    /// Span of each version's publication event (the sentinel when
+    /// tracing is off) — the causal root of the version's fetch chain.
+    publication_spans: Vec<SpanId>,
+    /// Span of the most recent fetch attempt per version, so retries
+    /// and timeouts can link to the attempt they follow.
+    last_attempt: Vec<SpanId>,
     tracer: Tracer,
     registry: Registry,
 }
@@ -264,21 +274,31 @@ enum DistNode {
 }
 
 impl CacheState {
-    fn request(&mut self, ctx: &mut Context<'_, DirMsg>, version: usize) {
+    fn request(&mut self, ctx: &mut Context<'_, DirMsg>, version: usize, cause: Option<SpanId>) {
         self.attempts[version] += 1;
         // Rotate deterministically over the preference order so retries
         // escape a stalled victim (nearest-first for placed caches).
         let pick = self.authority_order
             [(self.ordinal + version + self.attempts[version] as usize - 1) % self.n_authorities];
         self.registry.inc("cache.fetch_attempts", 1);
-        self.tracer.emit(TraceEvent::FetchAttempt {
-            at_secs: ctx.now().as_secs_f64(),
-            cache: self.ordinal as u64,
-            authority: pick as u64,
-            version: version as u64,
-            attempt: self.attempts[version] as u64,
-        });
-        ctx.send(NodeId(pick), DirMsg::Request { have: self.held });
+        let attempt_span = self.tracer.record_caused(
+            TraceEvent::FetchAttempt {
+                at_secs: ctx.now().as_secs_f64(),
+                cache: self.ordinal as u64,
+                authority: pick as u64,
+                version: version as u64,
+                attempt: self.attempts[version] as u64,
+            },
+            cause,
+        );
+        self.last_attempt[version] = attempt_span;
+        ctx.send(
+            NodeId(pick),
+            DirMsg::Request {
+                have: self.held,
+                span: attempt_span.0,
+            },
+        );
         ctx.set_timer(self.retry, retry_tag(version));
     }
 
@@ -309,28 +329,38 @@ impl Node for DistNode {
                     return;
                 }
                 if tag.is_multiple_of(2) {
-                    // First poll for this version.
-                    cache.request(ctx, version);
+                    // First poll for this version, caused by its
+                    // publication.
+                    let publication = cache.publication_spans[version].recorded();
+                    cache.request(ctx, version, publication);
                 } else if cache.attempts[version] <= cache.max_retries {
-                    // Retry against the next authority.
+                    // Retry against the next authority; the retry is
+                    // caused by the attempt that went unanswered, and
+                    // in turn causes the next attempt.
                     cache.registry.inc("cache.fetch_retries", 1);
-                    cache.tracer.emit(TraceEvent::FetchRetry {
-                        at_secs: ctx.now().as_secs_f64(),
-                        cache: cache.ordinal as u64,
-                        version: version as u64,
-                        attempt: cache.attempts[version] as u64 + 1,
-                    });
-                    cache.request(ctx, version);
+                    let retry_span = cache.tracer.record_caused(
+                        TraceEvent::FetchRetry {
+                            at_secs: ctx.now().as_secs_f64(),
+                            cache: cache.ordinal as u64,
+                            version: version as u64,
+                            attempt: cache.attempts[version] as u64 + 1,
+                        },
+                        cache.last_attempt[version].recorded(),
+                    );
+                    cache.request(ctx, version, retry_span.recorded());
                 } else {
                     // Out of retries; the cache gives up on this version
                     // (it still catches up when a newer one appears).
                     cache.registry.inc("cache.fetch_timeouts", 1);
-                    cache.tracer.emit(TraceEvent::FetchTimeout {
-                        at_secs: ctx.now().as_secs_f64(),
-                        cache: cache.ordinal as u64,
-                        version: version as u64,
-                        attempts: cache.attempts[version] as u64,
-                    });
+                    cache.tracer.record_caused(
+                        TraceEvent::FetchTimeout {
+                            at_secs: ctx.now().as_secs_f64(),
+                            cache: cache.ordinal as u64,
+                            version: version as u64,
+                            attempts: cache.attempts[version] as u64,
+                        },
+                        cache.last_attempt[version].recorded(),
+                    );
                 }
             }
         }
@@ -338,7 +368,7 @@ impl Node for DistNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, DirMsg>, from: NodeId, msg: DirMsg) {
         match (self, msg) {
-            (DistNode::Authority(auth), DirMsg::Request { have }) => match auth.latest {
+            (DistNode::Authority(auth), DirMsg::Request { have, span }) => match auth.latest {
                 Some(latest) if have.is_none_or(|h| h < latest) => {
                     let entry = &auth.serving[latest];
                     let (bytes, desc_bytes, is_diff) =
@@ -357,14 +387,17 @@ impl Node for DistNode {
                         auth.full_responses += 1;
                         auth.registry.inc("authority.full_responses", 1);
                     }
-                    auth.tracer.emit(TraceEvent::Served {
-                        at_secs: ctx.now().as_secs_f64(),
-                        authority: ctx.id().index() as u64,
-                        cache: (from.index() - auth.n_authorities) as u64,
-                        version: latest as u64,
-                        response: if is_diff { "diff" } else { "full" },
-                        bytes: bytes + desc_bytes,
-                    });
+                    auth.tracer.record_caused(
+                        TraceEvent::Served {
+                            at_secs: ctx.now().as_secs_f64(),
+                            authority: ctx.id().index() as u64,
+                            cache: (from.index() - auth.n_authorities) as u64,
+                            version: latest as u64,
+                            response: if is_diff { "diff" } else { "full" },
+                            bytes: bytes + desc_bytes,
+                        },
+                        SpanId(span).recorded(),
+                    );
                     ctx.send(
                         from,
                         DirMsg::Response {
@@ -532,6 +565,8 @@ impl CacheTier {
                         received_at: Vec::new(),
                         published_at: Vec::new(),
                         attempts: Vec::new(),
+                        publication_spans: Vec::new(),
+                        last_attempt: Vec::new(),
                         tracer: tracer.clone(),
                         registry: registry.clone(),
                     })
@@ -614,17 +649,20 @@ impl CacheTier {
     /// Injects a publication: from `available_at_secs` on, every
     /// authority serves `version` with `sizes`, and each cache polls for
     /// it at a jittered offset (retries are the caches' own business).
+    /// Returns the publication's trace span (the unrecorded sentinel
+    /// when tracing is off) — the causal root every downstream fetch
+    /// event of this version links back to.
     ///
     /// Versions must be published in order, at times not earlier than
     /// the tier's current simulated time.
-    pub fn publish(&mut self, version: usize, available_at_secs: f64, sizes: ServeSizes) {
+    pub fn publish(&mut self, version: usize, available_at_secs: f64, sizes: ServeSizes) -> SpanId {
         assert_eq!(
             version, self.versions,
             "versions must be published in order"
         );
         self.versions += 1;
         self.registry.inc("tier.publications", 1);
-        self.tracer.emit(TraceEvent::Publication {
+        let publication_span = self.tracer.record(TraceEvent::Publication {
             at_secs: available_at_secs,
             version: version as u64,
         });
@@ -640,6 +678,8 @@ impl CacheTier {
                     cache.received_at.push(None);
                     cache.published_at.push(available_at_secs);
                     cache.attempts.push(0);
+                    cache.publication_spans.push(publication_span);
+                    cache.last_attempt.push(SpanId::NONE);
                 }
             }
         }
@@ -657,6 +697,7 @@ impl CacheTier {
                 poll_tag(version),
             );
         }
+        publication_span
     }
 
     /// Applies capacity-override windows (attack windows lowered from
@@ -687,18 +728,21 @@ impl CacheTier {
                 SimTime::from_micros(((window.start_secs + window.duration_secs) * 1e6) as u64);
             for (node, restore_bps) in targets {
                 self.registry.inc("tier.link_windows", 1);
-                self.tracer.emit(TraceEvent::LinkWindow {
+                let opened = self.tracer.record(TraceEvent::LinkWindow {
                     at_secs: window.start_secs,
                     node: node.index() as u64,
                     open: true,
                     bps: window.bps,
                 });
-                self.tracer.emit(TraceEvent::LinkWindow {
-                    at_secs: window.start_secs + window.duration_secs,
-                    node: node.index() as u64,
-                    open: false,
-                    bps: restore_bps,
-                });
+                self.tracer.record_caused(
+                    TraceEvent::LinkWindow {
+                        at_secs: window.start_secs + window.duration_secs,
+                        node: node.index() as u64,
+                        open: false,
+                        bps: restore_bps,
+                    },
+                    opened.recorded(),
+                );
                 self.sim
                     .schedule_bandwidth_change(start, node, Some(window.bps), Some(window.bps));
                 self.sim

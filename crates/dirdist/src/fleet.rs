@@ -256,6 +256,7 @@ pub struct FleetReport {
 pub type CacheAvailability = [Option<f64>];
 
 /// One regional cohort's persistent state plus cumulative accounting.
+#[derive(Clone)]
 struct Cohort {
     region: Option<Region>,
     weight: f64,
@@ -301,6 +302,12 @@ struct HourScratch {
 
 /// The stepped cohort fleet: persistent per-region cohort state plus
 /// cumulative accounting, advanced one hour at a time.
+///
+/// The fleet is `Clone` (its sampler included), so a session can fork
+/// the pre-hour state and replay the same hour under counterfactual
+/// availability views with identical randomness — the mechanism behind
+/// [`attribution`](crate::attribution).
+#[derive(Clone)]
 pub struct FleetSim {
     config: FleetConfig,
     rng: StdRng,
@@ -374,6 +381,27 @@ impl FleetSim {
     /// Current total population (held + bootstrapping, all cohorts).
     pub fn population(&self) -> u64 {
         self.cohorts.iter().map(Cohort::population).sum()
+    }
+
+    /// Clients currently in the bootstrap pool (no usable consensus),
+    /// all cohorts.
+    pub(crate) fn pool_total(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.pool).sum()
+    }
+
+    /// Counterfactually moves each cohort's bootstrap pool onto a held
+    /// version (`targets[c]`; `None` leaves that cohort's pool in
+    /// place). Draws no randomness — used by the attribution ladder to
+    /// ask "what if the backlog from earlier hours had been served
+    /// already?" before replaying an hour on a cloned fleet.
+    pub(crate) fn revive_pools(&mut self, targets: &[Option<usize>]) {
+        assert_eq!(targets.len(), self.cohorts.len(), "one target per cohort");
+        for (cohort, target) in self.cohorts.iter_mut().zip(targets) {
+            if let Some(version) = target {
+                *cohort.holding.entry(*version).or_insert(0) += cohort.pool;
+                cohort.pool = 0;
+            }
+        }
     }
 
     /// Steps the fleet over `[hour * 3600, (hour + 1) * 3600)` against

@@ -74,6 +74,7 @@
 //! assert!(report.feedback.enabled);
 //! ```
 
+pub mod attribution;
 pub mod cachesim;
 pub mod churn;
 pub mod docmodel;
@@ -84,6 +85,7 @@ pub mod session;
 pub mod stats;
 pub mod timeline;
 
+pub use attribution::{AttributionRollup, CauseParts, HourAttribution};
 pub use cachesim::{
     CacheSimConfig, CacheTier, CacheTierReport, LinkWindow, ServeSizes, TierNode,
     VersionAvailability,
@@ -163,6 +165,13 @@ pub struct DistConfig {
     /// per-hour [`TierHourTraffic`] signatures; `None` (the default)
     /// is fully inert.
     pub detector: Option<FetchRateDetector>,
+    /// Compute the per-hour counterfactual blame decomposition of
+    /// client-weighted downtime ([`attribution`]). Observational: the
+    /// ladder replays cloned fleets after each real hour has stepped,
+    /// so turning it on leaves every existing report field bit-identical
+    /// (a test pins this). Off by default — each hour costs a handful
+    /// of extra fleet replays.
+    pub attribution: bool,
 }
 
 impl Default for DistConfig {
@@ -184,6 +193,7 @@ impl Default for DistConfig {
             valid_secs: 10_800,
             fetch_rate_scale: 1.0,
             detector: None,
+            attribution: false,
         }
     }
 }
@@ -224,6 +234,10 @@ pub struct DistReport {
     /// Session-wide telemetry rollup (always collected; CLI flags only
     /// control whether it is exported).
     pub telemetry: TelemetrySummary,
+    /// Whole-run downtime blame rollup; `Some` only when
+    /// [`DistConfig::attribution`] was on. Its parts sum bit-exactly to
+    /// `fleet.client_weighted_downtime`.
+    pub attribution: Option<AttributionRollup>,
 }
 
 /// Runs the full distribution pipeline with a synthetic document model

@@ -26,6 +26,7 @@
 //! the wrapper and a manually stepped session are bit-for-bit
 //! identical (a test pins this).
 
+use crate::attribution::{self, HourAttribution, LadderContext};
 use crate::cachesim::{CacheSimConfig, CacheTier, LinkWindow, ServeSizes, TierNode};
 use crate::docmodel::{DocModel, DocTable};
 use crate::fleet::{FleetConfig, FleetHourEgress, FleetHourRow, FleetSim};
@@ -34,7 +35,7 @@ use crate::placement::{
 };
 use crate::timeline::Publication;
 use crate::{DistConfig, DistReport};
-use partialtor_obs::{Histogram, Registry, TraceEvent, Tracer};
+use partialtor_obs::{Histogram, Registry, SpanId, TraceEvent, Tracer};
 use partialtor_simnet::geo::REGIONS;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -128,6 +129,27 @@ fn node_label(node: &TierNode) -> String {
     }
 }
 
+/// Which flooded layers the applied link windows implicate for `hour`'s
+/// attribution ladder: a window matters if it overlaps
+/// `[hour_start - valid_secs, hour_end)` — link damage up to one
+/// validity horizon back can still be starving this hour's clients.
+/// Returns `(authority_flooded, cache_flooded)`.
+fn window_flags(windows: &[LinkWindow], hour: u64, valid_secs: u64) -> (bool, bool) {
+    let start = (hour * 3_600) as f64 - valid_secs as f64;
+    let end = ((hour + 1) * 3_600) as f64;
+    let mut authority = false;
+    let mut cache = false;
+    for w in windows {
+        if w.start_secs < end && w.start_secs + w.duration_secs > start {
+            match w.node {
+                TierNode::Authority(_) => authority = true,
+                TierNode::Cache(_) | TierNode::Region(_) => cache = true,
+            }
+        }
+    }
+    (authority, cache)
+}
+
 /// Percentile summary of one latency histogram, seconds.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct LatencySummary {
@@ -206,6 +228,10 @@ pub struct HourReport {
     pub tier_traffic: TierHourTraffic,
     /// Health alerts the driver raised for the hour.
     pub alerts: u64,
+    /// Blame decomposition of the hour's `fleet.dead_fraction`; `Some`
+    /// only when [`DistConfig::attribution`] is on (its parts sum to
+    /// the dead fraction bit-exactly).
+    pub attribution: Option<HourAttribution>,
 }
 
 /// Session-wide telemetry rollup.
@@ -221,6 +247,10 @@ pub struct TelemetrySummary {
     pub alerts: u64,
     /// Engine events that arrived dead over the whole session.
     pub expired_events: u64,
+    /// Trace events the ring buffer dropped (oldest-first) over the
+    /// session — nonzero means the exported trace is a suffix, never a
+    /// silent gap.
+    pub trace_dropped: u64,
     /// Publication → cache fetch latency over the whole session.
     pub fetch_latency: Option<LatencySummary>,
 }
@@ -304,6 +334,16 @@ fn service_budget_bytes(
     // session results.
     let per_link = (cache_config.cache_bps - cache_bg_bps).max(0.0);
     (per_link / 8.0 * 3_600.0 * config.n_caches as f64) as u64
+}
+
+/// Per-hour context [`DistSession::finish_hour`] needs beyond the
+/// fleet row: the budget in effect (for the budget-saturation span),
+/// the hour's publication span (causal anchor for the hour summary),
+/// and the attribution ladder's verdict when it ran.
+struct HourContext {
+    budget: Option<u64>,
+    publication_span: Option<SpanId>,
+    attribution: Option<HourAttribution>,
 }
 
 /// The hour-stepped co-simulation of the whole distribution layer.
@@ -437,7 +477,7 @@ impl DistSession {
             fresh_until_secs: config.fresh_secs as f64,
             valid_until_secs: config.valid_secs as f64,
         };
-        tier.publish(0, 0.0, ServeSizes::for_version(&table, 0));
+        let baseline_span = tier.publish(0, 0.0, ServeSizes::for_version(&table, 0));
         tier.run_to(3_600.0);
 
         // The defender's rate-limit lever stretches both client fetch
@@ -458,7 +498,25 @@ impl DistSession {
         let budget = config
             .feedback
             .then(|| service_budget_bytes(config, &cache_config, 0.0));
+        let fleet_before = config.attribution.then(|| fleet.clone());
         let (row, egress) = fleet.step_hour(0, &publications, &table, &cached, budget);
+        let hour0_attribution = fleet_before.map(|before| {
+            let (authority_flooded, cache_flooded) =
+                window_flags(&initial_windows, 0, config.valid_secs);
+            attribution::attribute_hour(
+                &before,
+                row.dead_fraction,
+                &LadderContext {
+                    hour: 0,
+                    publications: &publications,
+                    table: &table,
+                    cached: &cached,
+                    budget,
+                    authority_flooded,
+                    cache_flooded,
+                },
+            )
+        });
 
         let static_direct_bps = cache_config.direct_client_load_bps;
         let mut session = DistSession {
@@ -484,7 +542,7 @@ impl DistSession {
             prev_traffic: TierHourTraffic::default(),
             alerts_total: 0,
             pending_windows,
-            applied_windows: if config.detector.is_some() {
+            applied_windows: if config.detector.is_some() || config.attribution {
                 initial_windows
             } else {
                 Vec::new()
@@ -492,7 +550,18 @@ impl DistSession {
             detector_flags: BTreeMap::new(),
             detector_filtered: BTreeSet::new(),
         };
-        session.finish_hour(0, None, row, egress, 0);
+        session.finish_hour(
+            0,
+            None,
+            row,
+            egress,
+            0,
+            HourContext {
+                budget,
+                publication_span: baseline_span.recorded(),
+                attribution: hour0_attribution,
+            },
+        );
         session
     }
 
@@ -550,9 +619,14 @@ impl DistSession {
                 }
             });
             self.applied_windows.extend(windows.iter().copied());
+        } else if self.config.attribution {
+            // No detector: nothing filters windows, but the attribution
+            // ladder still needs to know which layers ran flooded.
+            self.applied_windows.extend(windows.iter().copied());
         }
         self.tier.apply_windows(&windows);
 
+        let mut publication_span: Option<SpanId> = None;
         let published_version = input.publication.map(|offset| {
             assert!(offset >= 0.0, "publication offset must be within the hour");
             let version = self.publications.len();
@@ -566,11 +640,14 @@ impl DistSession {
             });
             self.table
                 .push_version(&self.model, hour, self.cum_churn, self.config.retain_hours);
-            self.tier.publish(
-                version,
-                nominal + offset,
-                ServeSizes::for_version(&self.table, version),
-            );
+            publication_span = self
+                .tier
+                .publish(
+                    version,
+                    nominal + offset,
+                    ServeSizes::for_version(&self.table, version),
+                )
+                .recorded();
             version
         });
 
@@ -584,10 +661,39 @@ impl DistSession {
             .config
             .feedback
             .then(|| service_budget_bytes(&self.config, &self.cache_config, self.current_bg.1));
+        let fleet_before = self.config.attribution.then(|| self.fleet.clone());
         let (row, egress) =
             self.fleet
                 .step_hour(hour, &self.publications, &self.table, &cached, budget);
-        self.finish_hour(hour, published_version, row, egress, alerts)
+        let hour_attribution = fleet_before.map(|before| {
+            let (authority_flooded, cache_flooded) =
+                window_flags(&self.applied_windows, hour, self.config.valid_secs);
+            attribution::attribute_hour(
+                &before,
+                row.dead_fraction,
+                &LadderContext {
+                    hour,
+                    publications: &self.publications,
+                    table: &self.table,
+                    cached: &cached,
+                    budget,
+                    authority_flooded,
+                    cache_flooded,
+                },
+            )
+        });
+        self.finish_hour(
+            hour,
+            published_version,
+            row,
+            egress,
+            alerts,
+            HourContext {
+                budget,
+                publication_span,
+                attribution: hour_attribution,
+            },
+        )
     }
 
     /// Accounts the hour that just ran under the background load that
@@ -613,6 +719,7 @@ impl DistSession {
         row: FleetHourRow,
         egress: FleetHourEgress,
         alerts: u64,
+        ctx: HourContext,
     ) -> HourReport {
         let (authority_bg_bps, cache_bg_bps) = self.current_bg;
         self.bg_authority_sum += authority_bg_bps;
@@ -698,14 +805,34 @@ impl DistSession {
                 .registry
                 .histogram(&format!("cache.fetch_latency.h{hour:05}")),
         );
-        self.tracer.emit(TraceEvent::HourSummary {
-            hour,
-            published: published_version.map(|v| v as u64),
-            newest_cached: newest_cached_version.map(|v| v as u64),
-            bootstrap_attempts: row.bootstrap_attempts,
-            refresh_fetches: row.refresh_fetches,
-            stale_fraction: row.stale_fraction,
-        });
+        // The hour summary's cause is the hour's defining upstream
+        // event: a near-exhausted service budget when one fired, else
+        // the hour's publication.
+        let mut hour_cause = ctx.publication_span;
+        if let Some(budget_bytes) = ctx.budget {
+            if egress.served_bytes.saturating_mul(100) >= budget_bytes.saturating_mul(99) {
+                let saturation = self.tracer.record_caused(
+                    TraceEvent::BudgetSaturation {
+                        hour,
+                        budget_bytes,
+                        served_bytes: egress.served_bytes,
+                    },
+                    ctx.publication_span,
+                );
+                hour_cause = saturation.recorded().or(hour_cause);
+            }
+        }
+        self.tracer.record_caused(
+            TraceEvent::HourSummary {
+                hour,
+                published: published_version.map(|v| v as u64),
+                newest_cached: newest_cached_version.map(|v| v as u64),
+                bootstrap_attempts: row.bootstrap_attempts,
+                refresh_fetches: row.refresh_fetches,
+                stale_fraction: row.stale_fraction,
+            },
+            hour_cause,
+        );
         let report = HourReport {
             hour,
             published_version,
@@ -716,6 +843,7 @@ impl DistSession {
             fetch_latency,
             tier_traffic,
             alerts,
+            attribution: ctx.attribution,
         };
         self.hour_reports.push(report.clone());
         report
@@ -790,13 +918,23 @@ impl DistSession {
             fetch_timeouts: self.registry.counter("cache.fetch_timeouts"),
             alerts: self.alerts_total,
             expired_events: self.tier.metrics().expired_events(),
+            trace_dropped: self.tracer.dropped(),
             fetch_latency: LatencySummary::from_histogram(
                 &self.registry.histogram("cache.fetch_latency"),
             ),
         };
+        let fleet_report = self.fleet.report();
+        let attribution = self.config.attribution.then(|| {
+            let hour_parts: Vec<HourAttribution> = self
+                .hour_reports
+                .iter()
+                .filter_map(|h| h.attribution)
+                .collect();
+            attribution::rollup(&hour_parts, fleet_report.client_weighted_downtime)
+        });
         DistReport {
             cache: self.tier.report(),
-            fleet: self.fleet.report(),
+            fleet: fleet_report,
             placement: self.placement,
             feedback: FeedbackSummary {
                 enabled: self.config.feedback,
@@ -807,6 +945,7 @@ impl DistSession {
             },
             hours: self.hour_reports,
             telemetry,
+            attribution,
         }
     }
 }
@@ -816,6 +955,7 @@ mod tests {
     use super::*;
     use crate::cachesim::TierNode;
     use crate::{simulate, ConsensusTimeline};
+    use proptest::prelude::*;
 
     fn five_of_nine_windows(hours: impl Iterator<Item = u64>) -> Vec<LinkWindow> {
         hours
@@ -1123,6 +1263,161 @@ mod tests {
         );
         let session_latency = report.telemetry.fetch_latency.expect("fetches happened");
         assert!(session_latency.count >= latency.count);
+    }
+
+    /// The tentpole guarantee, both halves. Observational: an
+    /// attributed run's report — attribution fields aside — is
+    /// bit-identical to the plain run's (the ladder replays forks,
+    /// never the real hour). Exact: every hour's cause parts sum
+    /// bit-exactly to that hour's dead fraction, and the rollup's to
+    /// the run's client-weighted downtime.
+    #[test]
+    fn attribution_is_observational_and_sums_bit_exactly() {
+        let outcomes: Vec<Option<f64>> = (0..30).map(|h| (h >= 24).then_some(330.0)).collect();
+        let timeline = ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800);
+        let mut cfg = config(400_000, 40, true);
+        cfg.link_windows = five_of_nine_windows(1..=24);
+        let plain = simulate(&cfg, &timeline);
+        cfg.attribution = true;
+        let attributed = simulate(&cfg, &timeline);
+
+        for hour in &attributed.hours {
+            let attribution = hour.attribution.as_ref().expect("attribution is on");
+            assert_eq!(attribution.hour, hour.hour);
+            for (name, value) in attribution.parts.named() {
+                assert!(value >= 0.0, "hour {} {name} = {value}", hour.hour);
+            }
+            assert_eq!(
+                attribution.parts.sum().to_bits(),
+                hour.fleet.dead_fraction.to_bits(),
+                "hour {}: parts {:?} must sum to the dead fraction {}",
+                hour.hour,
+                attribution.parts,
+                hour.fleet.dead_fraction
+            );
+        }
+        let rollup = attributed.attribution.as_ref().expect("rollup is on");
+        assert_eq!(
+            rollup.parts.sum().to_bits(),
+            attributed.fleet.client_weighted_downtime.to_bits(),
+            "rollup {:?} must sum to the run's downtime {}",
+            rollup.parts,
+            attributed.fleet.client_weighted_downtime
+        );
+        assert_eq!(
+            rollup.client_weighted_downtime.to_bits(),
+            attributed.fleet.client_weighted_downtime.to_bits()
+        );
+
+        let mut scrubbed = attributed.clone();
+        scrubbed.attribution = None;
+        for hour in &mut scrubbed.hours {
+            hour.attribution = None;
+        }
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{scrubbed:?}"),
+            "attribution must not perturb the simulation"
+        );
+    }
+
+    /// The pinned blame table for the acceptance campaign (24-hour
+    /// five-of-nine flood with feedback, scaled fleet): the flood's
+    /// downtime is overwhelmingly QuorumLost — runs breached, no
+    /// consensus to fetch — with the retry storm and the flooded
+    /// authority links explaining most of the rest. Pinned bit-for-bit,
+    /// like the availability numbers this decomposes.
+    #[test]
+    fn five_of_nine_blame_is_pinned() {
+        let mut cfg = config(60_000, 15, true);
+        cfg.link_windows = five_of_nine_windows(1..=24);
+        cfg.attribution = true;
+        let mut session = DistSession::new(&cfg, DocModel::synthetic(2_000));
+        for hour in 1..=27u64 {
+            let input = if hour <= 24 {
+                HourInput::failed()
+            } else {
+                HourInput::produced(330.0)
+            };
+            session.step_hour(input);
+        }
+        let report = session.into_report();
+        let rollup = report.attribution.expect("attribution is on");
+        assert_eq!(rollup.parts.dominant().0, "quorum_lost");
+        assert_eq!(
+            rollup.parts.sum().to_bits(),
+            report.fleet.client_weighted_downtime.to_bits()
+        );
+        let expected = [
+            ("authority_flooded", 0.0),
+            ("cache_flooded", 0.0),
+            ("quorum_lost", 0.7898809523809524),
+            ("detector_veto", 0.0),
+            ("service_budget_saturated", 0.0),
+            ("recovery_storm", 0.0),
+            ("churn_other", 2.976041679758623e-8),
+        ];
+        for ((name, value), (pin_name, pin)) in rollup.parts.named().iter().zip(expected) {
+            assert_eq!(*name, pin_name);
+            assert_eq!(
+                *value, pin,
+                "{name} drifted: {value} (pinned {pin}); update the pin only for an intentional model change"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+
+        /// Attribution's exactness holds for *any* campaign, not just
+        /// the pinned one: random consensus timelines and random attack
+        /// windows, parts non-negative and summing bit-exactly to the
+        /// per-hour dead fraction and the whole-run downtime.
+        #[test]
+        fn attribution_sums_bit_exactly_on_random_campaigns(
+            produced in proptest::collection::vec(any::<bool>(), 3..=6),
+            windows in proptest::collection::vec((0usize..12, 0u64..6, 150.0f64..3_600.0), 0..6),
+            feedback in any::<bool>(),
+        ) {
+            let outcomes: Vec<Option<f64>> =
+                produced.iter().map(|ok| ok.then_some(330.0)).collect();
+            let timeline = ConsensusTimeline::from_hourly_outcomes(&outcomes, 3_600, 10_800);
+            let mut cfg = config(20_000, 6, feedback);
+            cfg.attribution = true;
+            cfg.link_windows = windows
+                .iter()
+                .map(|&(node, start_hour, duration_secs)| LinkWindow {
+                    node: if node < 9 {
+                        TierNode::Authority(node)
+                    } else {
+                        TierNode::Cache(node - 9)
+                    },
+                    start_secs: (start_hour * 3_600) as f64,
+                    duration_secs,
+                    bps: 0.5e6,
+                })
+                .collect();
+            let report = simulate(&cfg, &timeline);
+            for hour in &report.hours {
+                let attribution = hour.attribution.as_ref().expect("attribution is on");
+                for (name, value) in attribution.parts.named() {
+                    prop_assert!(value >= 0.0, "hour {} {} = {}", hour.hour, name, value);
+                }
+                prop_assert_eq!(
+                    attribution.parts.sum().to_bits(),
+                    hour.fleet.dead_fraction.to_bits(),
+                    "hour {}: {:?} vs {}",
+                    hour.hour,
+                    attribution.parts,
+                    hour.fleet.dead_fraction
+                );
+            }
+            let rollup = report.attribution.as_ref().expect("rollup is on");
+            prop_assert_eq!(
+                rollup.parts.sum().to_bits(),
+                report.fleet.client_weighted_downtime.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //!   cloneable [`Tracer`] handle. A disabled tracer is a `None` and every
 //!   emit is a near-free branch; an enabled tracer ring-buffers events
 //!   with a deterministic drop-oldest policy so long sessions cannot
-//!   exhaust memory and identical runs drop identical events.
+//!   exhaust memory and identical runs drop identical events. Recorded
+//!   events carry [`SpanId`]s and optional causal links ([`mod@span`]), so
+//!   renderers can reconstruct publication → fetch → timeout → retry
+//!   chains.
 //! * [`metrics`] — a [`Registry`] of named counters, gauges and
 //!   fixed-bucket latency [`Histogram`]s. Histograms are mergeable
 //!   (exactly associative and commutative: durations accumulate in
@@ -24,8 +27,10 @@
 
 pub mod metrics;
 pub mod profile;
+pub mod span;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricsSnapshot, Registry, HIST_BUCKETS};
 pub use profile::{profile_report, profiling_enabled, reset_profiler, set_profiling, span, Span};
+pub use span::{SpanId, TraceRecord};
 pub use trace::{TraceEvent, TraceValue, Tracer};

@@ -141,6 +141,11 @@ impl Histogram {
         self.percentile(0.99)
     }
 
+    /// 99.9th percentile, seconds.
+    pub fn p999(&self) -> Option<f64> {
+        self.percentile(0.999)
+    }
+
     /// Non-empty buckets as `(upper_edge_secs, count)` pairs; the
     /// overflow bucket reports an infinite edge.
     pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
@@ -221,6 +226,18 @@ impl Registry {
             .observe(secs);
     }
 
+    /// Merges a locally-accumulated histogram into the named one
+    /// (creating it empty first). Lets worker threads batch
+    /// observations lock-free and publish them in one exact merge.
+    pub fn merge_histogram(&self, name: &str, other: &Histogram) {
+        let mut inner = self.inner.lock().expect("metrics registry");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(other);
+    }
+
     /// Reads a histogram copy (empty when absent).
     pub fn histogram(&self, name: &str) -> Histogram {
         let inner = self.inner.lock().expect("metrics registry");
@@ -271,6 +288,21 @@ mod tests {
         assert!((0.010..=1.0).contains(&p50), "p50 = {p50}");
         assert_eq!(h.p99(), Some(1.0), "p99 hits the top observation");
         assert!((h.mean_secs().unwrap() - 0.220).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_merges_local_histograms_exactly() {
+        let registry = Registry::new();
+        let mut local = Histogram::new();
+        for ms in [5.0, 15.0, 2_000.0] {
+            local.observe(ms / 1_000.0);
+        }
+        registry.observe("latency", 0.040);
+        registry.merge_histogram("latency", &local);
+        let merged = registry.histogram("latency");
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.max_secs(), Some(2.0));
+        assert_eq!(merged.p999(), Some(2.0), "p99.9 hits the top observation");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Causal span identities for trace events.
+//!
+//! Every event recorded through [`Tracer::record`](crate::Tracer::record)
+//! or [`Tracer::record_caused`](crate::Tracer::record_caused) gets a
+//! [`SpanId`] — a small integer assigned in emission order by the owning
+//! tracer — and may name one *cause*: the span of the event that made it
+//! happen (a publication causes a cache fetch attempt, a failed attempt
+//! causes a retry, exhausted retries cause a timeout). The ids let a
+//! renderer reconstruct causal chains (e.g. Chrome trace-event flow
+//! arrows) without this crate knowing any serialization format, and they
+//! are deterministic: two identical runs assign identical ids.
+
+use crate::trace::TraceEvent;
+
+/// Identity of one recorded trace event.
+///
+/// `SpanId(0)` is the reserved "not recorded" sentinel a disabled
+/// tracer hands out; live ids start at 1 and increase in emission
+/// order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "not recorded" sentinel (what a disabled tracer returns).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id names a real recorded event.
+    pub fn is_recorded(&self) -> bool {
+        self.0 != 0
+    }
+
+    /// `Some(self)` when recorded, `None` otherwise — the natural shape
+    /// for optional-cause plumbing.
+    pub fn recorded(self) -> Option<SpanId> {
+        self.is_recorded().then_some(self)
+    }
+}
+
+/// One trace event plus its causal identity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// This event's own span id (≥ 1 once recorded).
+    pub id: SpanId,
+    /// The span that caused this event, when known and recorded.
+    pub cause: Option<SpanId>,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn disabled_tracer_hands_out_the_sentinel() {
+        let tracer = Tracer::disabled();
+        let id = tracer.record(TraceEvent::Publication {
+            at_secs: 0.0,
+            version: 1,
+        });
+        assert_eq!(id, SpanId::NONE);
+        assert!(!id.is_recorded());
+        assert_eq!(id.recorded(), None);
+    }
+
+    #[test]
+    fn record_caused_links_spans_deterministically() {
+        let tracer = Tracer::enabled(16);
+        let publication = tracer.record(TraceEvent::Publication {
+            at_secs: 0.0,
+            version: 1,
+        });
+        let attempt = tracer.record_caused(
+            TraceEvent::FetchAttempt {
+                at_secs: 1.0,
+                cache: 3,
+                authority: 0,
+                version: 1,
+                attempt: 1,
+            },
+            publication.recorded(),
+        );
+        assert_eq!(publication, SpanId(1));
+        assert_eq!(attempt, SpanId(2));
+        let records = tracer.drain_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].cause, None);
+        assert_eq!(records[1].cause, Some(publication));
+    }
+
+    #[test]
+    fn unrecorded_causes_are_filtered_out() {
+        let tracer = Tracer::enabled(16);
+        let id = tracer.record_caused(
+            TraceEvent::Publication {
+                at_secs: 0.0,
+                version: 1,
+            },
+            Some(SpanId::NONE),
+        );
+        assert!(id.is_recorded());
+        assert_eq!(tracer.drain_records()[0].cause, None);
+    }
+}

@@ -7,10 +7,16 @@
 //! policy: two identical runs overflow at the same event and keep the
 //! same suffix.
 //!
+//! Events recorded through [`Tracer::record`]/[`Tracer::record_caused`]
+//! additionally carry a [`SpanId`] and an optional causal link to an
+//! earlier span (see [`mod@crate::span`]); [`Tracer::emit`] remains the
+//! fire-and-forget path for call sites that have no cause to report.
+//!
 //! Serialization is deliberately *not* here — the crate is std-only and
 //! renderer-agnostic. [`TraceEvent::kind`] and [`TraceEvent::fields`]
 //! expose a flat schema that `partialtor::json` turns into JSONL.
 
+use crate::span::{SpanId, TraceRecord};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -157,6 +163,16 @@ pub enum TraceEvent {
         /// Body bytes written.
         bytes: u64,
     },
+    /// A feedback-loop hour nearly exhausted its per-cache service
+    /// budget — subsequent client fetches in that hour were shed.
+    BudgetSaturation {
+        /// Session hour whose budget saturated.
+        hour: u64,
+        /// The hour's per-cache service budget, bytes.
+        budget_bytes: u64,
+        /// Bytes actually served against that budget.
+        served_bytes: u64,
+    },
     /// End-of-hour roll-up of a distribution-session hour.
     HourSummary {
         /// Session hour.
@@ -188,6 +204,7 @@ impl TraceEvent {
             TraceEvent::DefenseAction { .. } => "defense_action",
             TraceEvent::HealthAlert { .. } => "health_alert",
             TraceEvent::HttpRequest { .. } => "http_request",
+            TraceEvent::BudgetSaturation { .. } => "budget_saturation",
             TraceEvent::HourSummary { .. } => "hour_summary",
         }
     }
@@ -296,6 +313,15 @@ impl TraceEvent {
                 ("served", Str((*served).to_string())),
                 ("bytes", U64(*bytes)),
             ],
+            TraceEvent::BudgetSaturation {
+                hour,
+                budget_bytes,
+                served_bytes,
+            } => vec![
+                ("hour", U64(*hour)),
+                ("budget_bytes", U64(*budget_bytes)),
+                ("served_bytes", U64(*served_bytes)),
+            ],
             TraceEvent::HourSummary {
                 hour,
                 published,
@@ -322,9 +348,10 @@ impl TraceEvent {
 
 #[derive(Debug)]
 struct TraceBuf {
-    events: VecDeque<TraceEvent>,
+    events: VecDeque<TraceRecord>,
     capacity: usize,
     dropped: u64,
+    next_id: u64,
 }
 
 /// Cloneable handle to a shared trace buffer.
@@ -352,6 +379,7 @@ impl Tracer {
                 events: VecDeque::new(),
                 capacity: capacity.max(1),
                 dropped: 0,
+                next_id: 1,
             }))),
         }
     }
@@ -361,15 +389,39 @@ impl Tracer {
         self.inner.is_some()
     }
 
-    /// Records `event` (no-op when disabled).
+    /// Records `event` with no cause, discarding the assigned span id
+    /// (no-op when disabled).
     pub fn emit(&self, event: TraceEvent) {
-        let Some(inner) = &self.inner else { return };
+        self.record_caused(event, None);
+    }
+
+    /// Records `event` with no cause, returning its span id
+    /// ([`SpanId::NONE`] when disabled).
+    pub fn record(&self, event: TraceEvent) -> SpanId {
+        self.record_caused(event, None)
+    }
+
+    /// Records `event` caused by the span `cause`, returning the new
+    /// event's own span id ([`SpanId::NONE`] when disabled). A cause of
+    /// `None` or the sentinel [`SpanId::NONE`] records an uncaused
+    /// event, so call sites can thread ids through without branching.
+    pub fn record_caused(&self, event: TraceEvent, cause: Option<SpanId>) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
         let mut buf = inner.lock().expect("trace buffer");
         if buf.events.len() >= buf.capacity {
             buf.events.pop_front();
             buf.dropped += 1;
         }
-        buf.events.push_back(event);
+        let id = SpanId(buf.next_id);
+        buf.next_id += 1;
+        buf.events.push_back(TraceRecord {
+            id,
+            cause: cause.filter(SpanId::is_recorded),
+            event,
+        });
+        id
     }
 
     /// Number of events dropped to the ring-buffer cap so far.
@@ -392,8 +444,16 @@ impl Tracer {
     }
 
     /// Takes all buffered events, oldest first, leaving the buffer
-    /// empty (the dropped count is preserved).
+    /// empty (the dropped count is preserved). Causal identities are
+    /// discarded — use [`Tracer::drain_records`] to keep them.
     pub fn drain(&self) -> Vec<TraceEvent> {
+        self.drain_records().into_iter().map(|r| r.event).collect()
+    }
+
+    /// Takes all buffered records — events plus span ids and causal
+    /// links — oldest first, leaving the buffer empty (the dropped
+    /// count is preserved).
+    pub fn drain_records(&self) -> Vec<TraceRecord> {
         self.inner.as_ref().map_or_else(Vec::new, |inner| {
             inner
                 .lock()
@@ -514,6 +574,11 @@ mod tests {
                 status: 200,
                 served: "diff",
                 bytes: 50_000,
+            },
+            TraceEvent::BudgetSaturation {
+                hour: 5,
+                budget_bytes: 45_000_000_000,
+                served_bytes: 44_999_000_000,
             },
             TraceEvent::HourSummary {
                 hour: 2,
